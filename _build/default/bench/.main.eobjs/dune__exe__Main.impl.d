@@ -1,0 +1,1 @@
+bench/main.ml: Array Flicker_hw List Micro Paper Printf String Sys

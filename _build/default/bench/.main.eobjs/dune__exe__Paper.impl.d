@@ -1,0 +1,1 @@
+bench/paper.ml: Attestation Flicker_apps Flicker_core Flicker_crypto Flicker_hw Flicker_os Flicker_slb Flicker_tpm Float Format Lazy List Option Platform Printf Result Session String Trusted_boot

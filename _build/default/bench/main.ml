@@ -1,0 +1,55 @@
+(* Benchmark harness entry point.
+
+   With no arguments, regenerates every table and figure from the paper's
+   evaluation (Section 7) on the simulated platform, then runs the
+   Bechamel microbenchmarks. Individual artifacts:
+
+     dune exec bench/main.exe -- table1 table2 table3 table4
+     dune exec bench/main.exe -- figure6 figure8 figure9
+     dune exec bench/main.exe -- ca impact ablation infineon micro *)
+
+module Timing = Flicker_hw.Timing
+
+let known =
+  [
+    ("table1", fun () -> Paper.table1 ());
+    ("table2", Paper.table2);
+    ("table3", Paper.table3);
+    ("table4", fun () -> Paper.table4 ());
+    ("figure6", Paper.figure6);
+    ("figure8", fun () -> Paper.figure8 ());
+    ("figure9", fun () -> Paper.figure9 ());
+    ("ca", fun () -> Paper.ca_bench ());
+    ("impact", Paper.impact);
+    ("ablation", Paper.ablation);
+    ("keygen", Paper.keygen_ablation);
+    ("burden", Paper.burden);
+    ("txt", Paper.txt);
+    ( "infineon",
+      fun () ->
+        let timing = Timing.with_tpm Timing.infineon Timing.default in
+        Paper.table1 ~timing ();
+        Paper.table4 ~timing ();
+        Paper.figure9 ~timing () );
+    ("micro", Micro.run);
+  ]
+
+let all_in_order =
+  [ "table1"; "table2"; "table3"; "table4"; "figure6"; "figure8"; "figure9";
+    "ca"; "impact"; "ablation"; "keygen"; "burden"; "txt"; "micro" ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let targets = if args = [] then all_in_order else args in
+  print_endline "Flicker reproduction benchmark harness";
+  print_endline "(timings below are simulated platform latencies calibrated to Section 7;";
+  print_endline " the 'micro' section reports the real cost of the simulator itself)";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name known with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown benchmark %S; known: %s\n" name
+            (String.concat ", " (List.map fst known));
+          exit 1)
+    targets

@@ -1,0 +1,170 @@
+(* Bechamel microbenchmarks: the real wall-clock cost of the simulator
+   itself (not the simulated latencies). One Test.make per paper table or
+   figure, exercising the code path that regenerates it, plus the hot
+   crypto primitives underneath. *)
+
+open Bechamel
+open Toolkit
+open Flicker_core
+module Prng = Flicker_crypto.Prng
+module Sha1 = Flicker_crypto.Sha1
+module Rsa = Flicker_crypto.Rsa
+module Pal = Flicker_slb.Pal
+module Pal_env = Flicker_slb.Pal_env
+module Machine = Flicker_hw.Machine
+module Memory = Flicker_hw.Memory
+module Skinit = Flicker_hw.Skinit
+module Apic = Flicker_hw.Apic
+module Tpm = Flicker_tpm.Tpm
+module Scheduler = Flicker_os.Scheduler
+module Tcb = Flicker_slb.Tcb
+module Distcomp = Flicker_apps.Distcomp
+module Ssh_auth = Flicker_apps.Ssh_auth
+module CA = Flicker_apps.Cert_authority
+
+(* staged state, built once *)
+let platform = lazy (Platform.create ~seed:"micro" ~key_bits:512 ())
+
+let hello_pal =
+  lazy (Pal.define ~name:"micro-hello" (fun env -> Pal_env.set_output env "hi"))
+
+let skinit_machine =
+  lazy
+    (let m = Machine.create ~memory_size:(1024 * 1024) Flicker_hw.Timing.default in
+     let tpm = Tpm.create m (Prng.create ~seed:"micro-skinit") ~key_bits:512 in
+     Machine.set_tpm_hooks m (Tpm.skinit_hooks tpm);
+     Memory.write_u16_le m.Machine.memory 0x10000 65532;
+     Memory.write_u16_le m.Machine.memory 0x10002 4;
+     m)
+
+let ssh_login = lazy begin
+  let p = Lazy.force platform in
+  let server = Ssh_auth.create_server p ~key_bits:512 ~users:[ ("u", "p") ] () in
+  let nonce = Platform.fresh_nonce p in
+  let setup =
+    match Ssh_auth.server_setup server ~nonce with Ok s -> s | Error e -> failwith e
+  in
+  let ca_key =
+    (* the bench does not verify; grab the channel key straight from the
+       attested outputs *)
+    setup.Ssh_auth.evidence.Attestation.claimed_outputs
+  in
+  let out =
+    match Flicker_slb.Mod_secure_channel.decode_setup_output ca_key with
+    | Ok out -> out
+    | Error e -> failwith e
+  in
+  let rng = Prng.create ~seed:"micro-ssh-client" in
+  let login_nonce = Platform.fresh_nonce p in
+  let ct =
+    Flicker_crypto.Pkcs1.encrypt rng out.Flicker_slb.Mod_secure_channel.public_key
+      (Flicker_crypto.Util.encode_fields [ "p"; login_nonce ])
+  in
+  (server, ct, login_nonce)
+  end
+
+let ca_server = lazy begin
+  let p = Lazy.force platform in
+  let ca =
+    CA.create p ~key_bits:512
+      { CA.allowed_suffixes = [ ".x" ]; denied_subjects = []; max_certificates = max_int }
+  in
+  (match CA.init_ca ca with Ok _ -> () | Error e -> failwith e);
+  let csr =
+    { CA.subject = "a.x"; subject_key = (Rsa.generate (Prng.create ~seed:"mc") ~bits:256).Rsa.pub }
+  in
+  (ca, csr)
+  end
+
+let distcomp_client = lazy (Distcomp.create_client (Lazy.force platform))
+
+let tests =
+  [
+    Test.make ~name:"table1:rootkit-style session (64KB hash PAL)"
+      (Staged.stage (fun () ->
+           let p = Lazy.force platform in
+           match Session.execute p ~pal:(Lazy.force hello_pal) () with
+           | Ok _ -> ()
+           | Error e -> Format.kasprintf failwith "%a" Session.pp_error e));
+    Test.make ~name:"table2:skinit instruction"
+      (Staged.stage (fun () ->
+           let m = Lazy.force skinit_machine in
+           Apic.deschedule_aps m;
+           Apic.send_init_ipi m;
+           let launch = Skinit.execute m ~slb_base:0x10000 in
+           Skinit.teardown_dev m launch;
+           Apic.release_aps m));
+    Test.make ~name:"table3:scheduler 1s slice"
+      (Staged.stage (fun () ->
+           let p = Lazy.force platform in
+           ignore (Scheduler.spawn p.Platform.scheduler ~name:"slice" ~work_ms:10.0);
+           Scheduler.run_for p.Platform.scheduler 1000.0));
+    Test.make ~name:"table4:distcomp start session"
+      (Staged.stage (fun () ->
+           let client = Lazy.force distcomp_client in
+           let unit_ = { Distcomp.unit_id = 1; number = 1234577; lo = 2; hi = 100000 } in
+           match Distcomp.start client unit_ ~slice_ms:1.0 with
+           | Ok _ -> ()
+           | Error e -> failwith e));
+    Test.make ~name:"figure8:efficiency sweep"
+      (Staged.stage (fun () ->
+           for s = 1 to 10 do
+             ignore
+               (Distcomp.efficiency Flicker_hw.Timing.default
+                  ~work_ms:(float_of_int s *. 1000.0))
+           done));
+    Test.make ~name:"figure9:ssh login session"
+      (Staged.stage (fun () ->
+           let server, ct, nonce = Lazy.force ssh_login in
+           match Ssh_auth.server_login server ~user:"u" ~ciphertext:ct ~nonce with
+           | Ok _ -> ()
+           | Error e -> failwith e));
+    Test.make ~name:"figure6:tcb accounting"
+      (Staged.stage (fun () -> ignore (Tcb.totals (Tcb.figure6 ()))));
+    Test.make ~name:"ca:certificate signing session"
+      (Staged.stage (fun () ->
+           let ca, csr = Lazy.force ca_server in
+           match CA.sign_csr ca csr with Ok _ -> () | Error e -> failwith e));
+    Test.make ~name:"crypto:sha1 64KB"
+      (let buf = String.make (64 * 1024) 'x' in
+       Staged.stage (fun () -> ignore (Sha1.digest buf)));
+    Test.make ~name:"crypto:rsa-512 keygen"
+      (let rng = Prng.create ~seed:"micro-keygen" in
+       Staged.stage (fun () -> ignore (Rsa.generate rng ~bits:512)));
+    Test.make ~name:"tpm:seal+unseal"
+      (let p = Lazy.force platform in
+       let rng = Prng.create ~seed:"micro-seal" in
+       Staged.stage (fun () ->
+           let blob =
+             Result.get_ok
+               (Flicker_slb.Mod_tpm_utils.seal p.Platform.tpm ~rng ~release:[] "data")
+           in
+           ignore (Flicker_slb.Mod_tpm_utils.unseal p.Platform.tpm ~rng blob)));
+    Test.make ~name:"tpm:quote"
+      (let p = Lazy.force platform in
+       Staged.stage (fun () ->
+           ignore (Tpm.quote p.Platform.tpm ~nonce:(String.make 20 'n') ~selection:[ 17 ])));
+  ]
+
+let run () =
+  print_endline "\n=== Bechamel microbenchmarks (real wall-clock of the simulator) ===";
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~stabilize:false () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun tst ->
+          let raw = Benchmark.run cfg [ instance ] tst in
+          let result = Analyze.one ols instance raw in
+          let estimate =
+            match Analyze.OLS.estimates result with
+            | Some [ v ] -> v
+            | Some (v :: _) -> v
+            | _ -> nan
+          in
+          Printf.printf "%-46s %12.1f us/run\n" (Test.Elt.name tst) (estimate /. 1000.0))
+        (Test.elements test))
+    tests

@@ -1,0 +1,1 @@
+examples/ca_service.ml: Cert_authority Flicker_apps Flicker_core Flicker_crypto Flicker_os List Platform Printf

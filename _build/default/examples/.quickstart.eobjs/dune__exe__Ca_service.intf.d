@@ -1,0 +1,1 @@
+examples/ca_service.mli:

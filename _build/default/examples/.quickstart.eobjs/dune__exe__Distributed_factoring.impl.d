@@ -1,0 +1,1 @@
+examples/distributed_factoring.ml: Distcomp Flicker_apps Flicker_core Flicker_hw List Platform Printf String

@@ -1,0 +1,1 @@
+examples/distributed_factoring.mli:

@@ -1,0 +1,1 @@
+examples/pal_development.ml: Extract Flicker_core Flicker_crypto Flicker_extract Flicker_slb Format Option Platform Printf Session

@@ -1,0 +1,1 @@
+examples/pal_development.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attestation Flicker_core Flicker_crypto Flicker_os Flicker_slb Flicker_tpm Format List Platform Printf Session Verifier

@@ -1,0 +1,1 @@
+examples/rootkit_scan.mli:

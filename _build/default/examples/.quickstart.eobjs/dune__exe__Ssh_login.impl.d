@@ -1,0 +1,1 @@
+examples/ssh_login.ml: Attestation Flicker_apps Flicker_core Flicker_crypto Flicker_os Flicker_slb Flicker_tpm Platform Printf Ssh_auth

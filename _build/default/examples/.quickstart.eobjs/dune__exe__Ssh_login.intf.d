@@ -1,0 +1,1 @@
+examples/ssh_login.mli:

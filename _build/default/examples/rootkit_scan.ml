@@ -1,0 +1,67 @@
+(* Remote rootkit detection (paper Section 6.1).
+
+   A network administrator scans an employee machine before admitting it
+   to the VPN. The machine's OS is untrusted — it may be rootkitted and
+   it may lie — but the Flicker attestation pins both the detector code
+   and its output.
+
+     dune exec examples/rootkit_scan.exe *)
+
+open Flicker_core
+open Flicker_apps
+module Kernel = Flicker_os.Kernel
+module Privacy_ca = Flicker_tpm.Privacy_ca
+module Prng = Flicker_crypto.Prng
+
+let describe = function
+  | Rootkit_detector.Clean -> "CLEAN (hash matches the known-good kernel)"
+  | Rootkit_detector.Rootkit_detected _ -> "ROOTKIT DETECTED (hash mismatch)"
+  | Rootkit_detector.Attestation_rejected f ->
+      "ATTESTATION REJECTED: " ^ Verifier.failure_to_string f
+
+let () =
+  let ca = Privacy_ca.create (Prng.create ~seed:"scan-ca") ~name:"CorpCA" ~key_bits:1024 in
+  let ca_key = Privacy_ca.public_key ca in
+  (* The employee laptop: 5 MB kernel, v1.2 TPM, AMD SVM. *)
+  let laptop =
+    Platform.create ~seed:"employee-laptop" ~key_bits:1024
+      ~kernel_text_size:(5 * 1024 * 1024) ~ca ()
+  in
+  let deployment = Rootkit_detector.deploy_on laptop in
+
+  let query label =
+    match Rootkit_detector.remote_query deployment ~ca_key with
+    | Error e -> Printf.printf "%-28s query error: %s\n" label e
+    | Ok (verdict, total_ms) ->
+        Printf.printf "%-28s %-45s (%.0f ms end-to-end)\n" label (describe verdict) total_ms
+  in
+
+  query "pristine machine:";
+
+  (* The attacker hijacks the syscall table to hide files. *)
+  Kernel.install_syscall_rootkit laptop.Platform.kernel;
+  Rootkit_detector.sync deployment;
+  query "after syscall hijack:";
+
+  (* A second attacker loads a malicious kernel module too. *)
+  Kernel.install_module_rootkit laptop.Platform.kernel;
+  Rootkit_detector.sync deployment;
+  query "after rootkit.ko loads:";
+
+  (* The compromised OS tries to cover its tracks: it runs the detector
+     honestly (it has to — SKINIT measures the code) but substitutes the
+     clean hash in its report. The quote exposes the lie. *)
+  let nonce = Platform.fresh_nonce laptop in
+  (match Rootkit_detector.scan deployment ~nonce with
+  | Error e -> Printf.printf "scan error: %s\n" e
+  | Ok result ->
+      let lie =
+        {
+          result with
+          Rootkit_detector.evidence =
+            Attestation.tamper_outputs result.Rootkit_detector.evidence
+              (Rootkit_detector.known_good_hash deployment);
+        }
+      in
+      Printf.printf "%-28s %s\n" "OS forges a clean report:"
+        (describe (Rootkit_detector.admin_check deployment ~ca_key lie)))

@@ -1,0 +1,1 @@
+lib/apps/boinc.ml: Distcomp Flicker_core Flicker_crypto Flicker_slb List Printf Prng Rsa Util

@@ -1,0 +1,1 @@
+lib/apps/boinc.mli: Distcomp Flicker_core Flicker_crypto

@@ -1,0 +1,1 @@
+lib/apps/cert_authority.ml: Flicker_core Flicker_crypto Flicker_slb Flicker_tpm Format Hash Hashtbl List Pkcs1 Printf Prng Rsa String Util

@@ -1,0 +1,1 @@
+lib/apps/cert_authority.mli: Flicker_core Flicker_crypto Flicker_slb

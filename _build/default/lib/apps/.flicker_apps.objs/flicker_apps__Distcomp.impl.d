@@ -1,0 +1,1 @@
+lib/apps/distcomp.ml: Bytes Char Flicker_core Flicker_crypto Flicker_hw Flicker_slb Flicker_tpm Format Hmac List Printf Result Sha1 String Util

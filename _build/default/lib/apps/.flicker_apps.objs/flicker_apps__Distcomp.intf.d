@@ -1,0 +1,1 @@
+lib/apps/distcomp.mli: Flicker_core Flicker_hw Flicker_slb

@@ -1,0 +1,1 @@
+lib/apps/rootkit_detector.ml: Flicker_core Flicker_crypto Flicker_hw Flicker_os Flicker_slb Format List Sha1 String Util

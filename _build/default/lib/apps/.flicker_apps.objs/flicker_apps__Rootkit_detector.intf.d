@@ -1,0 +1,1 @@
+lib/apps/rootkit_detector.mli: Flicker_core Flicker_crypto Flicker_slb

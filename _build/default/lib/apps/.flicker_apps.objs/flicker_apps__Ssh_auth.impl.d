@@ -1,0 +1,1 @@
+lib/apps/ssh_auth.ml: Flicker_core Flicker_crypto Flicker_hw Flicker_slb Format Hashtbl List Md5crypt Pkcs1 Printf Prng Rsa Sha1 String Util

@@ -1,0 +1,1 @@
+lib/apps/ssh_auth.mli: Flicker_core Flicker_crypto Flicker_slb

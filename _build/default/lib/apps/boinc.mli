@@ -1,0 +1,55 @@
+(** The BOINC-style distributed-computing server (Section 6.2).
+
+    The paper's point is what the server gains: instead of issuing every
+    work unit to several volunteers and voting, it issues each unit once
+    and verifies the returned attestation — the quote proves the genuine
+    factoring PAL ran under Flicker and extended exactly these results
+    into PCR 17, so the server "has a high degree of confidence in the
+    results and need not waste computation on redundant work units". *)
+
+type t
+
+val create :
+  ca_key:Flicker_crypto.Rsa.public ->
+  number:int ->
+  lo:int ->
+  hi:int ->
+  unit_size:int ->
+  t
+(** Split the candidate range [lo..hi] into units of [unit_size]
+    candidates. [ca_key] is the Privacy CA the server trusts. *)
+
+val next_unit : t -> Distcomp.work_unit option
+(** Hand out the next unassigned unit (ranges are tracked server-side). *)
+
+val fresh_nonce : t -> string
+(** The challenge the volunteer's final session must be run against. *)
+
+type submission = {
+  final_state : Distcomp.state;
+  pal_inputs : string;  (** exact input bytes of the final session *)
+  evidence : Flicker_core.Attestation.evidence;
+  sub_nonce : string;
+  volunteer_slb_base : int;
+}
+
+type rejection =
+  | Bad_attestation of Flicker_core.Verifier.failure
+  | Wrong_unit of string  (** state does not match an outstanding unit *)
+  | Not_finished
+  | Unknown_nonce  (** nonce was not issued by this server (replay) *)
+  | Bogus_divisor of int  (** spot check: claimed divisor does not divide *)
+
+val rejection_to_string : rejection -> string
+
+val submit : t -> submission -> (unit, rejection) result
+(** Verify and record a completed unit. On [Ok], the unit's divisors are
+    accepted without re-execution. *)
+
+val accepted_divisors : t -> int list
+(** Sorted divisors across all accepted units. *)
+
+val outstanding_units : t -> int
+(** Units handed out but not yet accepted. *)
+
+val complete : t -> bool

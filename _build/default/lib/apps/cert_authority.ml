@@ -1,0 +1,271 @@
+open Flicker_crypto
+module Pal = Flicker_slb.Pal
+module Pal_env = Flicker_slb.Pal_env
+module Mod_crypto = Flicker_slb.Mod_crypto
+module Mod_tpm_utils = Flicker_slb.Mod_tpm_utils
+module Mod_tpm_driver = Flicker_slb.Mod_tpm_driver
+module Platform = Flicker_core.Platform
+module Session = Flicker_core.Session
+
+type csr = { subject : string; subject_key : Rsa.public }
+
+type certificate = {
+  serial : int;
+  cert_subject : string;
+  cert_key : Rsa.public;
+  issuer : string;
+  signature : string;
+}
+
+type policy = {
+  allowed_suffixes : string list;
+  denied_subjects : string list;
+  max_certificates : int;
+}
+
+let encode_policy p =
+  Util.encode_fields
+    ([ Util.be32_of_int p.max_certificates ]
+    @ [ Util.be32_of_int (List.length p.allowed_suffixes) ]
+    @ p.allowed_suffixes @ p.denied_subjects)
+
+let decode_policy s =
+  match Util.decode_fields s with
+  | Error e -> Error e
+  | Ok (max :: n_allowed :: rest) when String.length max = 4 && String.length n_allowed = 4 ->
+      let n = Util.int_of_be32 n_allowed 0 in
+      if List.length rest < n then Error "truncated policy"
+      else begin
+        let allowed = List.filteri (fun i _ -> i < n) rest in
+        let denied = List.filteri (fun i _ -> i >= n) rest in
+        Ok
+          {
+            max_certificates = Util.int_of_be32 max 0;
+            allowed_suffixes = allowed;
+            denied_subjects = denied;
+          }
+      end
+  | Ok _ -> Error "malformed policy"
+
+let ends_with ~suffix s =
+  let ls = String.length s and lf = String.length suffix in
+  ls >= lf && String.sub s (ls - lf) lf = suffix
+
+let policy_allows p ~issued ~subject =
+  issued < p.max_certificates
+  && (not (List.mem subject p.denied_subjects))
+  && List.exists (fun suffix -> ends_with ~suffix subject) p.allowed_suffixes
+
+let cert_payload ~serial ~subject ~key ~issuer =
+  "FLICKER-CA-CERT" ^ Util.be32_of_int serial ^ Util.field subject
+  ^ Util.field (Rsa.public_to_string key)
+  ^ Util.field issuer
+
+let verify_certificate ~ca_key cert =
+  Pkcs1.verify ca_key Hash.SHA1
+    ~msg:
+      (cert_payload ~serial:cert.serial ~subject:cert.cert_subject ~key:cert.cert_key
+         ~issuer:cert.issuer)
+    ~signature:cert.signature
+
+let encode_certificate c =
+  Util.encode_fields
+    [
+      Util.be32_of_int c.serial;
+      c.cert_subject;
+      Rsa.public_to_string c.cert_key;
+      c.issuer;
+      c.signature;
+    ]
+
+let decode_certificate s =
+  match Util.decode_fields s with
+  | Ok [ serial; subject; key; issuer; signature ] when String.length serial = 4 -> (
+      match Rsa.public_of_string key with
+      | key ->
+          Ok
+            {
+              serial = Util.int_of_be32 serial 0;
+              cert_subject = subject;
+              cert_key = key;
+              issuer;
+              signature;
+            }
+      | exception Invalid_argument m -> Error m)
+  | Ok _ -> Error "malformed certificate"
+  | Error e -> Error e
+
+(* sealed CA state: private key, issuer name, issue count *)
+let encode_ca_state ~priv ~issuer ~count =
+  Util.encode_fields [ Rsa.private_to_string priv; issuer; Util.be32_of_int count ]
+
+let decode_ca_state s =
+  match Util.decode_fields s with
+  | Ok [ priv; issuer; count ] when String.length count = 4 -> (
+      match Rsa.private_of_string priv with
+      | priv -> Ok (priv, issuer, Util.int_of_be32 count 0)
+      | exception Invalid_argument m -> Error m)
+  | Ok _ -> Error "malformed CA state"
+  | Error e -> Error e
+
+let seal_self env data =
+  match Mod_tpm_utils.pcr_read (Pal_env.tpm env) 17 with
+  | Error e -> Error (Flicker_tpm.Tpm_types.error_to_string e)
+  | Ok pcr17 -> (
+      match
+        Mod_tpm_utils.seal_to_pcr17 (Pal_env.tpm env) ~rng:env.Pal_env.rng ~pcr17 data
+      with
+      | Ok blob -> Ok blob
+      | Error e -> Error (Flicker_tpm.Tpm_types.error_to_string e))
+
+let behavior env =
+  let fail msg = Pal_env.set_output env ("ERROR: " ^ msg) in
+  let with_tpm f =
+    match Mod_tpm_driver.claim env.Pal_env.tpm_driver with
+    | Error e -> fail e
+    | Ok () ->
+        f ();
+        Mod_tpm_driver.release env.Pal_env.tpm_driver
+  in
+  match Util.decode_fields env.Pal_env.inputs with
+  | Ok [ "keygen"; key_bits; issuer ] ->
+      with_tpm (fun () ->
+          let seed = Mod_tpm_utils.get_random (Pal_env.tpm env) 128 in
+          Prng.reseed env.Pal_env.rng seed;
+          let priv =
+            Mod_crypto.rsa_generate env.Pal_env.machine env.Pal_env.rng
+              ~bits:(int_of_string key_bits)
+          in
+          match seal_self env (encode_ca_state ~priv ~issuer ~count:0) with
+          | Error msg -> fail msg
+          | Ok sdata ->
+              Pal_env.set_output env
+                (Util.encode_fields [ "ok"; Rsa.public_to_string priv.Rsa.pub; sdata ]))
+  | Ok [ "sign"; sdata; policy_blob; subject; subject_key_raw ] ->
+      with_tpm (fun () ->
+          match Mod_tpm_utils.unseal (Pal_env.tpm env) ~rng:env.Pal_env.rng sdata with
+          | Error e -> fail ("unseal: " ^ Flicker_tpm.Tpm_types.error_to_string e)
+          | Ok state_raw -> (
+              match (decode_ca_state state_raw, decode_policy policy_blob) with
+              | Error m, _ -> fail ("state: " ^ m)
+              | _, Error m -> fail ("policy: " ^ m)
+              | Ok (priv, issuer, count), Ok policy -> (
+                  if not (policy_allows policy ~issued:count ~subject) then
+                    fail ("policy denies subject " ^ subject)
+                  else begin
+                    match Rsa.public_of_string subject_key_raw with
+                    | exception Invalid_argument m -> fail ("subject key: " ^ m)
+                    | subject_key -> (
+                        let serial = count + 1 in
+                        let signature =
+                          Mod_crypto.rsa_sign env.Pal_env.machine priv Hash.SHA1
+                            (cert_payload ~serial ~subject ~key:subject_key ~issuer)
+                        in
+                        let cert =
+                          {
+                            serial;
+                            cert_subject = subject;
+                            cert_key = subject_key;
+                            issuer;
+                            signature;
+                          }
+                        in
+                        match
+                          seal_self env (encode_ca_state ~priv ~issuer ~count:serial)
+                        with
+                        | Error msg -> fail msg
+                        | Ok sdata' ->
+                            Pal_env.set_output env
+                              (Util.encode_fields
+                                 [ "ok"; encode_certificate cert; sdata' ]))
+                  end)))
+  | Ok _ | Error _ -> fail "unknown mode"
+
+let pals : (int, Pal.t) Hashtbl.t = Hashtbl.create 4
+
+let ca_pal ~key_bits =
+  match Hashtbl.find_opt pals key_bits with
+  | Some p -> p
+  | None ->
+      let p =
+        Pal.define
+          ~name:(Printf.sprintf "certificate-authority-%d" key_bits)
+          ~app_code_size:1536
+          ~modules:[ Pal.Tpm_driver; Pal.Tpm_utilities; Pal.Crypto ]
+          behavior
+      in
+      Hashtbl.replace pals key_bits p;
+      p
+
+type server = {
+  platform : Platform.t;
+  key_bits : int;
+  issuer : string;
+  policy : policy;
+  mutable sdata : string option;
+  mutable pub : Rsa.public option;
+  mutable log : (int * string) list; (* newest first *)
+}
+
+let create platform ?(key_bits = 1024) ?(issuer = "Flicker Simulated CA") policy =
+  { platform; key_bits; issuer; policy; sdata = None; pub = None; log = [] }
+
+let public_key server = server.pub
+
+let run_pal server inputs =
+  match Session.execute server.platform ~pal:(ca_pal ~key_bits:server.key_bits) ~inputs () with
+  | Error e -> Error (Format.asprintf "%a" Session.pp_error e)
+  | Ok outcome ->
+      let out = outcome.Session.outputs in
+      if String.length out >= 6 && String.sub out 0 6 = "ERROR:" then Error out
+      else Ok out
+
+let init_ca server =
+  match server.pub with
+  | Some pub -> Ok pub
+  | None -> (
+      let inputs =
+        Util.encode_fields [ "keygen"; string_of_int server.key_bits; server.issuer ]
+      in
+      match run_pal server inputs with
+      | Error e -> Error e
+      | Ok out -> (
+          match Util.decode_fields out with
+          | Ok [ "ok"; pub_raw; sdata ] -> (
+              match Rsa.public_of_string pub_raw with
+              | pub ->
+                  server.pub <- Some pub;
+                  server.sdata <- Some sdata;
+                  Ok pub
+              | exception Invalid_argument m -> Error m)
+          | Ok _ | Error _ -> Error "malformed keygen output"))
+
+let sign_csr server csr =
+  match server.sdata with
+  | None -> Error "CA not initialized (run init_ca)"
+  | Some sdata -> (
+      let inputs =
+        Util.encode_fields
+          [
+            "sign";
+            sdata;
+            encode_policy server.policy;
+            csr.subject;
+            Rsa.public_to_string csr.subject_key;
+          ]
+      in
+      match run_pal server inputs with
+      | Error e -> Error e
+      | Ok out -> (
+          match Util.decode_fields out with
+          | Ok [ "ok"; cert_raw; sdata' ] -> (
+              match decode_certificate cert_raw with
+              | Error m -> Error m
+              | Ok cert ->
+                  server.sdata <- Some sdata';
+                  server.log <- (cert.serial, cert.cert_subject) :: server.log;
+                  Ok cert)
+          | Ok _ | Error _ -> Error "malformed sign output"))
+
+let issued_count server = List.length server.log
+let audit_log server = List.rev server.log

@@ -1,0 +1,283 @@
+open Flicker_crypto
+module Pal = Flicker_slb.Pal
+module Pal_env = Flicker_slb.Pal_env
+module Builder = Flicker_slb.Builder
+module Mod_crypto = Flicker_slb.Mod_crypto
+module Mod_secure_channel = Flicker_slb.Mod_secure_channel
+module Mod_tpm_utils = Flicker_slb.Mod_tpm_utils
+module Mod_tpm_driver = Flicker_slb.Mod_tpm_driver
+module Platform = Flicker_core.Platform
+module Session = Flicker_core.Session
+module Attestation = Flicker_core.Attestation
+module Verifier = Flicker_core.Verifier
+module Network = Flicker_core.Network
+
+(* Figure 7's final extend(PCR17, ⊥): the PAL revokes its own access to
+   sealed secrets before handing its output to the untrusted OS. *)
+let bottom = Sha1.digest "SSH-PAL: bottom"
+
+let behavior env =
+  let fail msg = Pal_env.set_output env ("ERROR: " ^ msg) in
+  match Util.decode_fields env.Pal_env.inputs with
+  | Ok [ "setup"; key_bits ] -> (
+      match Mod_secure_channel.setup env ~key_bits:(int_of_string key_bits) with
+      | Ok out -> Pal_env.set_output env (Mod_secure_channel.encode_setup_output out)
+      | Error msg -> fail msg)
+  | Ok [ "login"; sdata; ciphertext; salt; nonce ] -> (
+      match Mod_secure_channel.recover env ~sealed_private:sdata with
+      | Error msg -> fail ("unseal: " ^ msg)
+      | Ok key -> (
+          match Mod_crypto.rsa_decrypt env.Pal_env.machine key ciphertext with
+          | Error msg -> fail ("decrypt: " ^ msg)
+          | Ok plaintext -> (
+              match Util.decode_fields plaintext with
+              | Ok [ password; nonce' ] ->
+                  if not (Util.constant_time_equal nonce nonce') then
+                    fail "nonce mismatch (replay?)"
+                  else begin
+                    let hash = Mod_crypto.md5crypt env.Pal_env.machine ~salt ~password in
+                    (match Mod_tpm_driver.claim env.Pal_env.tpm_driver with
+                    | Error _ -> ()
+                    | Ok () ->
+                        (match Mod_tpm_utils.pcr_extend (Pal_env.tpm env) 17 bottom with
+                        | Ok _ | Error _ -> ());
+                        Mod_tpm_driver.release env.Pal_env.tpm_driver);
+                    Pal_env.set_output env hash
+                  end
+              | Ok _ | Error _ -> fail "malformed login payload")))
+  | Ok _ | Error _ -> fail "unknown mode"
+
+let pals : (int, Pal.t) Hashtbl.t = Hashtbl.create 4
+
+let ssh_pal ~key_bits =
+  match Hashtbl.find_opt pals key_bits with
+  | Some p -> p
+  | None ->
+      let p =
+        Pal.define
+          ~name:(Printf.sprintf "ssh-password-%d" key_bits)
+          ~app_code_size:1024
+          ~modules:
+            [ Pal.Tpm_driver; Pal.Tpm_utilities; Pal.Crypto; Pal.Secure_channel ]
+          behavior
+      in
+      Hashtbl.replace pals key_bits p;
+      p
+
+type server = {
+  platform : Platform.t;
+  key_bits : int;
+  passwd : (string * string * string) list; (* user, salt, crypted *)
+  mutable sdata : string option;
+  mutable public_key : Rsa.public option;
+}
+
+let create_server platform ?(key_bits = 1024) ~users () =
+  let rng = Platform.fork_rng platform ~label:"ssh-passwd-salts" in
+  let passwd =
+    List.map
+      (fun (user, password) ->
+        let salt = Util.to_hex (Prng.bytes rng 4) in
+        (user, salt, Md5crypt.crypt ~salt ~password))
+      users
+  in
+  { platform; key_bits; passwd; sdata = None; public_key = None }
+
+let passwd_entry server ~user =
+  List.find_map
+    (fun (u, salt, crypted) -> if u = user then Some (salt, crypted) else None)
+    server.passwd
+
+type setup_result = {
+  evidence : Attestation.evidence;
+  setup_outcome : Session.outcome;
+}
+
+let server_setup server ~nonce =
+  let inputs = Util.encode_fields [ "setup"; string_of_int server.key_bits ] in
+  match
+    Session.execute server.platform ~pal:(ssh_pal ~key_bits:server.key_bits) ~inputs
+      ~nonce ()
+  with
+  | Error e -> Error (Format.asprintf "%a" Session.pp_error e)
+  | Ok outcome -> (
+      match Mod_secure_channel.decode_setup_output outcome.Session.outputs with
+      | Error msg -> Error ("setup output: " ^ msg)
+      | Ok out ->
+          server.sdata <- Some out.Mod_secure_channel.sealed_private;
+          server.public_key <- Some out.Mod_secure_channel.public_key;
+          let evidence =
+            Attestation.generate server.platform ~nonce ~inputs
+              ~outputs:outcome.Session.outputs
+          in
+          Ok { evidence; setup_outcome = outcome })
+
+type login_result = { granted : bool; login_outcome : Session.outcome }
+
+let server_login server ~user ~ciphertext ~nonce =
+  match (server.sdata, passwd_entry server ~user) with
+  | None, _ -> Error "server has no channel key yet (run setup)"
+  | _, None -> Error ("unknown user " ^ user)
+  | Some sdata, Some (salt, crypted) -> (
+      let inputs = Util.encode_fields [ "login"; sdata; ciphertext; salt; nonce ] in
+      match
+        Session.execute server.platform ~pal:(ssh_pal ~key_bits:server.key_bits)
+          ~inputs ()
+      with
+      | Error e -> Error (Format.asprintf "%a" Session.pp_error e)
+      | Ok outcome ->
+          let out = outcome.Session.outputs in
+          if String.length out >= 6 && String.sub out 0 6 = "ERROR:" then Error out
+          else begin
+            (* compare hash output against /etc/passwd, as sshd would *)
+            let expected = "$1$" ^ salt ^ "$" in
+            let produced = out in
+            let granted =
+              String.length produced > String.length expected
+              && Util.constant_time_equal produced crypted
+            in
+            Ok { granted; login_outcome = outcome }
+          end)
+
+module Client = struct
+  type t = {
+    rng : Prng.t;
+    ca_key : Rsa.public;
+    server_slb_base : int;
+    key_bits : int;
+    mutable server_key : Rsa.public option;
+  }
+
+  let create ~rng ~ca_key ~server_slb_base ?(key_bits = 1024) () =
+    { rng; ca_key; server_slb_base; key_bits; server_key = None }
+
+  let accept_server_key t ~nonce evidence =
+    let expectation =
+      Verifier.expect ~pal:(ssh_pal ~key_bits:t.key_bits) ~flavor:Builder.Optimized
+        ~slb_base:t.server_slb_base ~nonce ()
+    in
+    match Verifier.verify ~ca_key:t.ca_key expectation evidence with
+    | Error f -> Error (Verifier.failure_to_string f)
+    | Ok () -> (
+        match
+          Mod_secure_channel.decode_setup_output evidence.Attestation.claimed_outputs
+        with
+        | Error msg -> Error ("attested output malformed: " ^ msg)
+        | Ok out ->
+            t.server_key <- Some out.Mod_secure_channel.public_key;
+            Ok ())
+
+  let encrypt_password t ~password ~nonce =
+    match t.server_key with
+    | None -> Error "no verified server key (run accept_server_key)"
+    | Some pub ->
+        if String.length password > Pkcs1.max_message_bytes pub - 28 then
+          Error "password too long for the channel key"
+        else Ok (Pkcs1.encrypt t.rng pub (Util.encode_fields [ password; nonce ]))
+end
+
+module Flicker_client = struct
+  type t = {
+    platform : Platform.t;
+    ca_key : Rsa.public;
+    server_slb_base : int;
+    key_bits : int;
+    mutable server_key : Rsa.public option;
+  }
+
+  (* the client-side PAL: decode (server key, nonce, password), encrypt,
+     output the ciphertext; everything else is erased with the session *)
+  let encryption_behavior env =
+    match Util.decode_fields env.Pal_env.inputs with
+    | Ok [ pub_raw; nonce; password ] -> (
+        match Rsa.public_of_string pub_raw with
+        | exception Invalid_argument m -> Pal_env.set_output env ("ERROR: " ^ m)
+        | pub ->
+            let ct =
+              Mod_crypto.rsa_encrypt env.Pal_env.machine env.Pal_env.rng pub
+                (Util.encode_fields [ password; nonce ])
+            in
+            Pal_env.set_output env ct)
+    | Ok _ | Error _ -> Pal_env.set_output env "ERROR: malformed inputs"
+
+  let pal_instance = ref None
+
+  let encryption_pal () =
+    match !pal_instance with
+    | Some p -> p
+    | None ->
+        let p =
+          Pal.define ~name:"ssh-client-encrypt" ~app_code_size:512
+            ~modules:[ Pal.Crypto ] encryption_behavior
+        in
+        pal_instance := Some p;
+        p
+
+  let create platform ~ca_key ~server_slb_base ?(key_bits = 1024) () =
+    { platform; ca_key; server_slb_base; key_bits; server_key = None }
+
+  let accept_server_key t ~nonce evidence =
+    let expectation =
+      Verifier.expect ~pal:(ssh_pal ~key_bits:t.key_bits) ~flavor:Builder.Optimized
+        ~slb_base:t.server_slb_base ~nonce ()
+    in
+    match Verifier.verify ~ca_key:t.ca_key expectation evidence with
+    | Error f -> Error (Verifier.failure_to_string f)
+    | Ok () -> (
+        match
+          Mod_secure_channel.decode_setup_output evidence.Attestation.claimed_outputs
+        with
+        | Error msg -> Error ("attested output malformed: " ^ msg)
+        | Ok out ->
+            t.server_key <- Some out.Mod_secure_channel.public_key;
+            Ok ())
+
+  let encrypt_password t ~password ~nonce =
+    match t.server_key with
+    | None -> Error "no verified server key (run accept_server_key)"
+    | Some pub -> (
+        let inputs =
+          Util.encode_fields [ Rsa.public_to_string pub; nonce; password ]
+        in
+        match Session.execute t.platform ~pal:(encryption_pal ()) ~inputs () with
+        | Error e -> Error (Format.asprintf "%a" Session.pp_error e)
+        | Ok outcome ->
+            let out = outcome.Session.outputs in
+            if String.length out >= 6 && String.sub out 0 6 = "ERROR:" then Error out
+            else Ok out)
+end
+
+let authenticate server client ~user ~password =
+  let clock = Platform.clock server.platform in
+  let started = Flicker_hw.Clock.now clock in
+  (* TCP connect + ssh banner exchange *)
+  Network.round_trip server.platform ~request_bytes:128 ~response_bytes:128;
+  let setup_result =
+    match server.public_key with
+    | Some _ -> Ok None
+    | None ->
+        let nonce = Platform.fresh_nonce server.platform in
+        (match server_setup server ~nonce with
+        | Error e -> Error e
+        | Ok setup -> (
+            (* server -> client: attestation; client verifies *)
+            Network.send server.platform ~bytes:2048;
+            match Client.accept_server_key client ~nonce setup.evidence with
+            | Error e -> Error e
+            | Ok () -> Ok (Some setup)))
+  in
+  match setup_result with
+  | Error e -> Error e
+  | Ok _ -> (
+      (* server -> client: login nonce *)
+      let nonce = Platform.fresh_nonce server.platform in
+      Network.send server.platform ~bytes:64;
+      match Client.encrypt_password client ~password ~nonce with
+      | Error e -> Error e
+      | Ok ciphertext -> (
+          (* client -> server: ciphertext *)
+          Network.send server.platform ~bytes:(String.length ciphertext + 64);
+          match server_login server ~user ~ciphertext ~nonce with
+          | Error e -> Error e
+          | Ok { granted; _ } ->
+              Ok (granted, Flicker_hw.Clock.now clock -. started)))

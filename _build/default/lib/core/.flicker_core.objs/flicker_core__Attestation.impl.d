@@ -1,0 +1,1 @@
+lib/core/attestation.ml: Flicker_tpm Platform

@@ -1,0 +1,1 @@
+lib/core/attestation.mli: Flicker_tpm Platform

@@ -1,0 +1,1 @@
+lib/core/measurement.ml: Flicker_crypto Flicker_slb Flicker_tpm List Sha1 String

@@ -1,0 +1,1 @@
+lib/core/measurement.mli: Flicker_slb Flicker_tpm

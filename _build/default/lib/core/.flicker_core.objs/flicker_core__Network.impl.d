@@ -1,0 +1,1 @@
+lib/core/network.ml: Flicker_hw Platform

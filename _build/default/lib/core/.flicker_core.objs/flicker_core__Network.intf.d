@@ -1,0 +1,1 @@
+lib/core/network.mli: Platform

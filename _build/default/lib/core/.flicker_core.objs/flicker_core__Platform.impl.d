@@ -1,0 +1,1 @@
+lib/core/platform.ml: Flicker_crypto Flicker_hw Flicker_os Flicker_tpm Prng

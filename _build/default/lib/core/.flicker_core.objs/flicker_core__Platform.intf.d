@@ -1,0 +1,1 @@
+lib/core/platform.mli: Flicker_crypto Flicker_hw Flicker_os Flicker_tpm

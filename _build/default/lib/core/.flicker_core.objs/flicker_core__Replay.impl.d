@@ -1,0 +1,1 @@
+lib/core/replay.ml: Flicker_crypto Flicker_slb Flicker_tpm Format String Util

@@ -1,0 +1,1 @@
+lib/core/replay.mli: Flicker_slb Flicker_tpm Format

@@ -1,0 +1,1 @@
+lib/core/sealed_storage.ml: Flicker_slb Flicker_tpm Measurement Result

@@ -1,0 +1,1 @@
+lib/core/sealed_storage.mli: Flicker_slb Flicker_tpm

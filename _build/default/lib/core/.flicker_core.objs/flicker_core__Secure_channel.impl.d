@@ -1,0 +1,1 @@
+lib/core/secure_channel.ml: Attestation Flicker_crypto Flicker_slb Format Hashtbl Pkcs1 Printf Rsa Session Verifier

@@ -1,0 +1,1 @@
+lib/core/secure_channel.mli: Attestation Flicker_crypto Flicker_slb Platform

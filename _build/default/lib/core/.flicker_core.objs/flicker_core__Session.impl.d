@@ -1,0 +1,1 @@
+lib/core/session.ml: Char Flicker_crypto Flicker_hw Flicker_os Flicker_slb Flicker_tpm Format List Measurement Option Platform Printf Sha1 String

@@ -1,0 +1,1 @@
+lib/core/session.mli: Flicker_slb Format Platform

@@ -1,0 +1,1 @@
+lib/core/trusted_boot.ml: Flicker_crypto Flicker_os Flicker_slb Flicker_tpm Hash Hashtbl List Option Pkcs1 Printf Sha1 Util

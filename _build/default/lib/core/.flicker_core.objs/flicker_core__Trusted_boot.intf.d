@@ -1,0 +1,1 @@
+lib/core/trusted_boot.mli: Flicker_crypto Flicker_os Flicker_slb Flicker_tpm

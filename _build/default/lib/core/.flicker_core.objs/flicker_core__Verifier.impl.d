@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Attestation Flicker_crypto Flicker_slb Flicker_tpm Format Hash List Measurement Pkcs1 Printf Util

@@ -1,0 +1,1 @@
+lib/core/verifier.mli: Attestation Flicker_crypto Flicker_slb Format

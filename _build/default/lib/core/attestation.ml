@@ -1,0 +1,22 @@
+module Tpm = Flicker_tpm.Tpm
+module Tpm_types = Flicker_tpm.Tpm_types
+
+type evidence = {
+  quote : Tpm.quote;
+  aik_cert : Flicker_tpm.Privacy_ca.aik_certificate;
+  claimed_outputs : string;
+  claimed_inputs : string;
+}
+
+let generate (p : Platform.t) ~nonce ~inputs ~outputs =
+  let quote =
+    Tpm.quote p.Platform.tpm ~nonce ~selection:(Tpm_types.selection [ 17 ])
+  in
+  {
+    quote;
+    aik_cert = p.Platform.aik_cert;
+    claimed_outputs = outputs;
+    claimed_inputs = inputs;
+  }
+
+let tamper_outputs evidence outputs = { evidence with claimed_outputs = outputs }

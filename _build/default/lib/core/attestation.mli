@@ -1,0 +1,23 @@
+(** The TPM Quote Daemon (tqd) — the untrusted OS-side attestation
+    service (Section 6).
+
+    After a session ends, the OS loads the AIK and asks the TPM to quote
+    PCR 17 against the verifier's nonce. The quote is generated while the
+    OS runs normally, so its ~1 s latency is experienced only by the
+    remote challenger, not by local processes (Section 7.4.1). *)
+
+type evidence = {
+  quote : Flicker_tpm.Tpm.quote;
+  aik_cert : Flicker_tpm.Privacy_ca.aik_certificate;
+  claimed_outputs : string;  (** what the OS says the PAL produced *)
+  claimed_inputs : string;
+}
+
+val generate :
+  Platform.t -> nonce:string -> inputs:string -> outputs:string -> evidence
+(** Quote PCR 17. [inputs]/[outputs] are shipped alongside so the
+    verifier can recompute the extend chain; a lying OS changes them and
+    the quote no longer matches. *)
+
+val tamper_outputs : evidence -> string -> evidence
+(** Adversary helper for tests: substitute the claimed outputs. *)

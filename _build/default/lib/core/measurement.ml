@@ -1,0 +1,39 @@
+open Flicker_crypto
+module Builder = Flicker_slb.Builder
+module Slb_core = Flicker_slb.Slb_core
+module Tpm_types = Flicker_tpm.Tpm_types
+
+type digest = Tpm_types.digest
+
+let extend current value = Sha1.digest (current ^ value)
+let extend_chain start values = List.fold_left extend start values
+
+let initialized image ~slb_base = Builder.initialize image ~slb_base
+
+let of_image image ~slb_base =
+  let bytes = initialized image ~slb_base in
+  Sha1.digest (String.sub bytes 0 image.Builder.measured_length)
+
+let window_hash image ~slb_base = Sha1.digest (initialized image ~slb_base)
+
+let after_launch ?acm image ~slb_base =
+  let start =
+    match acm with
+    | None -> Tpm_types.zero_digest
+    | Some acm -> extend Tpm_types.zero_digest (Sha1.digest acm)
+  in
+  let v = extend start (of_image image ~slb_base) in
+  match image.Builder.flavor with
+  | Builder.Standard -> v
+  | Builder.Optimized -> extend v (window_hash image ~slb_base)
+
+let after_skinit image ~slb_base = after_launch image ~slb_base
+
+let io_extends ~inputs ~outputs ~nonce =
+  let base = [ Sha1.digest inputs; Sha1.digest outputs ] in
+  match nonce with None -> base | Some n -> base @ [ n ]
+
+let final ?acm ?(pal_extends = []) image ~slb_base ~inputs ~outputs ~nonce =
+  extend_chain
+    (after_launch ?acm image ~slb_base)
+    (pal_extends @ io_extends ~inputs ~outputs ~nonce @ [ Slb_core.cap_value ])

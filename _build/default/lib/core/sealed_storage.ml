@@ -1,0 +1,37 @@
+module Tpm_types = Flicker_tpm.Tpm_types
+module Builder = Flicker_slb.Builder
+module Pal_env = Flicker_slb.Pal_env
+module Mod_tpm_utils = Flicker_slb.Mod_tpm_utils
+module Mod_tpm_driver = Flicker_slb.Mod_tpm_driver
+
+type digest = Tpm_types.digest
+
+let pcr17_for pal ~flavor ~slb_base =
+  let image = Builder.build ~flavor pal in
+  Measurement.after_skinit image ~slb_base
+
+let with_tpm (env : Pal_env.t) f =
+  match Mod_tpm_driver.claim env.Pal_env.tpm_driver with
+  | Error e -> Error e
+  | Ok () ->
+      let result = f (Pal_env.tpm env) in
+      Mod_tpm_driver.release env.Pal_env.tpm_driver;
+      result
+
+let lift = Result.map_error Tpm_types.error_to_string
+
+let seal_for env ~target ~flavor ~slb_base data =
+  let pcr17 = pcr17_for target ~flavor ~slb_base in
+  with_tpm env (fun tpm ->
+      lift (Mod_tpm_utils.seal_to_pcr17 tpm ~rng:env.Pal_env.rng ~pcr17 data))
+
+let seal_for_self env data =
+  with_tpm env (fun tpm ->
+      match Mod_tpm_utils.pcr_read tpm 17 with
+      | Error e -> Error (Tpm_types.error_to_string e)
+      | Ok pcr17 ->
+          lift (Mod_tpm_utils.seal_to_pcr17 tpm ~rng:env.Pal_env.rng ~pcr17 data))
+
+let unseal env blob =
+  with_tpm env (fun tpm ->
+      lift (Mod_tpm_utils.unseal tpm ~rng:env.Pal_env.rng blob))

@@ -1,0 +1,34 @@
+(** Sealing PAL state across Flicker sessions (Section 4.3.1).
+
+    PAL [P] seals data so that only PAL [P'] — possibly a later invocation
+    of [P] itself — can read it: the release condition is PCR 17 holding
+    [P'] 's post-SKINIT measurement value, which only a genuine late
+    launch of [P'] can produce. *)
+
+type digest = Flicker_tpm.Tpm_types.digest
+
+val pcr17_for :
+  Flicker_slb.Pal.t ->
+  flavor:Flicker_slb.Builder.flavor ->
+  slb_base:int ->
+  digest
+(** The PCR 17 value during a session of the given PAL — the value
+    V = H(0x00^20 || H(P')) of Section 4.3.1 (with the stub's extra
+    extend for optimized images). *)
+
+val seal_for :
+  Flicker_slb.Pal_env.t ->
+  target:Flicker_slb.Pal.t ->
+  flavor:Flicker_slb.Builder.flavor ->
+  slb_base:int ->
+  string ->
+  (string, string) result
+(** Called from inside a PAL: seal [data] so only [target] can unseal. *)
+
+val seal_for_self : Flicker_slb.Pal_env.t -> string -> (string, string) result
+(** Seal under the current PCR 17 (a later session of the same PAL with
+    the same inputs path — the common case). *)
+
+val unseal : Flicker_slb.Pal_env.t -> string -> (string, string) result
+(** Unseal inside a session; fails with [TPM_WRONGPCRVAL] unless the
+    current PCR 17 matches the blob's release condition. *)

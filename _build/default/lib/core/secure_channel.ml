@@ -1,0 +1,73 @@
+open Flicker_crypto
+module Pal = Flicker_slb.Pal
+module Pal_env = Flicker_slb.Pal_env
+module Builder = Flicker_slb.Builder
+module Mod_secure_channel = Flicker_slb.Mod_secure_channel
+
+type established = {
+  public_key : Rsa.public;
+  sealed_private : string;
+  evidence : Attestation.evidence;
+  channel_nonce : string;
+}
+
+let setup_pals : (int, Pal.t) Hashtbl.t = Hashtbl.create 4
+
+let setup_pal ~key_bits =
+  match Hashtbl.find_opt setup_pals key_bits with
+  | Some pal -> pal
+  | None ->
+      let behavior env =
+        match Mod_secure_channel.setup env ~key_bits with
+        | Ok out -> Pal_env.set_output env (Mod_secure_channel.encode_setup_output out)
+        | Error msg -> Pal_env.set_output env ("ERROR: " ^ msg)
+      in
+      let pal =
+        Pal.define
+          ~name:(Printf.sprintf "secure-channel-setup-%d" key_bits)
+          ~app_code_size:256
+          ~modules:
+            [ Pal.Tpm_driver; Pal.Tpm_utilities; Pal.Crypto; Pal.Secure_channel ]
+          behavior
+      in
+      Hashtbl.replace setup_pals key_bits pal;
+      pal
+
+let establish platform ?(key_bits = 1024) ~nonce () =
+  let pal = setup_pal ~key_bits in
+  match Session.execute platform ~pal ~nonce () with
+  | Error e -> Error (Format.asprintf "%a" Session.pp_error e)
+  | Ok outcome -> (
+      match Mod_secure_channel.decode_setup_output outcome.Session.outputs with
+      | Error msg -> Error ("setup PAL produced malformed output: " ^ msg)
+      | Ok out ->
+          let evidence =
+            Attestation.generate platform ~nonce ~inputs:""
+              ~outputs:outcome.Session.outputs
+          in
+          Ok
+            {
+              public_key = out.Mod_secure_channel.public_key;
+              sealed_private = out.Mod_secure_channel.sealed_private;
+              evidence;
+              channel_nonce = nonce;
+            })
+
+let client_accept ~ca_key ~slb_base ~nonce ?(key_bits = 1024) established =
+  let expectation =
+    Verifier.expect ~pal:(setup_pal ~key_bits) ~flavor:Builder.Optimized ~slb_base
+      ~nonce ()
+  in
+  match Verifier.verify ~ca_key expectation established.evidence with
+  | Error f -> Error (Verifier.failure_to_string f)
+  | Ok () -> (
+      (* The attestation covers the output bytes; re-derive the key from
+         them rather than trusting the unauthenticated copy. *)
+      match
+        Mod_secure_channel.decode_setup_output
+          established.evidence.Attestation.claimed_outputs
+      with
+      | Error msg -> Error ("attested output malformed: " ^ msg)
+      | Ok out -> Ok out.Mod_secure_channel.public_key)
+
+let encrypt_to_pal rng pub secret = Pkcs1.encrypt rng pub secret

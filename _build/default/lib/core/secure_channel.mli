@@ -1,0 +1,42 @@
+(** Establishing a secure channel into a PAL (Section 4.4.2).
+
+    Session one runs a setup PAL that generates a keypair under Flicker
+    protection, seals the private key to its own measurement, and outputs
+    the public key; the attestation covering that output convinces the
+    remote party the key is genuine and its private half unreachable
+    outside the PAL. The remote party then encrypts its secret (e.g., a
+    password) under the public key; only a later session of the same PAL
+    can unseal the private key and decrypt. *)
+
+type established = {
+  public_key : Flicker_crypto.Rsa.public;
+  sealed_private : string;  (** kept by the untrusted OS for session two *)
+  evidence : Attestation.evidence;
+  channel_nonce : string;
+}
+
+val setup_pal : key_bits:int -> Flicker_slb.Pal.t
+(** The generic setup PAL (Secure Channel + Crypto + TPM modules linked);
+    memoized per key size so repeated calls return the identical PAL —
+    and hence the identical measurement. *)
+
+val establish :
+  Platform.t -> ?key_bits:int -> nonce:string -> unit -> (established, string) result
+(** Server side: run the setup session and gather the attestation.
+    [key_bits] defaults to 1024 (the paper's channel keys). *)
+
+val client_accept :
+  ca_key:Flicker_crypto.Rsa.public ->
+  slb_base:int ->
+  nonce:string ->
+  ?key_bits:int ->
+  established ->
+  (Flicker_crypto.Rsa.public, string) result
+(** Remote-party side: check the attestation chain and extract the
+    public key. Fails on any verification error — including a server
+    that ran a different PAL or tampered with the output. *)
+
+val encrypt_to_pal :
+  Flicker_crypto.Prng.t -> Flicker_crypto.Rsa.public -> string -> string
+(** PKCS#1 v1.5 (chosen-ciphertext-secure, non-malleable — the paper's
+    choice) encryption of a secret for the PAL. *)

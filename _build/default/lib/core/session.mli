@@ -1,0 +1,92 @@
+(** One Flicker session, end to end — the Figure 2 timeline.
+
+    The application writes the uninitialized SLB and its inputs to the
+    flicker-module's sysfs entries and pokes [control]; the module
+    allocates kernel memory, patches the SLB Core's skeleton GDT/TSS with
+    the allocation address, saves OS state, parks the APs, and issues
+    SKINIT. The SLB Core then initializes, calls the PAL, erases secrets,
+    extends PCR 17 with the inputs/outputs/nonce and the cap value, and
+    resumes the untrusted OS, which exposes the outputs through sysfs.
+
+    The flicker-module is untrusted: nothing here is in the TCB because
+    every action that matters is either measured (the SLB) or verified
+    after the fact (the attestation). *)
+
+type phase =
+  | Load_slb  (** sysfs writes, allocation, patching *)
+  | Suspend_os  (** AP hotplug + INIT IPI + state save *)
+  | Skinit
+  | Slb_init  (** SLB Core setup; includes the stub's hash+extend when optimized *)
+  | Pal_execution
+  | Cleanup  (** zeroization *)
+  | Pcr_extends  (** inputs/outputs/nonce measurements + cap *)
+  | Resume_os
+
+val phase_name : phase -> string
+
+type outcome = {
+  outputs : string;
+  slb_measurement : string;  (** H(measured SLB bytes), as the TPM saw them *)
+  pcr17_during : string;  (** PCR 17 while the PAL ran (sealing binds to this) *)
+  pcr17_final : string;  (** after the closing cap extend *)
+  breakdown : (phase * float) list;  (** simulated milliseconds per phase *)
+  total_ms : float;
+  pal_fault : string option;  (** OS-Protection trap, if the PAL faulted *)
+}
+
+val phase_ms : outcome -> phase -> float
+
+type error =
+  | Skinit_failed of string
+  | Unknown_pal  (** measured bytes match no registered PAL: nothing ran *)
+  | Os_busy of string
+
+val pp_error : Format.formatter -> error -> unit
+
+type launch_tech =
+  | Svm  (** AMD SKINIT — the paper's implementation platform *)
+  | Txt of { acm : string }
+      (** Intel GETSEC[SENTER] with the given SINIT ACM (Section 2.4:
+          "Intel's TXT technology functions analogously") *)
+
+val execute :
+  Platform.t ->
+  pal:Flicker_slb.Pal.t ->
+  ?flavor:Flicker_slb.Builder.flavor ->
+  ?tech:launch_tech ->
+  ?inputs:string ->
+  ?nonce:string ->
+  ?time_limit_ms:float ->
+  unit ->
+  (outcome, error) result
+(** Run a full session on the platform. [flavor] defaults to [Optimized]
+    (the paper uses the hash-then-extend loader for everything after
+    Section 7.2). [nonce] is the verifier's 20-byte challenge; when
+    present it is extended into PCR 17 with the outputs.
+
+    [time_limit_ms] arms the SLB Core's watchdog timer (the execution-time
+    restriction Section 5.1.2 describes as under investigation): if the
+    PAL runs past the limit, its outputs are discarded, the fault is
+    recorded, and cleanup proceeds — the OS gets its machine back.
+    @raise Invalid_argument if [inputs] exceeds the 4 KB input page, the
+    nonce is not 20 bytes, or the time limit is not positive. *)
+
+val execute_from_sysfs :
+  Platform.t ->
+  ?nonce:string ->
+  ?time_limit_ms:float ->
+  unit ->
+  (outcome, error) result
+(** The application-facing path of Section 4.2: the application has
+    already written the uninitialized SLB image to the [slb] sysfs entry
+    and its inputs to [inputs]; writing [control] triggers this. The
+    flicker-module recovers the launch flavor from the SLB header and
+    dispatches on the PAL code inside the blob — it is handed bytes, not
+    a function, exactly like the real kernel module. Outputs appear in
+    the [outputs] entry. Fails with [Os_busy] when the [slb] entry is
+    missing or not a full window image. *)
+
+val corrupt_slb_in_memory : Platform.t -> unit
+(** Test hook simulating an adversary flipping SLB bytes between the
+    sysfs write and SKINIT: flips one byte of the loaded window the next
+    time a session loads it. *)

@@ -1,0 +1,40 @@
+(** Verifier side of trusted-boot (IMA-style) attestation, for comparison
+    with Flicker's fine-grained attestation (Sections 2.1 and 8).
+
+    The verifier receives the untrusted event log and a TPM quote over the
+    static PCRs; it replays the log to recompute each PCR and accepts only
+    if the quote matches. Acceptance still leaves the hard part: deciding
+    whether every one of the logged components is trustworthy — the burden
+    Flicker removes by shrinking the attested code to one PAL. *)
+
+type failure =
+  | Bad_certificate
+  | Bad_signature
+  | Nonce_mismatch
+  | Log_mismatch of { pcr : int; expected : string; got : string }
+  | Pcr_not_quoted of int
+
+val failure_to_string : failure -> string
+
+val replay_log :
+  Flicker_os.Measured_boot.event list -> (int * string) list
+(** Expected PCR values implied by the log (each PCR replayed from its
+    post-reboot zero). *)
+
+val verify :
+  ca_key:Flicker_crypto.Rsa.public ->
+  aik_cert:Flicker_tpm.Privacy_ca.aik_certificate ->
+  nonce:string ->
+  log:Flicker_os.Measured_boot.event list ->
+  Flicker_tpm.Tpm.quote ->
+  (unit, failure) result
+
+type burden = {
+  components_to_assess : int;
+      (** entries the verifier must individually trust *)
+  includes_full_os : bool;
+}
+
+val trusted_boot_burden : Flicker_os.Measured_boot.event list -> burden
+val flicker_burden : Flicker_slb.Pal.t -> burden
+(** One PAL plus the SLB Core — the paper's headline comparison. *)

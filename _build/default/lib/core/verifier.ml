@@ -1,0 +1,73 @@
+open Flicker_crypto
+module Tpm = Flicker_tpm.Tpm
+module Tpm_types = Flicker_tpm.Tpm_types
+module Privacy_ca = Flicker_tpm.Privacy_ca
+module Builder = Flicker_slb.Builder
+
+type failure =
+  | Untrusted_ca
+  | Bad_certificate
+  | Bad_signature
+  | Nonce_mismatch
+  | Pcr_mismatch of { expected : string; got : string }
+  | Missing_pcr17
+
+let failure_to_string = function
+  | Untrusted_ca -> "AIK certificate issued by an untrusted CA"
+  | Bad_certificate -> "AIK certificate signature invalid"
+  | Bad_signature -> "TPM quote signature invalid"
+  | Nonce_mismatch -> "quote nonce does not match the challenge"
+  | Pcr_mismatch { expected; got } ->
+      Printf.sprintf "PCR 17 mismatch: expected %s, got %s" (Util.to_hex expected)
+        (Util.to_hex got)
+  | Missing_pcr17 -> "quote does not cover PCR 17"
+
+let pp_failure fmt f = Format.pp_print_string fmt (failure_to_string f)
+
+type expectation = {
+  pal : Flicker_slb.Pal.t;
+  flavor : Builder.flavor;
+  slb_base : int;
+  nonce : string;
+  pal_extends : string list;
+  acm : string option;
+}
+
+let expect ~pal ?(flavor = Builder.Optimized) ?(pal_extends = []) ?acm ~slb_base ~nonce
+    () =
+  { pal; flavor; slb_base; nonce; pal_extends; acm }
+
+let expected_pcr17 expectation ~inputs ~outputs =
+  let image = Builder.build ~flavor:expectation.flavor expectation.pal in
+  Measurement.final ?acm:expectation.acm ~pal_extends:expectation.pal_extends image
+    ~slb_base:expectation.slb_base ~inputs ~outputs ~nonce:(Some expectation.nonce)
+
+let verify ~ca_key expectation (evidence : Attestation.evidence) =
+  let cert = evidence.Attestation.aik_cert in
+  if not (Privacy_ca.verify_certificate ~ca_key cert) then Error Bad_certificate
+  else begin
+    let quote = evidence.Attestation.quote in
+    let payload =
+      "QUOT"
+      ^ Tpm_types.composite_hash quote.Tpm.quoted_composite
+      ^ quote.Tpm.quote_nonce
+    in
+    if
+      not
+        (Pkcs1.verify cert.Privacy_ca.subject_aik Hash.SHA1 ~msg:payload
+           ~signature:quote.Tpm.signature)
+    then Error Bad_signature
+    else if not (Util.constant_time_equal quote.Tpm.quote_nonce expectation.nonce)
+    then Error Nonce_mismatch
+    else begin
+      match List.assoc_opt 17 quote.Tpm.quoted_composite with
+      | None -> Error Missing_pcr17
+      | Some got ->
+          let expected =
+            expected_pcr17 expectation ~inputs:evidence.Attestation.claimed_inputs
+              ~outputs:evidence.Attestation.claimed_outputs
+          in
+          if Util.constant_time_equal expected got then Ok ()
+          else Error (Pcr_mismatch { expected; got })
+    end
+  end

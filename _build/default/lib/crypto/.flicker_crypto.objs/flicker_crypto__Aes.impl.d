@@ -1,0 +1,1 @@
+lib/crypto/aes.ml: Array Buffer Bytes Char List String Util

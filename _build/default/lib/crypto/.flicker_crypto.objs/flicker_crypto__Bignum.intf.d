@@ -1,0 +1,1 @@
+lib/crypto/bignum.mli: Format

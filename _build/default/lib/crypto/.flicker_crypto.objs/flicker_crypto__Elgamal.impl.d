@@ -1,0 +1,1 @@
+lib/crypto/elgamal.ml: Bignum Primality Prng String Util

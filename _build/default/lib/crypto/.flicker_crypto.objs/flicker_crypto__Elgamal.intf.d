@@ -1,0 +1,1 @@
+lib/crypto/elgamal.mli: Bignum Lazy Prng

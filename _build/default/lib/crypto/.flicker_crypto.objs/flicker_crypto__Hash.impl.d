@@ -1,0 +1,1 @@
+lib/crypto/hash.ml: Format Md5 Sha1 Sha256 Sha512 Util

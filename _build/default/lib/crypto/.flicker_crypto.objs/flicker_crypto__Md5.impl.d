@@ -1,0 +1,1 @@
+lib/crypto/md5.ml: Array Bytes Char List String Util

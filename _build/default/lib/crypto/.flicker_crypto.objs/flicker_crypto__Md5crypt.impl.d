@@ -1,0 +1,1 @@
+lib/crypto/md5crypt.ml: Buffer Char Md5 String Util

@@ -1,0 +1,1 @@
+lib/crypto/md5crypt.mli:

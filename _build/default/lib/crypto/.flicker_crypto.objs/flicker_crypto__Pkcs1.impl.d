@@ -1,0 +1,1 @@
+lib/crypto/pkcs1.ml: Bignum Char Hash Prng Rsa String Util

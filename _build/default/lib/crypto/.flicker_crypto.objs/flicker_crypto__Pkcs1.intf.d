@@ -1,0 +1,1 @@
+lib/crypto/pkcs1.mli: Hash Prng Rsa

@@ -1,0 +1,1 @@
+lib/crypto/primality.ml: Array Bignum Fun List Prng

@@ -1,0 +1,1 @@
+lib/crypto/primality.mli: Bignum Prng

@@ -1,0 +1,1 @@
+lib/crypto/prng.ml: Buffer Char Sha256 String Util

@@ -1,0 +1,1 @@
+lib/crypto/rc4.ml: Array Char String

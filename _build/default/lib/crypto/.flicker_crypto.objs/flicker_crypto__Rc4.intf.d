@@ -1,0 +1,1 @@
+lib/crypto/rc4.mli:

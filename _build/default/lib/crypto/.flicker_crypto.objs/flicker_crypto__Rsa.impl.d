@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum List Primality String Util

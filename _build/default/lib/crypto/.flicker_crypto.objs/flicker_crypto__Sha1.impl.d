@@ -1,0 +1,1 @@
+lib/crypto/sha1.ml: Array Bytes Char List String Util

@@ -1,0 +1,1 @@
+lib/crypto/sha512.ml: Array Bytes Char Int64 String Util

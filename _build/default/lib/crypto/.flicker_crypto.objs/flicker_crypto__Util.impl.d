@@ -1,0 +1,1 @@
+lib/crypto/util.ml: Bytes Char List String

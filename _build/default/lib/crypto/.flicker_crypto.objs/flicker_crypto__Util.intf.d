@@ -1,0 +1,1 @@
+lib/crypto/util.mli:

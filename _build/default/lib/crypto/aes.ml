@@ -1,0 +1,219 @@
+(* Straightforward byte-oriented AES: S-box lookups plus xtime-based
+   MixColumns. Clarity over speed; the simulator encrypts kilobytes, not
+   gigabytes. *)
+
+let sbox =
+  [|
+    0x63; 0x7c; 0x77; 0x7b; 0xf2; 0x6b; 0x6f; 0xc5; 0x30; 0x01; 0x67; 0x2b;
+    0xfe; 0xd7; 0xab; 0x76; 0xca; 0x82; 0xc9; 0x7d; 0xfa; 0x59; 0x47; 0xf0;
+    0xad; 0xd4; 0xa2; 0xaf; 0x9c; 0xa4; 0x72; 0xc0; 0xb7; 0xfd; 0x93; 0x26;
+    0x36; 0x3f; 0xf7; 0xcc; 0x34; 0xa5; 0xe5; 0xf1; 0x71; 0xd8; 0x31; 0x15;
+    0x04; 0xc7; 0x23; 0xc3; 0x18; 0x96; 0x05; 0x9a; 0x07; 0x12; 0x80; 0xe2;
+    0xeb; 0x27; 0xb2; 0x75; 0x09; 0x83; 0x2c; 0x1a; 0x1b; 0x6e; 0x5a; 0xa0;
+    0x52; 0x3b; 0xd6; 0xb3; 0x29; 0xe3; 0x2f; 0x84; 0x53; 0xd1; 0x00; 0xed;
+    0x20; 0xfc; 0xb1; 0x5b; 0x6a; 0xcb; 0xbe; 0x39; 0x4a; 0x4c; 0x58; 0xcf;
+    0xd0; 0xef; 0xaa; 0xfb; 0x43; 0x4d; 0x33; 0x85; 0x45; 0xf9; 0x02; 0x7f;
+    0x50; 0x3c; 0x9f; 0xa8; 0x51; 0xa3; 0x40; 0x8f; 0x92; 0x9d; 0x38; 0xf5;
+    0xbc; 0xb6; 0xda; 0x21; 0x10; 0xff; 0xf3; 0xd2; 0xcd; 0x0c; 0x13; 0xec;
+    0x5f; 0x97; 0x44; 0x17; 0xc4; 0xa7; 0x7e; 0x3d; 0x64; 0x5d; 0x19; 0x73;
+    0x60; 0x81; 0x4f; 0xdc; 0x22; 0x2a; 0x90; 0x88; 0x46; 0xee; 0xb8; 0x14;
+    0xde; 0x5e; 0x0b; 0xdb; 0xe0; 0x32; 0x3a; 0x0a; 0x49; 0x06; 0x24; 0x5c;
+    0xc2; 0xd3; 0xac; 0x62; 0x91; 0x95; 0xe4; 0x79; 0xe7; 0xc8; 0x37; 0x6d;
+    0x8d; 0xd5; 0x4e; 0xa9; 0x6c; 0x56; 0xf4; 0xea; 0x65; 0x7a; 0xae; 0x08;
+    0xba; 0x78; 0x25; 0x2e; 0x1c; 0xa6; 0xb4; 0xc6; 0xe8; 0xdd; 0x74; 0x1f;
+    0x4b; 0xbd; 0x8b; 0x8a; 0x70; 0x3e; 0xb5; 0x66; 0x48; 0x03; 0xf6; 0x0e;
+    0x61; 0x35; 0x57; 0xb9; 0x86; 0xc1; 0x1d; 0x9e; 0xe1; 0xf8; 0x98; 0x11;
+    0x69; 0xd9; 0x8e; 0x94; 0x9b; 0x1e; 0x87; 0xe9; 0xce; 0x55; 0x28; 0xdf;
+    0x8c; 0xa1; 0x89; 0x0d; 0xbf; 0xe6; 0x42; 0x68; 0x41; 0x99; 0x2d; 0x0f;
+    0xb0; 0x54; 0xbb; 0x16;
+  |]
+
+let inv_sbox =
+  let t = Array.make 256 0 in
+  Array.iteri (fun i v -> t.(v) <- i) sbox;
+  t
+
+type key = { rounds : int; round_keys : int array (* 4*(rounds+1) words *) }
+
+let xtime b =
+  let v = b lsl 1 in
+  if v land 0x100 <> 0 then v lxor 0x11b else v
+
+(* GF(2^8) multiply *)
+let gmul a b =
+  let acc = ref 0 and a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 = 1 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc land 0xff
+
+let sub_word w =
+  (sbox.((w lsr 24) land 0xff) lsl 24)
+  lor (sbox.((w lsr 16) land 0xff) lsl 16)
+  lor (sbox.((w lsr 8) land 0xff) lsl 8)
+  lor sbox.(w land 0xff)
+
+let rot_word w = ((w lsl 8) lor (w lsr 24)) land 0xFFFFFFFF
+
+let rcon =
+  [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36; 0x6c; 0xd8; 0xab; 0x4d |]
+
+let expand_key key_str =
+  let nk =
+    match String.length key_str with
+    | 16 -> 4
+    | 24 -> 6
+    | 32 -> 8
+    | _ -> invalid_arg "Aes.expand_key: key must be 16, 24 or 32 bytes"
+  in
+  let rounds = nk + 6 in
+  let nwords = 4 * (rounds + 1) in
+  let w = Array.make nwords 0 in
+  for i = 0 to nk - 1 do
+    w.(i) <- Util.int_of_be32 key_str (4 * i)
+  done;
+  for i = nk to nwords - 1 do
+    let temp = ref w.(i - 1) in
+    if i mod nk = 0 then temp := sub_word (rot_word !temp) lxor (rcon.((i / nk) - 1) lsl 24)
+    else if nk > 6 && i mod nk = 4 then temp := sub_word !temp;
+    w.(i) <- w.(i - nk) lxor !temp
+  done;
+  { rounds; round_keys = w }
+
+let add_round_key state w off =
+  for c = 0 to 3 do
+    let word = w.(off + c) in
+    for r = 0 to 3 do
+      state.((4 * c) + r) <- state.((4 * c) + r) lxor ((word lsr (8 * (3 - r))) land 0xff)
+    done
+  done
+
+let state_of_string s =
+  Array.init 16 (fun i -> Char.code s.[i])
+
+let string_of_state state =
+  String.init 16 (fun i -> Char.chr state.(i))
+
+let shift_rows state =
+  (* state is column-major: state.(4*c + r) *)
+  for r = 1 to 3 do
+    let row = Array.init 4 (fun c -> state.((4 * c) + r)) in
+    for c = 0 to 3 do
+      state.((4 * c) + r) <- row.((c + r) mod 4)
+    done
+  done
+
+let inv_shift_rows state =
+  for r = 1 to 3 do
+    let row = Array.init 4 (fun c -> state.((4 * c) + r)) in
+    for c = 0 to 3 do
+      state.((4 * c) + r) <- row.((c - r + 4) mod 4)
+    done
+  done
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let o = 4 * c in
+    let a0 = state.(o) and a1 = state.(o + 1) and a2 = state.(o + 2) and a3 = state.(o + 3) in
+    state.(o) <- gmul a0 2 lxor gmul a1 3 lxor a2 lxor a3;
+    state.(o + 1) <- a0 lxor gmul a1 2 lxor gmul a2 3 lxor a3;
+    state.(o + 2) <- a0 lxor a1 lxor gmul a2 2 lxor gmul a3 3;
+    state.(o + 3) <- gmul a0 3 lxor a1 lxor a2 lxor gmul a3 2
+  done
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let o = 4 * c in
+    let a0 = state.(o) and a1 = state.(o + 1) and a2 = state.(o + 2) and a3 = state.(o + 3) in
+    state.(o) <- gmul a0 14 lxor gmul a1 11 lxor gmul a2 13 lxor gmul a3 9;
+    state.(o + 1) <- gmul a0 9 lxor gmul a1 14 lxor gmul a2 11 lxor gmul a3 13;
+    state.(o + 2) <- gmul a0 13 lxor gmul a1 9 lxor gmul a2 14 lxor gmul a3 11;
+    state.(o + 3) <- gmul a0 11 lxor gmul a1 13 lxor gmul a2 9 lxor gmul a3 14
+  done
+
+let encrypt_block key block =
+  if String.length block <> 16 then invalid_arg "Aes.encrypt_block: need 16 bytes";
+  let state = state_of_string block in
+  add_round_key state key.round_keys 0;
+  for round = 1 to key.rounds - 1 do
+    Array.iteri (fun i v -> state.(i) <- sbox.(v)) (Array.copy state);
+    shift_rows state;
+    mix_columns state;
+    add_round_key state key.round_keys (4 * round)
+  done;
+  Array.iteri (fun i v -> state.(i) <- sbox.(v)) (Array.copy state);
+  shift_rows state;
+  add_round_key state key.round_keys (4 * key.rounds);
+  string_of_state state
+
+let decrypt_block key block =
+  if String.length block <> 16 then invalid_arg "Aes.decrypt_block: need 16 bytes";
+  let state = state_of_string block in
+  add_round_key state key.round_keys (4 * key.rounds);
+  for round = key.rounds - 1 downto 1 do
+    inv_shift_rows state;
+    Array.iteri (fun i v -> state.(i) <- inv_sbox.(v)) (Array.copy state);
+    add_round_key state key.round_keys (4 * round);
+    inv_mix_columns state
+  done;
+  inv_shift_rows state;
+  Array.iteri (fun i v -> state.(i) <- inv_sbox.(v)) (Array.copy state);
+  add_round_key state key.round_keys 0;
+  string_of_state state
+
+let encrypt_cbc key ~iv plaintext =
+  if String.length iv <> 16 then invalid_arg "Aes.encrypt_cbc: iv must be 16 bytes";
+  let pad = 16 - (String.length plaintext mod 16) in
+  let padded = plaintext ^ String.make pad (Char.chr pad) in
+  let out = Buffer.create (String.length padded) in
+  let prev = ref iv in
+  List.iter
+    (fun block ->
+      let c = encrypt_block key (Util.xor block !prev) in
+      Buffer.add_string out c;
+      prev := c)
+    (Util.chunks 16 padded);
+  Buffer.contents out
+
+let decrypt_cbc key ~iv ciphertext =
+  if String.length iv <> 16 then invalid_arg "Aes.decrypt_cbc: iv must be 16 bytes";
+  let len = String.length ciphertext in
+  if len = 0 || len mod 16 <> 0 then invalid_arg "Aes.decrypt_cbc: malformed ciphertext";
+  let out = Buffer.create len in
+  let prev = ref iv in
+  List.iter
+    (fun block ->
+      Buffer.add_string out (Util.xor (decrypt_block key block) !prev);
+      prev := block)
+    (Util.chunks 16 ciphertext);
+  let padded = Buffer.contents out in
+  let pad = Char.code padded.[len - 1] in
+  if pad < 1 || pad > 16 then invalid_arg "Aes.decrypt_cbc: bad padding";
+  for i = len - pad to len - 1 do
+    if Char.code padded.[i] <> pad then invalid_arg "Aes.decrypt_cbc: bad padding"
+  done;
+  String.sub padded 0 (len - pad)
+
+let ctr key ~nonce data =
+  if String.length nonce <> 16 then invalid_arg "Aes.ctr: nonce must be 16 bytes";
+  let counter = Bytes.of_string nonce in
+  let increment () =
+    let rec bump i =
+      if i >= 0 then begin
+        let v = (Char.code (Bytes.get counter i) + 1) land 0xff in
+        Bytes.set counter i (Char.chr v);
+        if v = 0 then bump (i - 1)
+      end
+    in
+    bump 15
+  in
+  let out = Buffer.create (String.length data) in
+  List.iter
+    (fun block ->
+      let ks = encrypt_block key (Bytes.to_string counter) in
+      increment ();
+      Buffer.add_string out (Util.xor block (String.sub ks 0 (String.length block))))
+    (Util.chunks 16 data);
+  Buffer.contents out

@@ -1,0 +1,388 @@
+(* Little-endian arrays of 26-bit limbs. 26-bit limbs keep every
+   intermediate product (52 bits plus carries) comfortably inside OCaml's
+   63-bit native int, so no boxed arithmetic is needed anywhere. Values are
+   normalized: no trailing zero limbs, and zero is the empty array. *)
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let is_zero a = Array.length a = 0
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int v =
+  if v < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec limbs v acc = if v = 0 then List.rev acc else limbs (v lsr limb_bits) ((v land mask) :: acc) in
+  Array.of_list (limbs v [])
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int a =
+  let n = Array.length a in
+  if n * limb_bits > 62 && n > 0 then begin
+    (* may still fit: check the top limbs *)
+    let v = ref 0 in
+    for i = n - 1 downto 0 do
+      if !v > (max_int - a.(i)) lsr limb_bits then failwith "Bignum.to_int: overflow";
+      v := (!v lsl limb_bits) lor a.(i)
+    done;
+    !v
+  end
+  else begin
+    let v = ref 0 in
+    for i = n - 1 downto 0 do
+      v := (!v lsl limb_bits) lor a.(i)
+    done;
+    !v
+  end
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+let is_even a = Array.length a = 0 || a.(0) land 1 = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  r.(n) <- !carry;
+  normalize r
+
+let sub a b =
+  let la = Array.length a and lb = Array.length b in
+  if compare a b < 0 then invalid_arg "Bignum.sub: negative result";
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let p = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- p land mask;
+        carry := p lsr limb_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    normalize r
+  end
+
+let add_int a v = add a (of_int v)
+let mul_int a v = mul a (of_int v)
+
+(* Division of the limb array [a] by a single positive limb-sized int,
+   returning the quotient array (not normalized) and the remainder. *)
+let divmod_small a d =
+  if d <= 0 then raise Division_by_zero;
+  let n = Array.length a in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, !r)
+
+let rem_int a d =
+  if d <= 0 then raise Division_by_zero;
+  if d < base then begin
+    let r = ref 0 in
+    for i = Array.length a - 1 downto 0 do
+      r := ((!r lsl limb_bits) lor a.(i)) mod d
+    done;
+    !r
+  end
+  else begin
+    (* Modulus wider than one limb: (r*2^26 + limb) may overflow, so
+       double-and-reduce bit by bit. d < 2^62 keeps each step in range. *)
+    let r = ref 0 in
+    for i = Array.length a - 1 downto 0 do
+      let x = ref (!r mod d) in
+      for _ = 1 to limb_bits do
+        x := !x * 2 mod d
+      done;
+      r := (!x + (a.(i) mod d)) mod d
+    done;
+    !r
+  end
+
+let shift_left a bits =
+  if bits < 0 then invalid_arg "Bignum.shift_left";
+  if is_zero a || bits = 0 then a
+  else begin
+    let limb_shift = bits / limb_bits and bit_shift = bits mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land mask);
+      r.(i + limb_shift + 1) <- v lsr limb_bits
+    done;
+    normalize r
+  end
+
+let shift_right a bits =
+  if bits < 0 then invalid_arg "Bignum.shift_right";
+  if is_zero a || bits = 0 then a
+  else begin
+    let limb_shift = bits / limb_bits and bit_shift = bits mod limb_bits in
+    let la = Array.length a in
+    if limb_shift >= la then zero
+    else begin
+      let n = la - limb_shift in
+      let r = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+          else (a.(i + limb_shift + 1) lsl (limb_bits - bit_shift)) land mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+let bit_length a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + width top 0
+  end
+
+let test_bit a i =
+  let limb = i / limb_bits and bit = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr bit) land 1 = 1
+
+(* Knuth Algorithm D. *)
+let divmod a b =
+  let lb = Array.length b in
+  if lb = 0 then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if lb = 1 then begin
+    let q, r = divmod_small a b.(0) in
+    (q, of_int r)
+  end
+  else begin
+    (* Normalize so the top limb of the divisor is >= base/2. *)
+    let shift =
+      let rec go v acc = if v >= base / 2 then acc else go (v lsl 1) (acc + 1) in
+      go b.(lb - 1) 0
+    in
+    let u_arr = shift_left a shift and v_arr = shift_left b shift in
+    let n = Array.length v_arr in
+    let m = Array.length u_arr - n in
+    (* Working copy of the dividend with one extra high limb. *)
+    let u = Array.make (Array.length u_arr + 1) 0 in
+    Array.blit u_arr 0 u 0 (Array.length u_arr);
+    let v = v_arr in
+    let q = Array.make (m + 1) 0 in
+    for j = m downto 0 do
+      let top = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
+      let qhat = ref (top / v.(n - 1)) and rhat = ref (top mod v.(n - 1)) in
+      let continue = ref true in
+      while !continue do
+        if
+          !qhat >= base
+          || (n >= 2 && !qhat * v.(n - 2) > (!rhat lsl limb_bits) lor u.(j + n - 2))
+        then begin
+          decr qhat;
+          rhat := !rhat + v.(n - 1);
+          if !rhat >= base then continue := false
+        end
+        else continue := false
+      done;
+      (* u[j..j+n] -= qhat * v *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr limb_bits;
+        let d = u.(j + i) - (p land mask) - !borrow in
+        if d < 0 then begin
+          u.(j + i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          u.(j + i) <- d;
+          borrow := 0
+        end
+      done;
+      let d = u.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add the divisor back. *)
+        u.(j + n) <- d + base;
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u.(j + i) + v.(i) + !carry in
+          u.(j + i) <- s land mask;
+          carry := s lsr limb_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !carry) land mask
+      end
+      else u.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub u 0 n) in
+    (normalize q, shift_right r shift)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let mod_pow ~base:b ~exp ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else begin
+    let b = rem b modulus in
+    let result = ref one and acc = ref b in
+    let nbits = bit_length exp in
+    for i = 0 to nbits - 1 do
+      if test_bit exp i then result := rem (mul !result !acc) modulus;
+      if i < nbits - 1 then acc := rem (mul !acc !acc) modulus
+    done;
+    !result
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+(* Extended Euclid over naturals, tracking the sign of the Bezout
+   coefficient for [a] explicitly. *)
+let mod_inverse a m =
+  if is_zero m then invalid_arg "Bignum.mod_inverse: zero modulus";
+  let a = rem a m in
+  if is_zero a then None
+  else begin
+    (* Invariants: r0 = x0*a (mod m), r1 = x1*a (mod m), with signs s0, s1. *)
+    let rec go r0 x0 s0 r1 x1 s1 =
+      if is_zero r1 then
+        if equal r0 one then
+          Some (if s0 >= 0 then rem x0 m else sub m (rem x0 m))
+        else None
+      else begin
+        let q, r2 = divmod r0 r1 in
+        (* x2 = x0 - q*x1 with sign bookkeeping *)
+        let qx1 = mul q x1 in
+        let x2, s2 =
+          if s0 = s1 then
+            if compare x0 qx1 >= 0 then (sub x0 qx1, s0) else (sub qx1 x0, -s0)
+          else (add x0 qx1, s0)
+        in
+        go r1 x1 s1 r2 x2 s2
+      end
+    in
+    match go m zero 1 a one 1 with
+    | Some x when is_zero x -> Some zero
+    | other -> other
+  end
+
+let of_bytes_be s =
+  let r = ref zero in
+  String.iter (fun c -> r := add_int (shift_left !r 8) (Char.code c)) s;
+  !r
+
+let to_bytes_be ?pad_to a =
+  let nbytes = (bit_length a + 7) / 8 in
+  let b = Bytes.make nbytes '\000' in
+  let v = ref a in
+  for i = nbytes - 1 downto 0 do
+    Bytes.set b i (Char.chr (rem_int !v 256));
+    v := shift_right !v 8
+  done;
+  let s = Bytes.unsafe_to_string b in
+  match pad_to with None -> s | Some n -> Util.pad_left '\000' n s
+
+let of_hex h =
+  let h = if String.length h mod 2 = 1 then "0" ^ h else h in
+  of_bytes_be (Util.of_hex h)
+
+let to_hex a = if is_zero a then "00" else Util.to_hex (to_bytes_be a)
+
+let of_decimal_string s =
+  if String.length s = 0 then invalid_arg "Bignum.of_decimal_string: empty";
+  let r = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' -> r := add_int (mul_int !r 10) (Char.code c - Char.code '0')
+      | _ -> invalid_arg "Bignum.of_decimal_string: non-digit")
+    s;
+  !r
+
+let to_decimal_string a =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go v =
+      if not (is_zero v) then begin
+        let q, r = divmod_small v 10 in
+        Buffer.add_char buf (Char.chr (Char.code '0' + r));
+        go q
+      end
+    in
+    go a;
+    let s = Buffer.contents buf in
+    String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_decimal_string a)
+
+let random_bits rand nbits =
+  if nbits <= 0 then zero
+  else begin
+    let nbytes = (nbits + 7) / 8 in
+    let v = of_bytes_be (rand nbytes) in
+    let excess = (nbytes * 8) - nbits in
+    if excess = 0 then v else shift_right v excess
+  end
+
+let random_below rand n =
+  if is_zero n then invalid_arg "Bignum.random_below: zero bound";
+  let nbits = bit_length n in
+  let rec draw () =
+    let v = random_bits rand nbits in
+    if compare v n < 0 then v else draw ()
+  in
+  draw ()

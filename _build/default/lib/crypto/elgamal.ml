@@ -1,0 +1,100 @@
+type params = { p : Bignum.t; g : Bignum.t }
+type public = { params : params; y : Bignum.t }
+type private_key = { pub : public; x : Bignum.t }
+
+let generate_params rng ~bits =
+  let p = Primality.generate_prime rng ~bits in
+  (* pick a generator candidate that is neither 0/1 nor p-1; without the
+     safe-prime structure we accept any high-order-looking element, which
+     is adequate for the simulation (the paper's point is keygen cost) *)
+  let rec pick () =
+    let g = Bignum.random_below (Prng.bytes rng) p in
+    if
+      Bignum.compare g Bignum.two < 0
+      || Bignum.equal g (Bignum.sub p Bignum.one)
+    then pick ()
+    else g
+  in
+  { p; g = pick () }
+
+let shared_params_512 =
+  lazy (generate_params (Prng.create ~seed:"elgamal-shared-512") ~bits:512)
+
+let shared_params_1024 =
+  lazy (generate_params (Prng.create ~seed:"elgamal-shared-1024") ~bits:1024)
+
+let generate rng params =
+  (* x in [2, p-2]; y = g^x mod p *)
+  let bound = Bignum.sub params.p (Bignum.of_int 3) in
+  let x = Bignum.add (Bignum.random_below (Prng.bytes rng) bound) Bignum.two in
+  let y = Bignum.mod_pow ~base:params.g ~exp:x ~modulus:params.p in
+  { pub = { params; y }; x }
+
+let modulus_bytes params = (Bignum.bit_length params.p + 7) / 8
+
+let encrypt rng pub msg =
+  let params = pub.params in
+  (* encode with a leading 0x01 byte so leading zeros survive *)
+  let m = Bignum.of_bytes_be ("\x01" ^ msg) in
+  if Bignum.compare m params.p >= 0 then Error "ElGamal: message too long for the group"
+  else begin
+    let bound = Bignum.sub params.p (Bignum.of_int 3) in
+    let k = Bignum.add (Bignum.random_below (Prng.bytes rng) bound) Bignum.two in
+    let c1 = Bignum.mod_pow ~base:params.g ~exp:k ~modulus:params.p in
+    let s = Bignum.mod_pow ~base:pub.y ~exp:k ~modulus:params.p in
+    let c2 = Bignum.rem (Bignum.mul m s) params.p in
+    let n = modulus_bytes params in
+    Ok
+      (Util.encode_fields
+         [ Bignum.to_bytes_be ~pad_to:n c1; Bignum.to_bytes_be ~pad_to:n c2 ])
+  end
+
+let decrypt key ct =
+  match Util.decode_fields ct with
+  | Ok [ c1_raw; c2_raw ] -> (
+      let params = key.pub.params in
+      let c1 = Bignum.of_bytes_be c1_raw and c2 = Bignum.of_bytes_be c2_raw in
+      if Bignum.compare c1 params.p >= 0 || Bignum.compare c2 params.p >= 0 then
+        Error "ElGamal: ciphertext outside the group"
+      else begin
+        (* s^-1 = c1^(p-1-x) *)
+        let exp = Bignum.sub (Bignum.sub params.p Bignum.one) key.x in
+        let s_inv = Bignum.mod_pow ~base:c1 ~exp ~modulus:params.p in
+        let m = Bignum.rem (Bignum.mul c2 s_inv) params.p in
+        let raw = Bignum.to_bytes_be m in
+        if String.length raw >= 1 && raw.[0] = '\x01' then
+          Ok (String.sub raw 1 (String.length raw - 1))
+        else Error "ElGamal: padding marker missing"
+      end)
+  | Ok _ | Error _ -> Error "ElGamal: malformed ciphertext"
+
+let public_to_string pub =
+  Util.encode_fields
+    [
+      Bignum.to_bytes_be pub.params.p;
+      Bignum.to_bytes_be pub.params.g;
+      Bignum.to_bytes_be pub.y;
+    ]
+
+let public_of_string s =
+  match Util.decode_fields s with
+  | Ok [ p; g; y ] ->
+      Ok
+        {
+          params = { p = Bignum.of_bytes_be p; g = Bignum.of_bytes_be g };
+          y = Bignum.of_bytes_be y;
+        }
+  | Ok _ -> Error "ElGamal: malformed public key"
+  | Error e -> Error e
+
+let private_to_string key =
+  Util.encode_fields [ public_to_string key.pub; Bignum.to_bytes_be key.x ]
+
+let private_of_string s =
+  match Util.decode_fields s with
+  | Ok [ pub_raw; x ] -> (
+      match public_of_string pub_raw with
+      | Ok pub -> Ok { pub; x = Bignum.of_bytes_be x }
+      | Error e -> Error e)
+  | Ok _ -> Error "ElGamal: malformed private key"
+  | Error e -> Error e

@@ -1,0 +1,8 @@
+(** HMAC (RFC 2104). Used by the distributed-computing PAL to protect the
+    integrity of its state between Flicker sessions, and by TPM OIAP/OSAP
+    authorization sessions. *)
+
+val mac : Hash.algorithm -> key:string -> string -> string
+val sha1 : key:string -> string -> string
+val verify : Hash.algorithm -> key:string -> msg:string -> tag:string -> bool
+(** Constant-time comparison of [tag] against the recomputed MAC. *)

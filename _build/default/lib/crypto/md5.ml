@@ -1,0 +1,132 @@
+let digest_size = 16
+let mask32 = 0xFFFFFFFF
+
+let s =
+  [|
+    7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 5; 9; 14; 20;
+    5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20; 4; 11; 16; 23; 4; 11; 16; 23; 4;
+    11; 16; 23; 4; 11; 16; 23; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6;
+    10; 15; 21;
+  |]
+
+let k =
+  [|
+    0xd76aa478; 0xe8c7b756; 0x242070db; 0xc1bdceee; 0xf57c0faf; 0x4787c62a;
+    0xa8304613; 0xfd469501; 0x698098d8; 0x8b44f7af; 0xffff5bb1; 0x895cd7be;
+    0x6b901122; 0xfd987193; 0xa679438e; 0x49b40821; 0xf61e2562; 0xc040b340;
+    0x265e5a51; 0xe9b6c7aa; 0xd62f105d; 0x02441453; 0xd8a1e681; 0xe7d3fbc8;
+    0x21e1cde6; 0xc33707d6; 0xf4d50d87; 0x455a14ed; 0xa9e3e905; 0xfcefa3f8;
+    0x676f02d9; 0x8d2a4c8a; 0xfffa3942; 0x8771f681; 0x6d9d6122; 0xfde5380c;
+    0xa4beea44; 0x4bdecfa9; 0xf6bb4b60; 0xbebfbc70; 0x289b7ec6; 0xeaa127fa;
+    0xd4ef3085; 0x04881d05; 0xd9d4d039; 0xe6db99e5; 0x1fa27cf8; 0xc4ac5665;
+    0xf4292244; 0x432aff97; 0xab9423a7; 0xfc93a039; 0x655b59c3; 0x8f0ccc92;
+    0xffeff47d; 0x85845dd1; 0x6fa87e4f; 0xfe2ce6e0; 0xa3014314; 0x4e0811a1;
+    0xf7537e82; 0xbd3af235; 0x2ad7d2bb; 0xeb86d391;
+  |]
+
+type ctx = {
+  mutable a : int;
+  mutable b : int;
+  mutable c : int;
+  mutable d : int;
+  mutable total : int;
+  buf : Bytes.t;
+  mutable buf_len : int;
+  m : int array; (* 16 little-endian message words *)
+}
+
+let init () =
+  {
+    a = 0x67452301;
+    b = 0xefcdab89;
+    c = 0x98badcfe;
+    d = 0x10325476;
+    total = 0;
+    buf = Bytes.create 64;
+    buf_len = 0;
+    m = Array.make 16 0;
+  }
+
+let rotl32 v n = ((v lsl n) lor (v lsr (32 - n))) land mask32
+
+let compress ctx block =
+  let m = ctx.m in
+  for i = 0 to 15 do
+    let o = 4 * i in
+    m.(i) <-
+      Char.code (Bytes.get block o)
+      lor (Char.code (Bytes.get block (o + 1)) lsl 8)
+      lor (Char.code (Bytes.get block (o + 2)) lsl 16)
+      lor (Char.code (Bytes.get block (o + 3)) lsl 24)
+  done;
+  let a = ref ctx.a and b = ref ctx.b and c = ref ctx.c and d = ref ctx.d in
+  for i = 0 to 63 do
+    let f, g =
+      if i < 16 then (((!b land !c) lor (lnot !b land !d)) land mask32, i)
+      else if i < 32 then (((!d land !b) lor (lnot !d land !c)) land mask32, ((5 * i) + 1) mod 16)
+      else if i < 48 then (!b lxor !c lxor !d, ((3 * i) + 5) mod 16)
+      else ((!c lxor (!b lor (lnot !d land mask32))) land mask32, (7 * i) mod 16)
+    in
+    let temp = !d in
+    d := !c;
+    c := !b;
+    b := (!b + rotl32 ((!a + f + k.(i) + m.(g)) land mask32) s.(i)) land mask32;
+    a := temp
+  done;
+  ctx.a <- (ctx.a + !a) land mask32;
+  ctx.b <- (ctx.b + !b) land mask32;
+  ctx.c <- (ctx.c + !c) land mask32;
+  ctx.d <- (ctx.d + !d) land mask32
+
+let update ctx str =
+  let len = String.length str in
+  ctx.total <- ctx.total + len;
+  let pos = ref 0 in
+  if ctx.buf_len > 0 then begin
+    let take = min (64 - ctx.buf_len) len in
+    Bytes.blit_string str 0 ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := take;
+    if ctx.buf_len = 64 then begin
+      compress ctx ctx.buf;
+      ctx.buf_len <- 0
+    end
+  end;
+  while len - !pos >= 64 do
+    Bytes.blit_string str !pos ctx.buf 0 64;
+    compress ctx ctx.buf;
+    pos := !pos + 64
+  done;
+  if !pos < len then begin
+    Bytes.blit_string str !pos ctx.buf 0 (len - !pos);
+    ctx.buf_len <- len - !pos
+  end
+
+let finalize ctx =
+  let bit_len = ctx.total * 8 in
+  let pad_len =
+    let rem = (ctx.total + 1) mod 64 in
+    if rem <= 56 then 56 - rem else 120 - rem
+  in
+  let padding = Bytes.make (1 + pad_len + 8) '\000' in
+  Bytes.set padding 0 '\x80';
+  (* MD5 length is little-endian, unlike the SHA family. *)
+  for i = 0 to 7 do
+    Bytes.set padding (1 + pad_len + i) (Char.chr ((bit_len lsr (8 * i)) land 0xff))
+  done;
+  update ctx (Bytes.unsafe_to_string padding);
+  let out = Bytes.create 16 in
+  List.iteri
+    (fun i v ->
+      for j = 0 to 3 do
+        Bytes.set out ((4 * i) + j) (Char.chr ((v lsr (8 * j)) land 0xff))
+      done)
+    [ ctx.a; ctx.b; ctx.c; ctx.d ];
+  Bytes.unsafe_to_string out
+
+let digest str =
+  let ctx = init () in
+  update ctx str;
+  finalize ctx
+
+let hex str = Util.to_hex (digest str)

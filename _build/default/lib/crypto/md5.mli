@@ -1,0 +1,13 @@
+(** MD5 (RFC 1321). Needed for [Md5crypt], the Unix password hash the SSH
+    application checks against /etc/passwd entries. *)
+
+type ctx
+
+val digest_size : int
+(** 16 bytes. *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+val digest : string -> string
+val hex : string -> string

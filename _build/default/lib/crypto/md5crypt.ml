@@ -1,0 +1,67 @@
+let itoa64 = "./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+(* Encode [n] bytes (as an int, little-endian packed) into base-64-ish
+   characters using the crypt alphabet. *)
+let to64 v n =
+  let buf = Buffer.create n in
+  let v = ref v in
+  for _ = 1 to n do
+    Buffer.add_char buf itoa64.[!v land 0x3f];
+    v := !v lsr 6
+  done;
+  Buffer.contents buf
+
+let crypt ~salt ~password =
+  let salt =
+    let s = if String.length salt > 8 then String.sub salt 0 8 else salt in
+    (* a salt must not contain '$' — stop at the first one, as crypt(3) does *)
+    match String.index_opt s '$' with None -> s | Some i -> String.sub s 0 i
+  in
+  let magic = "$1$" in
+  let ctx = Md5.init () in
+  Md5.update ctx password;
+  Md5.update ctx magic;
+  Md5.update ctx salt;
+  let alt = Md5.digest (password ^ salt ^ password) in
+  let plen = String.length password in
+  for i = 0 to plen - 1 do
+    Md5.update ctx (String.make 1 alt.[i mod 16])
+  done;
+  (* the famous bug-compatible bit pattern walk *)
+  let i = ref plen in
+  while !i > 0 do
+    if !i land 1 = 1 then Md5.update ctx "\000"
+    else Md5.update ctx (String.make 1 password.[0]);
+    i := !i lsr 1
+  done;
+  let intermediate = ref (Md5.finalize ctx) in
+  for round = 0 to 999 do
+    let ctx = Md5.init () in
+    if round land 1 = 1 then Md5.update ctx password else Md5.update ctx !intermediate;
+    if round mod 3 <> 0 then Md5.update ctx salt;
+    if round mod 7 <> 0 then Md5.update ctx password;
+    if round land 1 = 1 then Md5.update ctx !intermediate else Md5.update ctx password;
+    intermediate := Md5.finalize ctx
+  done;
+  let f = !intermediate in
+  let byte i = Char.code f.[i] in
+  let out = Buffer.create 22 in
+  let group a b c n =
+    Buffer.add_string out (to64 ((byte a lsl 16) lor (byte b lsl 8) lor byte c) n)
+  in
+  group 0 6 12 4;
+  group 1 7 13 4;
+  group 2 8 14 4;
+  group 3 9 15 4;
+  group 4 10 5 4;
+  Buffer.add_string out (to64 (byte 11) 2);
+  magic ^ salt ^ "$" ^ Buffer.contents out
+
+let parse crypted =
+  match String.split_on_char '$' crypted with
+  | [ ""; "1"; salt; hash ] -> (salt, hash)
+  | _ -> invalid_arg "Md5crypt.parse: not a $1$ crypt string"
+
+let verify ~crypted ~password =
+  let salt, _ = parse crypted in
+  Util.constant_time_equal (crypt ~salt ~password) crypted

@@ -1,0 +1,16 @@
+(** The FreeBSD/Linux MD5-based crypt(3) scheme ("$1$" hashes).
+
+    The paper's SSH PAL computes [md5crypt(salt, password)] and outputs
+    the hash for comparison against the /etc/passwd entry (Figure 7). *)
+
+val crypt : salt:string -> password:string -> string
+(** Full crypt string ["$1$" ^ salt ^ "$" ^ hash]. The salt is truncated
+    to 8 characters as in the original implementation. *)
+
+val verify : crypted:string -> password:string -> bool
+(** Check a password against a ["$1$..."] string.
+    @raise Invalid_argument if [crypted] is not an MD5-crypt string. *)
+
+val parse : string -> string * string
+(** [parse crypted] is [(salt, hash)].
+    @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,21 @@
+(** PKCS#1 v1.5 padding (RFC 2437) on top of {!Rsa}.
+
+    The SSH application encrypts the user's password with PKCS#1 encryption
+    (the paper cites its non-malleability), and the TPM and CA sign with
+    EMSA-PKCS1-v1_5 over SHA-1. *)
+
+val encrypt : Prng.t -> Rsa.public -> string -> string
+(** EME-PKCS1-v1_5 encryption. The result is exactly [key_bytes] long.
+    @raise Invalid_argument if the message exceeds [key_bytes - 11]. *)
+
+val decrypt : Rsa.private_key -> string -> (string, string) result
+(** Returns [Error reason] on any padding failure (callers must not
+    distinguish failure modes to an attacker). *)
+
+val sign : Rsa.private_key -> Hash.algorithm -> string -> string
+(** EMSA-PKCS1-v1_5 signature over [digest alg msg]. *)
+
+val verify : Rsa.public -> Hash.algorithm -> msg:string -> signature:string -> bool
+
+val max_message_bytes : Rsa.public -> int
+(** Largest message [encrypt] accepts for this key. *)

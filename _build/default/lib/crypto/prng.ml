@@ -1,0 +1,42 @@
+type t = { mutable state : string; mutable counter : int }
+
+let create ~seed = { state = Sha256.digest ("flicker-prng-seed:" ^ seed); counter = 0 }
+
+let next_block t =
+  let block = Sha256.digest (t.state ^ Util.be32_of_int t.counter) in
+  t.counter <- t.counter + 1;
+  (* Ratchet the state forward so earlier outputs cannot be recovered from
+     a captured state (backtracking resistance, like a real DRBG). *)
+  if t.counter land 0xff = 0 then begin
+    t.state <- Sha256.digest ("ratchet" ^ t.state);
+    t.counter <- 0
+  end;
+  block
+
+let bytes t n =
+  if n < 0 then invalid_arg "Prng.bytes: negative";
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    Buffer.add_string buf (next_block t)
+  done;
+  String.sub (Buffer.contents buf) 0 n
+
+let byte t = Char.code (bytes t 1).[0]
+
+let int_below t bound =
+  if bound <= 0 then invalid_arg "Prng.int_below: non-positive bound";
+  (* rejection sampling over 30-bit draws *)
+  let rec draw () =
+    let raw = bytes t 4 in
+    let v = Util.int_of_be32 raw 0 land 0x3FFFFFFF in
+    let limit = 0x40000000 - (0x40000000 mod bound) in
+    if v < limit then v mod bound else draw ()
+  in
+  draw ()
+
+let reseed t extra = t.state <- Sha256.digest (t.state ^ "reseed" ^ extra)
+
+let fork t ~label =
+  let child_seed = Sha256.digest (t.state ^ "fork:" ^ label) in
+  t.state <- Sha256.digest (t.state ^ "forked:" ^ label);
+  { state = child_seed; counter = 0 }

@@ -1,0 +1,25 @@
+(** Deterministic cryptographic PRNG (hash-DRBG over SHA-256).
+
+    The simulator must be reproducible, so every source of randomness — the
+    TPM's hardware RNG, key generation, nonces — draws from a seeded
+    instance of this generator. Distinct components fork independent
+    streams with [fork] so that adding a consumer does not perturb others. *)
+
+type t
+
+val create : seed:string -> t
+val bytes : t -> int -> string
+(** [bytes t n] draws [n] fresh pseudorandom bytes. *)
+
+val byte : t -> int
+(** One byte as an int in [0, 255]. *)
+
+val int_below : t -> int -> int
+(** Uniform draw in [[0, bound)). @raise Invalid_argument if [bound <= 0]. *)
+
+val reseed : t -> string -> unit
+(** Mix additional entropy into the state. *)
+
+val fork : t -> label:string -> t
+(** Derive an independent generator; streams with different labels are
+    computationally unrelated. *)

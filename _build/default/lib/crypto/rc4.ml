@@ -1,0 +1,29 @@
+type t = { s : int array; mutable i : int; mutable j : int }
+
+let create ~key =
+  let klen = String.length key in
+  if klen = 0 || klen > 256 then invalid_arg "Rc4.create: key must be 1-256 bytes";
+  let s = Array.init 256 (fun i -> i) in
+  let j = ref 0 in
+  for i = 0 to 255 do
+    j := (!j + s.(i) + Char.code key.[i mod klen]) land 0xff;
+    let tmp = s.(i) in
+    s.(i) <- s.(!j);
+    s.(!j) <- tmp
+  done;
+  { s; i = 0; j = 0 }
+
+let next_byte t =
+  t.i <- (t.i + 1) land 0xff;
+  t.j <- (t.j + t.s.(t.i)) land 0xff;
+  let tmp = t.s.(t.i) in
+  t.s.(t.i) <- t.s.(t.j);
+  t.s.(t.j) <- tmp;
+  t.s.((t.s.(t.i) + t.s.(t.j)) land 0xff)
+
+let keystream t n = String.init n (fun _ -> Char.chr (next_byte t))
+
+let process t data =
+  String.map (fun c -> Char.chr (Char.code c lxor next_byte t)) data
+
+let encrypt ~key data = process (create ~key) data

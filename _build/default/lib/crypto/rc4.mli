@@ -1,0 +1,16 @@
+(** RC4 stream cipher. Present because the paper's PAL crypto module
+    supports it (Figure 6); modern callers should prefer {!Aes}. *)
+
+type t
+
+val create : key:string -> t
+(** @raise Invalid_argument on an empty or over-256-byte key. *)
+
+val keystream : t -> int -> string
+(** Draw the next [n] keystream bytes (advances the cipher state). *)
+
+val process : t -> string -> string
+(** XOR data with the keystream; encryption and decryption are identical. *)
+
+val encrypt : key:string -> string -> string
+(** One-shot convenience: fresh cipher, process the whole string. *)

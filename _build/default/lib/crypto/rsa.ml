@@ -1,0 +1,97 @@
+type public = { n : Bignum.t; e : Bignum.t }
+
+type private_key = {
+  pub : public;
+  d : Bignum.t;
+  p : Bignum.t;
+  q : Bignum.t;
+  dp : Bignum.t;
+  dq : Bignum.t;
+  qinv : Bignum.t;
+}
+
+let generate ?(e = 65537) rng ~bits =
+  if bits < 16 then invalid_arg "Rsa.generate: modulus too small";
+  let open Bignum in
+  let e_big = of_int e in
+  let p_bits = (bits + 1) / 2 in
+  let q_bits = bits - p_bits in
+  let rec attempt () =
+    let p = Primality.generate_prime rng ~bits:p_bits in
+    let q = Primality.generate_prime rng ~bits:q_bits in
+    if equal p q then attempt ()
+    else begin
+      let n = mul p q in
+      if bit_length n <> bits then attempt ()
+      else begin
+        let p1 = sub p one and q1 = sub q one in
+        let phi = mul p1 q1 in
+        match mod_inverse e_big phi with
+        | None -> attempt ()
+        | Some d ->
+            (match mod_inverse q p with
+            | None -> attempt () (* impossible for distinct primes, but be safe *)
+            | Some qinv ->
+                {
+                  pub = { n; e = e_big };
+                  d;
+                  p;
+                  q;
+                  dp = rem d p1;
+                  dq = rem d q1;
+                  qinv;
+                })
+      end
+    end
+  in
+  attempt ()
+
+let key_bytes pub = (Bignum.bit_length pub.n + 7) / 8
+
+let encrypt_raw pub m =
+  if Bignum.compare m pub.n >= 0 then invalid_arg "Rsa.encrypt_raw: message too large";
+  Bignum.mod_pow ~base:m ~exp:pub.e ~modulus:pub.n
+
+let decrypt_raw key c =
+  if Bignum.compare c key.pub.n >= 0 then invalid_arg "Rsa.decrypt_raw: ciphertext too large";
+  let open Bignum in
+  (* CRT: m1 = c^dp mod p, m2 = c^dq mod q, h = qinv*(m1-m2) mod p *)
+  let m1 = mod_pow ~base:(rem c key.p) ~exp:key.dp ~modulus:key.p in
+  let m2 = mod_pow ~base:(rem c key.q) ~exp:key.dq ~modulus:key.q in
+  let diff = if compare m1 m2 >= 0 then sub m1 m2 else sub (add m1 key.p) (rem m2 key.p) in
+  let h = rem (mul key.qinv diff) key.p in
+  add m2 (mul h key.q)
+
+(* length-prefixed field encoding: 4-byte big-endian length then bytes *)
+let field b = Util.be32_of_int (String.length b) ^ b
+
+let fields_of_string s =
+  let rec go off acc =
+    if off = String.length s then List.rev acc
+    else if off + 4 > String.length s then invalid_arg "Rsa: truncated field header"
+    else begin
+      let len = Util.int_of_be32 s off in
+      if off + 4 + len > String.length s then invalid_arg "Rsa: truncated field"
+      else go (off + 4 + len) (String.sub s (off + 4) len :: acc)
+    end
+  in
+  go 0 []
+
+let public_to_string pub =
+  field (Bignum.to_bytes_be pub.n) ^ field (Bignum.to_bytes_be pub.e)
+
+let public_of_string s =
+  match fields_of_string s with
+  | [ n; e ] -> { n = Bignum.of_bytes_be n; e = Bignum.of_bytes_be e }
+  | _ -> invalid_arg "Rsa.public_of_string: malformed"
+
+let private_to_string key =
+  String.concat ""
+    (List.map
+       (fun v -> field (Bignum.to_bytes_be v))
+       [ key.pub.n; key.pub.e; key.d; key.p; key.q; key.dp; key.dq; key.qinv ])
+
+let private_of_string s =
+  match List.map Bignum.of_bytes_be (fields_of_string s) with
+  | [ n; e; d; p; q; dp; dq; qinv ] -> { pub = { n; e }; d; p; q; dp; dq; qinv }
+  | _ -> invalid_arg "Rsa.private_of_string: malformed"

@@ -1,0 +1,118 @@
+let digest_size = 20
+let mask32 = 0xFFFFFFFF
+
+type ctx = {
+  mutable h0 : int;
+  mutable h1 : int;
+  mutable h2 : int;
+  mutable h3 : int;
+  mutable h4 : int;
+  mutable total : int; (* bytes processed so far *)
+  buf : Bytes.t; (* partial block, 64 bytes *)
+  mutable buf_len : int;
+  w : int array; (* message schedule scratch *)
+}
+
+let init () =
+  {
+    h0 = 0x67452301;
+    h1 = 0xEFCDAB89;
+    h2 = 0x98BADCFE;
+    h3 = 0x10325476;
+    h4 = 0xC3D2E1F0;
+    total = 0;
+    buf = Bytes.create 64;
+    buf_len = 0;
+    w = Array.make 80 0;
+  }
+
+let rotl32 v n = ((v lsl n) lor (v lsr (32 - n))) land mask32
+
+let compress ctx block off =
+  let w = ctx.w in
+  for t = 0 to 15 do
+    let i = off + (4 * t) in
+    w.(t) <-
+      (Char.code (Bytes.get block i) lsl 24)
+      lor (Char.code (Bytes.get block (i + 1)) lsl 16)
+      lor (Char.code (Bytes.get block (i + 2)) lsl 8)
+      lor Char.code (Bytes.get block (i + 3))
+  done;
+  for t = 16 to 79 do
+    w.(t) <- rotl32 (w.(t - 3) lxor w.(t - 8) lxor w.(t - 14) lxor w.(t - 16)) 1
+  done;
+  let a = ref ctx.h0 and b = ref ctx.h1 and c = ref ctx.h2 in
+  let d = ref ctx.h3 and e = ref ctx.h4 in
+  for t = 0 to 79 do
+    let f, k =
+      if t < 20 then ((!b land !c) lor (lnot !b land !d) land mask32, 0x5A827999)
+      else if t < 40 then (!b lxor !c lxor !d, 0x6ED9EBA1)
+      else if t < 60 then ((!b land !c) lor (!b land !d) lor (!c land !d), 0x8F1BBCDC)
+      else (!b lxor !c lxor !d, 0xCA62C1D6)
+    in
+    let temp = (rotl32 !a 5 + (f land mask32) + !e + k + w.(t)) land mask32 in
+    e := !d;
+    d := !c;
+    c := rotl32 !b 30;
+    b := !a;
+    a := temp
+  done;
+  ctx.h0 <- (ctx.h0 + !a) land mask32;
+  ctx.h1 <- (ctx.h1 + !b) land mask32;
+  ctx.h2 <- (ctx.h2 + !c) land mask32;
+  ctx.h3 <- (ctx.h3 + !d) land mask32;
+  ctx.h4 <- (ctx.h4 + !e) land mask32
+
+let update ctx s =
+  let len = String.length s in
+  ctx.total <- ctx.total + len;
+  let pos = ref 0 in
+  (* top up a partial block first *)
+  if ctx.buf_len > 0 then begin
+    let take = min (64 - ctx.buf_len) len in
+    Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := take;
+    if ctx.buf_len = 64 then begin
+      compress ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while len - !pos >= 64 do
+    Bytes.blit_string s !pos ctx.buf 0 64;
+    compress ctx ctx.buf 0;
+    pos := !pos + 64
+  done;
+  if !pos < len then begin
+    Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
+    ctx.buf_len <- len - !pos
+  end
+
+let finalize ctx =
+  let bit_len = ctx.total * 8 in
+  let pad_len =
+    let rem = (ctx.total + 1) mod 64 in
+    if rem <= 56 then 56 - rem else 120 - rem
+  in
+  let padding = Bytes.make (1 + pad_len + 8) '\000' in
+  Bytes.set padding 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set padding (1 + pad_len + i) (Char.chr ((bit_len lsr (8 * (7 - i))) land 0xff))
+  done;
+  update ctx (Bytes.unsafe_to_string padding);
+  assert (ctx.buf_len = 0);
+  let out = Bytes.create 20 in
+  List.iteri
+    (fun i h ->
+      for j = 0 to 3 do
+        Bytes.set out ((4 * i) + j) (Char.chr ((h lsr (8 * (3 - j))) land 0xff))
+      done)
+    [ ctx.h0; ctx.h1; ctx.h2; ctx.h3; ctx.h4 ];
+  Bytes.unsafe_to_string out
+
+let digest s =
+  let ctx = init () in
+  update ctx s;
+  finalize ctx
+
+let hex s = Util.to_hex (digest s)

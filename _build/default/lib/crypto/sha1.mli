@@ -1,0 +1,19 @@
+(** SHA-1 (FIPS 180-1). The TPM v1.2 specification uses SHA-1 for all PCR
+    extends and measurements, so this is the measurement hash throughout
+    the simulator. *)
+
+type ctx
+
+val digest_size : int
+(** 20 bytes. *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+(** Returns the 20-byte digest. The context must not be reused. *)
+
+val digest : string -> string
+(** One-shot hash. *)
+
+val hex : string -> string
+(** [hex s] is [Util.to_hex (digest s)]. *)

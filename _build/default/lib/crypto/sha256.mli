@@ -1,0 +1,12 @@
+(** SHA-256 (FIPS 180-2). *)
+
+type ctx
+
+val digest_size : int
+(** 32 bytes. *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+val digest : string -> string
+val hex : string -> string

@@ -1,0 +1,13 @@
+(** SHA-512 (FIPS 180-2). Listed in the paper's PAL crypto module
+    (Figure 6) alongside SHA-1. *)
+
+type ctx
+
+val digest_size : int
+(** 64 bytes. *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+val digest : string -> string
+val hex : string -> string

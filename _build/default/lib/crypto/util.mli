@@ -1,0 +1,49 @@
+(** Byte-string helpers shared across the crypto library. *)
+
+val to_hex : string -> string
+(** [to_hex s] is the lowercase hexadecimal rendering of [s]. *)
+
+val of_hex : string -> string
+(** [of_hex h] decodes a hexadecimal string (upper or lower case).
+    @raise Invalid_argument on odd length or non-hex characters. *)
+
+val xor : string -> string -> string
+(** [xor a b] is the byte-wise XOR of two equal-length strings.
+    @raise Invalid_argument if lengths differ. *)
+
+val constant_time_equal : string -> string -> bool
+(** Compare two strings without early exit on the first differing byte.
+    Returns [false] when the lengths differ. *)
+
+val be32_of_int : int -> string
+(** 4-byte big-endian encoding of the low 32 bits of an int. *)
+
+val int_of_be32 : string -> int -> int
+(** [int_of_be32 s off] reads 4 bytes big-endian at [off]. *)
+
+val be16_of_int : int -> string
+(** 2-byte big-endian encoding of the low 16 bits of an int. *)
+
+val int_of_be16 : string -> int -> int
+(** [int_of_be16 s off] reads 2 bytes big-endian at [off]. *)
+
+val chunks : int -> string -> string list
+(** [chunks n s] splits [s] into pieces of [n] bytes; the last piece may be
+    shorter. [chunks n ""] is [[]].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val pad_left : char -> int -> string -> string
+(** [pad_left c n s] left-pads [s] with [c] to length [n]; returns [s]
+    unchanged if it is already at least [n] long. *)
+
+val zeroize : bytes -> unit
+(** Overwrite a buffer with zero bytes (simulates erasing secrets). *)
+
+val field : string -> string
+(** Length-prefixed encoding: 4-byte big-endian length, then the bytes. *)
+
+val encode_fields : string list -> string
+(** Concatenated {!field}s. *)
+
+val decode_fields : string -> (string list, string) result
+(** Inverse of {!encode_fields}; [Error] on truncated input. *)

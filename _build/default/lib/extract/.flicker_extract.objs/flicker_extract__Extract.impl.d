@@ -1,0 +1,1 @@
+lib/extract/extract.ml: Buffer Flicker_slb Format Hashtbl List Printf String

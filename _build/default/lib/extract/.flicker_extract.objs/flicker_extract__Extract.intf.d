@@ -1,0 +1,1 @@
+lib/extract/extract.mli: Flicker_slb Format

@@ -1,0 +1,159 @@
+module Pal = Flicker_slb.Pal
+
+type func = {
+  fname : string;
+  calls : string list;
+  uses_types : string list;
+  body : string;
+  loc : int;
+}
+
+type typedef = { tname : string; type_depends : string list; definition : string }
+type program = { functions : func list; types : typedef list }
+
+type advice =
+  | Eliminate
+  | Link_module of Pal.module_kind
+  | Inline_replacement of string
+  | Forbidden of string
+
+let stdlib_advice name =
+  let crypto_prefixes = [ "rsa_"; "sha1"; "sha512"; "md5"; "aes_"; "rc4_"; "hmac" ] in
+  let tpm_prefixes = [ "TPM_"; "Tspi_" ] in
+  let has_prefix p = String.length name >= String.length p
+                     && String.sub name 0 (String.length p) = p in
+  match name with
+  | "printf" | "fprintf" | "puts" | "putchar" | "perror" -> Some Eliminate
+  | "malloc" | "free" | "realloc" | "calloc" -> Some (Link_module Pal.Memory_management)
+  | "memcpy" | "memset" | "memcmp" | "strlen" | "strcmp" | "strncpy" ->
+      Some (Inline_replacement ("freestanding " ^ name ^ " from the SLB Core support code"))
+  | "socket" | "connect" | "send" | "recv" | "read" | "write" | "open" | "close" ->
+      Some
+        (Forbidden
+           (name
+          ^ " needs the OS; restructure into multiple Flicker sessions with sealed state \
+             (Section 4.3)"))
+  | "fork" | "exec" | "pthread_create" ->
+      Some (Forbidden (name ^ ": no processes or threads inside a PAL"))
+  | "rand" | "srand" | "random" ->
+      Some (Inline_replacement "TPM GetRandom via the TPM Utilities module")
+  | _ ->
+      if List.exists has_prefix crypto_prefixes then Some (Link_module Pal.Crypto)
+      else if List.exists has_prefix tpm_prefixes then Some (Link_module Pal.Tpm_utilities)
+      else None
+
+type extraction = {
+  target : string;
+  required_functions : func list;
+  required_types : typedef list;
+  stdlib_calls : (string * advice) list;
+  unresolved : string list;
+  extracted_loc : int;
+}
+
+let extract program ~target =
+  let lookup name = List.find_opt (fun f -> f.fname = name) program.functions in
+  match lookup target with
+  | None -> Error (Printf.sprintf "target function %s is not defined in the program" target)
+  | Some _ ->
+      (* DFS producing callees-first ordering, classifying externals *)
+      let visited = Hashtbl.create 16 in
+      let ordered = ref [] in
+      let stdlib = ref [] in
+      let unresolved = ref [] in
+      let rec visit name =
+        if not (Hashtbl.mem visited name) then begin
+          Hashtbl.replace visited name ();
+          match lookup name with
+          | Some f ->
+              List.iter visit f.calls;
+              ordered := f :: !ordered
+          | None -> (
+              match stdlib_advice name with
+              | Some advice -> stdlib := (name, advice) :: !stdlib
+              | None -> unresolved := name :: !unresolved)
+        end
+      in
+      visit target;
+      let required_functions = List.rev !ordered in
+      (* type closure over everything the slice touches *)
+      let type_lookup name = List.find_opt (fun t -> t.tname = name) program.types in
+      let tvisited = Hashtbl.create 16 in
+      let ttypes = ref [] in
+      let rec tvisit name =
+        if not (Hashtbl.mem tvisited name) then begin
+          Hashtbl.replace tvisited name ();
+          match type_lookup name with
+          | Some t ->
+              List.iter tvisit t.type_depends;
+              ttypes := t :: !ttypes
+          | None -> ()
+        end
+      in
+      List.iter (fun f -> List.iter tvisit f.uses_types) required_functions;
+      Ok
+        {
+          target;
+          required_functions;
+          required_types = List.rev !ttypes;
+          stdlib_calls = List.sort compare !stdlib;
+          unresolved = List.sort compare !unresolved;
+          extracted_loc = List.fold_left (fun acc f -> acc + f.loc) 0 required_functions;
+        }
+
+let suggested_modules extraction =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (_, advice) ->
+         match advice with Link_module m -> Some m | _ -> None)
+       extraction.stdlib_calls)
+
+let has_blockers extraction =
+  List.exists
+    (fun (_, advice) -> match advice with Forbidden _ -> true | _ -> false)
+    extraction.stdlib_calls
+
+let advice_to_string = function
+  | Eliminate -> "eliminate the call"
+  | Link_module m -> "link the " ^ (Pal.info m).Pal.module_name ^ " module"
+  | Inline_replacement r -> "replace with " ^ r
+  | Forbidden why -> "BLOCKER: " ^ why
+
+let render_standalone extraction =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "/* standalone PAL program extracted for %s (%d LOC) */\n"
+       extraction.target extraction.extracted_loc);
+  List.iter
+    (fun (name, advice) ->
+      Buffer.add_string buf (Printf.sprintf "/* stdlib: %s -> %s */\n" name (advice_to_string advice)))
+    extraction.stdlib_calls;
+  List.iter
+    (fun name -> Buffer.add_string buf (Printf.sprintf "/* UNRESOLVED: %s */\n" name))
+    extraction.unresolved;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun t -> Buffer.add_string buf (t.definition ^ "\n"))
+    extraction.required_types;
+  Buffer.add_char buf '\n';
+  List.iter (fun f -> Buffer.add_string buf (f.body ^ "\n")) extraction.required_functions;
+  Buffer.contents buf
+
+let report fmt extraction =
+  Format.fprintf fmt "extraction for %s:@." extraction.target;
+  Format.fprintf fmt "  functions: %d (%d LOC)@."
+    (List.length extraction.required_functions)
+    extraction.extracted_loc;
+  Format.fprintf fmt "  types: %d@." (List.length extraction.required_types);
+  List.iter
+    (fun (name, advice) ->
+      Format.fprintf fmt "  stdlib %-12s %s@." name (advice_to_string advice))
+    extraction.stdlib_calls;
+  List.iter
+    (fun name -> Format.fprintf fmt "  unresolved: %s (supply an implementation)@." name)
+    extraction.unresolved;
+  match suggested_modules extraction with
+  | [] -> ()
+  | mods ->
+      Format.fprintf fmt "  suggested PAL modules: %s@."
+        (String.concat ", " (List.map (fun m -> (Pal.info m).Pal.module_name) mods))

@@ -1,0 +1,1 @@
+lib/hw/apic.ml: Cpu List Machine Printf

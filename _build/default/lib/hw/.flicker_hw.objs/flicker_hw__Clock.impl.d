@@ -1,0 +1,1 @@
+lib/hw/clock.ml:

@@ -1,0 +1,1 @@
+lib/hw/dev.ml: Bytes Char Fun List Memory

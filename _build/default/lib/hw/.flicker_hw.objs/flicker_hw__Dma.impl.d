@@ -1,0 +1,1 @@
+lib/hw/dma.ml: Clock Dev List Machine Memory Printf String

@@ -1,0 +1,1 @@
+lib/hw/dma.mli: Machine

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Clock Cpu Dev List Logs Memory Timing

@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Clock Cpu Dev Memory Timing

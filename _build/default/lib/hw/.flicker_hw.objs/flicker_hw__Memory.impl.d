@@ -1,0 +1,1 @@
+lib/hw/memory.ml: Bytes Char Printf String

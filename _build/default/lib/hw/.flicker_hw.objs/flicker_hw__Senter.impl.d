@@ -1,0 +1,1 @@
+lib/hw/senter.ml: Buffer Cpu Dev Flicker_crypto Machine Memory Printf Sha1 Sha256 Skinit String Timing Util

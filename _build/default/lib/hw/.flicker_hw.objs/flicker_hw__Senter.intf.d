@@ -1,0 +1,1 @@
+lib/hw/senter.mli: Machine

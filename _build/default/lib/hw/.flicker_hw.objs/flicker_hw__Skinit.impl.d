@@ -1,0 +1,1 @@
+lib/hw/skinit.ml: Cpu Dev Machine Memory Printf Timing

@@ -1,0 +1,1 @@
+lib/hw/skinit.mli: Machine

@@ -1,0 +1,21 @@
+let deschedule_aps (m : Machine.t) =
+  List.iter
+    (fun (c : Cpu.core) ->
+      if c.run_state = Cpu.Running then c.run_state <- Cpu.Descheduled)
+    (Cpu.aps m.cpus);
+  Machine.log_event m "apic: APs descheduled via CPU hotplug"
+
+let send_init_ipi (m : Machine.t) =
+  List.iter
+    (fun (c : Cpu.core) ->
+      match c.run_state with
+      | Cpu.Running ->
+          failwith
+            (Printf.sprintf "apic: INIT IPI to busy AP %d (deschedule it first)" c.id)
+      | Cpu.Descheduled | Cpu.Wait_for_sipi -> c.run_state <- Cpu.Wait_for_sipi)
+    (Cpu.aps m.cpus);
+  Machine.log_event m "apic: INIT IPI delivered to all APs"
+
+let release_aps (m : Machine.t) =
+  List.iter (fun (c : Cpu.core) -> c.run_state <- Cpu.Running) (Cpu.aps m.cpus);
+  Machine.log_event m "apic: APs released"

@@ -1,0 +1,17 @@
+(** Inter-processor interrupt delivery.
+
+    On a multi-core system, SKINIT requires every Application Processor to
+    have received an INIT IPI so it participates in the launch handshake;
+    the flicker-module deschedules the APs via CPU hotplug and then writes
+    the INIT IPI to the APIC (Section 4.2). *)
+
+val deschedule_aps : Machine.t -> unit
+(** CPU-hotplug: move every Running AP to [Descheduled]. *)
+
+val send_init_ipi : Machine.t -> unit
+(** Park every AP in [Wait_for_sipi].
+    @raise Failure if any AP is still [Running] (the BSP cannot INIT a
+    busy processor, mirroring the constraint the paper works around). *)
+
+val release_aps : Machine.t -> unit
+(** Resume all APs to [Running] after the Flicker session ends. *)

@@ -1,0 +1,17 @@
+type t = { mutable now : float }
+
+let create () = { now = 0.0 }
+let now t = t.now
+
+let advance t ms =
+  if ms < 0.0 then invalid_arg "Clock.advance: negative";
+  t.now <- t.now +. ms
+
+type span = { started_at : float; ended_at : float }
+
+let time t f =
+  let started_at = t.now in
+  let result = f () in
+  (result, { started_at; ended_at = t.now })
+
+let duration s = s.ended_at -. s.started_at

@@ -1,0 +1,24 @@
+(** Simulated wall clock.
+
+    The original evaluation measured real TPM and CPU latencies with RDTSC;
+    this reproduction instead charges calibrated latencies (see {!Timing})
+    against a simulated clock, so every table in the paper can be
+    regenerated deterministically. Time is in milliseconds. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+(** Milliseconds since machine power-on. *)
+
+val advance : t -> float -> unit
+(** [advance t ms] moves time forward. @raise Invalid_argument on a
+    negative amount. *)
+
+type span = { started_at : float; ended_at : float }
+
+val time : t -> (unit -> 'a) -> 'a * span
+(** [time t f] runs [f] and reports the simulated interval it consumed
+    (everything [f] charged via [advance]). *)
+
+val duration : span -> float

@@ -1,0 +1,21 @@
+(** Device Exclusion Vector.
+
+    AMD SVM's DEV is a bit vector over physical pages; a set bit blocks all
+    DMA to that page. SKINIT sets the bits covering the 64 KB SLB region so
+    that no DMA-capable device can read or tamper with the measured code
+    (Section 2.4). *)
+
+type t
+
+val create : pages:int -> t
+val protect_range : t -> addr:int -> len:int -> unit
+(** Set the DEV bits for every page overlapping the byte range. *)
+
+val unprotect_range : t -> addr:int -> len:int -> unit
+val clear : t -> unit
+val is_page_protected : t -> int -> bool
+val allows : t -> addr:int -> len:int -> bool
+(** [true] iff no byte of the range lies in a protected page. *)
+
+val protected_pages : t -> int list
+(** Sorted list of protected page numbers (for tests and audits). *)

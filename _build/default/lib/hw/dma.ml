@@ -1,0 +1,52 @@
+type attempt = {
+  at : float;
+  device : string;
+  addr : int;
+  len : int;
+  write : bool;
+  blocked : bool;
+}
+
+type t = {
+  machine : Machine.t;
+  device_name : string;
+  mutable log : attempt list; (* newest first *)
+}
+
+let create machine ~name = { machine; device_name = name; log = [] }
+let name t = t.device_name
+
+let record t ~addr ~len ~write ~blocked =
+  t.log <-
+    {
+      at = Clock.now t.machine.Machine.clock;
+      device = t.device_name;
+      addr;
+      len;
+      write;
+      blocked;
+    }
+    :: t.log;
+  if blocked then
+    Machine.log_event t.machine
+      (Printf.sprintf "dev: blocked DMA %s by %s at %#x (%d bytes)"
+         (if write then "write" else "read")
+         t.device_name addr len)
+
+let read t ~addr ~len =
+  let allowed = Dev.allows t.machine.Machine.dev ~addr ~len in
+  record t ~addr ~len ~write:false ~blocked:(not allowed);
+  if allowed then Ok (Memory.read t.machine.Machine.memory ~addr ~len)
+  else Error "DEV: DMA read blocked"
+
+let write t ~addr ~data =
+  let len = String.length data in
+  let allowed = Dev.allows t.machine.Machine.dev ~addr ~len in
+  record t ~addr ~len ~write:true ~blocked:(not allowed);
+  if allowed then begin
+    Memory.write t.machine.Machine.memory ~addr data;
+    Ok ()
+  end
+  else Error "DEV: DMA write blocked"
+
+let attempts t = List.rev t.log

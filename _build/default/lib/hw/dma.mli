@@ -1,0 +1,28 @@
+(** DMA-capable devices.
+
+    Flicker's adversary model includes malicious expansion hardware (e.g.,
+    a compromised Ethernet card on the PCI bus) that can issue DMA to any
+    physical address. Every access is checked against the DEV; blocked
+    attempts are recorded so tests can assert both that attacks fail during
+    a session and that the log shows they were attempted. *)
+
+type t
+
+type attempt = {
+  at : float;
+  device : string;
+  addr : int;
+  len : int;
+  write : bool;
+  blocked : bool;
+}
+
+val create : Machine.t -> name:string -> t
+val name : t -> string
+
+val read : t -> addr:int -> len:int -> (string, string) result
+(** [Error reason] when the DEV blocks the access. *)
+
+val write : t -> addr:int -> data:string -> (unit, string) result
+val attempts : t -> attempt list
+(** All accesses this device issued, oldest first. *)

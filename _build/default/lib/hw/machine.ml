@@ -1,0 +1,40 @@
+type tpm_hooks = {
+  dynamic_pcr_reset : unit -> unit;
+  measure_into_pcr17 : string -> unit;
+}
+
+type event = { at : float; detail : string }
+
+type t = {
+  memory : Memory.t;
+  dev : Dev.t;
+  cpus : Cpu.t;
+  clock : Clock.t;
+  timing : Timing.t;
+  mutable tpm_hooks : tpm_hooks option;
+  mutable events : event list;
+}
+
+let create ?(memory_size = 16 * 1024 * 1024) ?(cores = 2) timing =
+  let memory = Memory.create ~size:memory_size in
+  {
+    memory;
+    dev = Dev.create ~pages:(memory_size / Memory.page_size);
+    cpus = Cpu.create ~cores;
+    clock = Clock.create ();
+    timing;
+    tpm_hooks = None;
+    events = [];
+  }
+
+let set_tpm_hooks t hooks = t.tpm_hooks <- Some hooks
+
+let log_event t detail =
+  t.events <- { at = Clock.now t.clock; detail } :: t.events;
+  Logs.debug (fun m -> m "[%.3f ms] %s" (Clock.now t.clock) detail)
+
+let events_between t ~since =
+  List.rev (List.filter (fun e -> e.at >= since) t.events)
+
+let charge t ms = Clock.advance t.clock ms
+let charge_sha1 t ~bytes = charge t (Timing.sha1_ms t.timing ~bytes)

@@ -1,0 +1,39 @@
+(** The simulated platform: memory, DEV, CPU cores, clock, and the hooks
+    through which SKINIT drives the TPM.
+
+    The TPM itself lives in [flicker_tpm] (which depends on this library
+    for the clock and timing model); the platform assembly in
+    [flicker_core.Platform] wires a TPM instance into [tpm_hooks]. *)
+
+type tpm_hooks = {
+  dynamic_pcr_reset : unit -> unit;
+      (** Reset PCRs 17–23 to zero, as the chipset does on SKINIT. *)
+  measure_into_pcr17 : string -> unit;
+      (** Hash the transmitted SLB bytes and extend PCR 17. *)
+}
+
+type event = { at : float; detail : string }
+
+type t = {
+  memory : Memory.t;
+  dev : Dev.t;
+  cpus : Cpu.t;
+  clock : Clock.t;
+  timing : Timing.t;
+  mutable tpm_hooks : tpm_hooks option;
+  mutable events : event list;  (** audit trail, newest first *)
+}
+
+val create : ?memory_size:int -> ?cores:int -> Timing.t -> t
+(** Defaults: 16 MB of memory, 2 cores (the dual-core dc5750). *)
+
+val set_tpm_hooks : t -> tpm_hooks -> unit
+val log_event : t -> string -> unit
+val events_between : t -> since:float -> event list
+(** Events at or after [since], oldest first. *)
+
+val charge : t -> float -> unit
+(** Advance the simulated clock by [ms]. *)
+
+val charge_sha1 : t -> bytes:int -> unit
+(** Charge CPU time for hashing [bytes] on the main processor. *)

@@ -1,0 +1,62 @@
+type t = { data : Bytes.t }
+
+let page_size = 4096
+
+let create ~size =
+  if size <= 0 || size mod page_size <> 0 then
+    invalid_arg "Memory.create: size must be a positive multiple of 4096";
+  { data = Bytes.make size '\000' }
+
+let size t = Bytes.length t.data
+
+let check t addr len label =
+  if addr < 0 || len < 0 || addr + len > Bytes.length t.data then
+    invalid_arg (Printf.sprintf "Memory.%s: out of range (addr=%#x len=%d)" label addr len)
+
+let read t ~addr ~len =
+  check t addr len "read";
+  Bytes.sub_string t.data addr len
+
+let write t ~addr s =
+  check t addr (String.length s) "write";
+  Bytes.blit_string s 0 t.data addr (String.length s)
+
+let read_byte t addr =
+  check t addr 1 "read_byte";
+  Char.code (Bytes.get t.data addr)
+
+let write_byte t addr v =
+  check t addr 1 "write_byte";
+  Bytes.set t.data addr (Char.chr (v land 0xff))
+
+let read_u16_le t addr =
+  check t addr 2 "read_u16_le";
+  Char.code (Bytes.get t.data addr) lor (Char.code (Bytes.get t.data (addr + 1)) lsl 8)
+
+let write_u16_le t addr v =
+  check t addr 2 "write_u16_le";
+  Bytes.set t.data addr (Char.chr (v land 0xff));
+  Bytes.set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let zero t ~addr ~len =
+  check t addr len "zero";
+  Bytes.fill t.data addr len '\000'
+
+let page_of_addr addr = addr / page_size
+
+let pages_of_range ~addr ~len =
+  if len <= 0 then invalid_arg "Memory.pages_of_range: empty range";
+  (page_of_addr addr, page_of_addr (addr + len - 1))
+
+let find_pattern t pattern =
+  let plen = String.length pattern in
+  if plen = 0 then None
+  else begin
+    let limit = Bytes.length t.data - plen in
+    let rec scan i =
+      if i > limit then None
+      else if Bytes.sub_string t.data i plen = pattern then Some i
+      else scan (i + 1)
+    in
+    scan 0
+  end

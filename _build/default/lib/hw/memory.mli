@@ -1,0 +1,37 @@
+(** Simulated physical memory.
+
+    A flat byte-addressable space divided into 4 KB pages. Both the
+    untrusted OS and (via {!Dev}-checked paths) DMA devices operate on this
+    space; the SLB is laid out here before SKINIT executes. *)
+
+type t
+
+val page_size : int
+(** 4096 bytes. *)
+
+val create : size:int -> t
+(** @raise Invalid_argument unless [size] is a positive multiple of the
+    page size. *)
+
+val size : t -> int
+val read : t -> addr:int -> len:int -> string
+(** @raise Invalid_argument on out-of-range access. *)
+
+val write : t -> addr:int -> string -> unit
+val read_byte : t -> int -> int
+val write_byte : t -> int -> int -> unit
+val read_u16_le : t -> int -> int
+(** Little-endian 16-bit read (the SLB header words are 16-bit values). *)
+
+val write_u16_le : t -> int -> int -> unit
+val zero : t -> addr:int -> len:int -> unit
+(** Zeroize a region, as the SLB Core's cleanup phase does. *)
+
+val page_of_addr : int -> int
+val pages_of_range : addr:int -> len:int -> int * int
+(** [(first_page, last_page)] covered by the byte range.
+    @raise Invalid_argument on an empty range. *)
+
+val find_pattern : t -> string -> int option
+(** Linear scan for a byte pattern; used by the simulated adversary to
+    hunt for secrets left in memory. Returns the first match address. *)

@@ -1,0 +1,1 @@
+lib/os/adversary.ml: Flicker_hw Flicker_tpm Format List Printf String

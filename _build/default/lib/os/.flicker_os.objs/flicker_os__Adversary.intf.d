@@ -1,0 +1,1 @@
+lib/os/adversary.mli: Flicker_hw Flicker_tpm Format

@@ -1,0 +1,1 @@
+lib/os/blockdev.ml: Buffer Flicker_crypto Flicker_hw Hashtbl List Md5 Printf Scheduler String Util

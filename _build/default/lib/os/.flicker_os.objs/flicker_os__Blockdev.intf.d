@@ -1,0 +1,1 @@
+lib/os/blockdev.mli: Flicker_hw Scheduler

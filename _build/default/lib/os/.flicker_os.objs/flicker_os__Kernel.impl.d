@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Array Buffer Flicker_crypto List Printf Prng String Util

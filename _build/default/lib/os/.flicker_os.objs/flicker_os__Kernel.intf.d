@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Flicker_crypto

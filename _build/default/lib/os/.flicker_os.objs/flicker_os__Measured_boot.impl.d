@@ -1,0 +1,1 @@
+lib/os/measured_boot.ml: Flicker_crypto Flicker_tpm Kernel List Printf Sha1

@@ -1,0 +1,1 @@
+lib/os/measured_boot.mli: Flicker_tpm Kernel

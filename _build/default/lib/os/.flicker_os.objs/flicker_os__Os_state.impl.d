@@ -1,0 +1,1 @@
+lib/os/os_state.ml: Flicker_hw Kernel

@@ -1,0 +1,1 @@
+lib/os/os_state.mli: Flicker_hw Kernel

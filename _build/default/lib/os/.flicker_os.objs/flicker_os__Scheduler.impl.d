@@ -1,0 +1,1 @@
+lib/os/scheduler.ml: Flicker_hw List

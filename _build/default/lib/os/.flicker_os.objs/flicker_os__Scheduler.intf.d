@@ -1,0 +1,1 @@
+lib/os/scheduler.mli: Flicker_hw

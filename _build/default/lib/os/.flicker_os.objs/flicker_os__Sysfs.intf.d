@@ -1,0 +1,1 @@
+lib/os/sysfs.mli:

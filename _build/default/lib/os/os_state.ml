@@ -1,0 +1,41 @@
+module Cpu = Flicker_hw.Cpu
+module Machine = Flicker_hw.Machine
+
+type saved = {
+  cr3 : int;
+  cs : Cpu.segment;
+  ds : Cpu.segment;
+  ss : Cpu.segment;
+  interrupts_enabled : bool;
+  mode : Cpu.mode;
+  paging_enabled : bool;
+}
+
+let save (m : Machine.t) kernel =
+  let bsp = Cpu.bsp m.Machine.cpus in
+  Machine.log_event m "flicker-module: OS state saved";
+  {
+    cr3 = Kernel.page_table_root kernel;
+    cs = bsp.Cpu.cs;
+    ds = bsp.Cpu.ds;
+    ss = bsp.Cpu.ss;
+    interrupts_enabled = bsp.Cpu.interrupts_enabled;
+    mode = bsp.Cpu.mode;
+    paging_enabled = bsp.Cpu.paging_enabled;
+  }
+
+let restore (m : Machine.t) kernel saved =
+  let bsp = Cpu.bsp m.Machine.cpus in
+  (* Mirrors the SLB Core's resume path: segments first (via the call
+     gate), then paging with a skeleton table, then the saved CR3. *)
+  bsp.Cpu.cs <- saved.cs;
+  bsp.Cpu.ds <- saved.ds;
+  bsp.Cpu.ss <- saved.ss;
+  bsp.Cpu.paging_enabled <- saved.paging_enabled;
+  bsp.Cpu.cr3 <- saved.cr3;
+  Kernel.set_page_table_root kernel saved.cr3;
+  bsp.Cpu.mode <- saved.mode;
+  bsp.Cpu.interrupts_enabled <- saved.interrupts_enabled;
+  Machine.log_event m "flicker-module: OS state restored"
+
+let saved_cr3 s = s.cr3

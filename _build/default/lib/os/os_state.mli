@@ -1,0 +1,17 @@
+(** Saved execution state of the untrusted OS.
+
+    SKINIT destroys the executing context, so the flicker-module snapshots
+    what the SLB Core needs to bring Linux back: the page-table base (CR3),
+    the segment registers, and the interrupt flag (Section 4.2,
+    "Suspend OS" / "Resume OS"). *)
+
+type saved
+
+val save : Flicker_hw.Machine.t -> Kernel.t -> saved
+(** Snapshot the BSP state and the kernel's page-table root. *)
+
+val restore : Flicker_hw.Machine.t -> Kernel.t -> saved -> unit
+(** Reload segments covering all of memory, re-enable paging with the
+    saved CR3, restore long mode, and re-enable interrupts. *)
+
+val saved_cr3 : saved -> int

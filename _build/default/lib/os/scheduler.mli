@@ -1,0 +1,40 @@
+(** A small multi-core process scheduler for the untrusted OS.
+
+    Exists to reproduce the paper's system-impact experiments: CPU hotplug
+    removes the APs from scheduling before a session (Section 4.2), a
+    Flicker session freezes all progress (Section 7.5), and Table 3
+    measures a kernel build's wall-clock time under periodic detector
+    runs. Work is measured in single-core CPU-milliseconds. *)
+
+type process = {
+  pid : int;
+  name : string;
+  mutable remaining_ms : float;
+  mutable started_at : float;
+  mutable completed_at : float option;
+}
+
+type t
+
+val create : Flicker_hw.Machine.t -> t
+val spawn : t -> name:string -> work_ms:float -> process
+val active_processes : t -> process list
+val online_cores : t -> int
+(** Cores currently accepting work ([Running] state). *)
+
+val run_for : t -> float -> unit
+(** Advance the wall clock by [ms], distributing core time fairly over
+    runnable processes. Makes no progress while the OS is suspended.
+    Progress accounting is driven by clock deltas, so time that passes
+    elsewhere in the simulation while the OS is live (a TPM quote, a DMA
+    transfer) also lets processes run — only a Flicker session freezes
+    them, which is exactly the Section 7.5 behaviour. *)
+
+val run_until_complete : t -> process -> unit
+(** @raise Failure if the OS is suspended or no core is online. *)
+
+val suspend : t -> unit
+(** Enter a Flicker session: no process makes progress. *)
+
+val resume : t -> unit
+val is_suspended : t -> bool

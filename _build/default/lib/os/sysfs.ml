@@ -1,0 +1,12 @@
+type t = (string, string) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+let write t ~path data = Hashtbl.replace t path data
+let read t ~path = Hashtbl.find_opt t path
+
+let read_exn t ~path =
+  match read t ~path with Some v -> v | None -> raise Not_found
+
+let remove t ~path = Hashtbl.remove t path
+let paths t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+let standard_entries = [ "control"; "inputs"; "outputs"; "slb" ]

@@ -1,0 +1,22 @@
+(** The flicker-module's sysfs interface.
+
+    Applications drive Flicker through four virtual-filesystem entries:
+    [slb] (the uninitialized SLB), [inputs], [control] (writing starts a
+    session), and [outputs] (Section 4.2, "Accept Uninitialized SLB and
+    Inputs"). This module is the generic key/value filesystem; the entry
+    semantics live in [Flicker_core.Session]. *)
+
+type t
+
+val create : unit -> t
+val write : t -> path:string -> string -> unit
+val read : t -> path:string -> string option
+val read_exn : t -> path:string -> string
+(** @raise Not_found when the entry is absent. *)
+
+val remove : t -> path:string -> unit
+val paths : t -> string list
+(** Sorted. *)
+
+val standard_entries : string list
+(** ["control"; "inputs"; "outputs"; "slb"]. *)

@@ -1,0 +1,1 @@
+lib/slb/builder.ml: Bytes Char Layout Pal Slb_core String

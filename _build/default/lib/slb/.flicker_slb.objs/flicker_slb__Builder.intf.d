@@ -1,0 +1,1 @@
+lib/slb/builder.mli: Pal

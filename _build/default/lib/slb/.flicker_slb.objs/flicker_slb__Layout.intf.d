@@ -1,0 +1,1 @@
+lib/slb/layout.mli:

@@ -1,0 +1,1 @@
+lib/slb/mod_crypto.ml: Aes Bignum Elgamal Flicker_crypto Flicker_hw Hmac Md5 Md5crypt Pkcs1 Rsa Sha1 Sha512 String

@@ -1,0 +1,1 @@
+lib/slb/mod_crypto.mli: Flicker_crypto Flicker_hw

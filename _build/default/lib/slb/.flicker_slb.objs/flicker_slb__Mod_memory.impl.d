@@ -1,0 +1,1 @@
+lib/slb/mod_memory.ml: Bytes List Option String

@@ -1,0 +1,1 @@
+lib/slb/mod_os_protection.ml: Flicker_hw Printf

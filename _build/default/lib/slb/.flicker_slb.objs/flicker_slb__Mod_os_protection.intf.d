@@ -1,0 +1,1 @@
+lib/slb/mod_os_protection.mli: Flicker_hw

@@ -1,0 +1,1 @@
+lib/slb/mod_secure_channel.ml: Flicker_crypto Flicker_tpm Mod_crypto Mod_tpm_driver Mod_tpm_utils Pal_env Prng Rsa String Util

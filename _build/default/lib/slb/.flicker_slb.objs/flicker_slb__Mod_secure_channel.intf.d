@@ -1,0 +1,1 @@
+lib/slb/mod_secure_channel.mli: Flicker_crypto Pal_env

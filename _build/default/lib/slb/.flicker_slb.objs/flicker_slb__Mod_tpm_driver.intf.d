@@ -1,0 +1,1 @@
+lib/slb/mod_tpm_driver.mli: Flicker_tpm

@@ -1,0 +1,1 @@
+lib/slb/mod_tpm_utils.ml: Flicker_crypto Flicker_tpm Prng String

@@ -1,0 +1,1 @@
+lib/slb/mod_tpm_utils.mli: Flicker_crypto Flicker_tpm

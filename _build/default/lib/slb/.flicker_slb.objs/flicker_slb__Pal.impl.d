@@ -1,0 +1,1 @@
+lib/slb/pal.ml: Buffer Flicker_crypto Hashtbl Int Layout List Pal_env Printf Sha1 Sha256 Slb_core String

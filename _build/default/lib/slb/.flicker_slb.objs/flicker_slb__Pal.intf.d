@@ -1,0 +1,1 @@
+lib/slb/pal.mli: Pal_env

@@ -1,0 +1,1 @@
+lib/slb/pal_env.ml: Flicker_crypto Flicker_hw Flicker_tpm Layout Mod_memory Mod_os_protection Mod_tpm_driver String

@@ -1,0 +1,1 @@
+lib/slb/slb_core.ml: Buffer Bytes Char Flicker_crypto Layout Printf Sha1 Sha256 String

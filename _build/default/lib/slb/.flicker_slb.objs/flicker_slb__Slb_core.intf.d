@@ -1,0 +1,1 @@
+lib/slb/slb_core.mli: Bytes Flicker_tpm

@@ -1,0 +1,1 @@
+lib/slb/tcb.ml: Format List Pal Slb_core

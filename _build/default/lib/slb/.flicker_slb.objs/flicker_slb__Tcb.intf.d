@@ -1,0 +1,1 @@
+lib/slb/tcb.mli: Format Pal

@@ -1,0 +1,36 @@
+(** Links a PAL against the SLB Core into an SLB image — the simulator's
+    equivalent of the Flicker linker script (Section 5.1.2), which places
+    the SLB Core's skeleton structures first and emits a flat binary.
+
+    Two flavors:
+    - [Standard]: SKINIT measures the whole image (header + core + PAL).
+    - [Optimized]: SKINIT measures only the 4736-byte hash-then-extend
+      stub; the stub hashes the full 64 KB window on the main CPU and
+      extends PCR 17 itself (Section 7.2, "SKINIT Optimization"). *)
+
+type flavor = Standard | Optimized
+
+type image = {
+  flavor : flavor;
+  bytes : string;  (** full 64 KB uninitialized window image *)
+  measured_length : int;  (** value of the header's length field *)
+  pal_region_off : int;
+  pal_region_len : int;
+}
+
+val build : ?flavor:flavor -> Pal.t -> image
+(** @raise Invalid_argument when the PAL does not fit. *)
+
+val initialize : image -> slb_base:int -> string
+(** The patched (GDT/TSS bases filled in) 64 KB image the flicker-module
+    loads at [slb_base] — and the bytes a verifier must hash to predict
+    the measurement. *)
+
+val pal_code_of_window : string -> (string, string) result
+(** Extract the linked PAL code back out of a 64 KB window image (as the
+    session dispatcher does from physical memory after SKINIT). Works for
+    both flavors by reading the headers. *)
+
+val slb_sizes : Pal.t -> int * int
+(** [(standard_measured, optimized_measured)] byte counts for a PAL —
+    what Table 2 sweeps. *)

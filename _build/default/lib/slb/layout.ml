@@ -1,0 +1,11 @@
+let slb_size = 64 * 1024
+let header_size = 4
+let pal_region_end = 60 * 1024
+let stack_size = 4096
+let page_size = 4096
+let inputs_page_offset = slb_size
+let outputs_page_offset = slb_size + page_size
+let io_page_size = page_size
+let total_footprint = slb_size + (2 * page_size)
+
+let max_pal_code ~slb_core_size = pal_region_end - header_size - slb_core_size

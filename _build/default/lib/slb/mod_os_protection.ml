@@ -1,0 +1,37 @@
+module Cpu = Flicker_hw.Cpu
+module Machine = Flicker_hw.Machine
+
+type policy = { region_base : int; region_len : int }
+
+exception Pal_fault of string
+
+let policy_for_launch ~slb_base ~footprint =
+  { region_base = slb_base; region_len = footprint }
+
+let check policy ~addr ~len =
+  if len < 0 then raise (Pal_fault "negative access length");
+  if len > 0 && (addr < policy.region_base || addr + len > policy.region_base + policy.region_len)
+  then
+    raise
+      (Pal_fault
+         (Printf.sprintf "#GP: PAL access at %#x (%d bytes) outside [%#x, %#x)" addr len
+            policy.region_base
+            (policy.region_base + policy.region_len)))
+
+let enter_ring3 (m : Machine.t) policy =
+  let bsp = Cpu.bsp m.Machine.cpus in
+  let seg = { Cpu.base = policy.region_base; limit = policy.region_len - 1 } in
+  bsp.Cpu.cs <- seg;
+  bsp.Cpu.ds <- seg;
+  bsp.Cpu.ss <- seg;
+  bsp.Cpu.ring <- 3;
+  Machine.log_event m "os-protection: PAL entered ring 3 with limited segments"
+
+let exit_ring3 (m : Machine.t) =
+  let bsp = Cpu.bsp m.Machine.cpus in
+  bsp.Cpu.ring <- 0;
+  let flat = Cpu.flat_segment (Flicker_hw.Memory.size m.Machine.memory) in
+  bsp.Cpu.cs <- flat;
+  bsp.Cpu.ds <- flat;
+  bsp.Cpu.ss <- flat;
+  Machine.log_event m "os-protection: returned to ring 0 via call gate"

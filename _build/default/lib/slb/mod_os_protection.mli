@@ -1,0 +1,30 @@
+(** OS Protection PAL module (Figure 6: 5 LOC, 46 bytes; Section 5.1.2).
+
+    Protects a legitimate OS from a malicious or buggy PAL: the SLB Core
+    builds segment descriptors limited to the memory the OS allocated and
+    drops the PAL to CPU ring 3 via IRET; the PAL returns to ring 0
+    through a call gate. A PAL access outside its segment faults instead
+    of reaching OS memory. *)
+
+type policy = {
+  region_base : int;  (** lowest physical address the PAL may touch *)
+  region_len : int;
+}
+
+exception Pal_fault of string
+(** Raised when a ring-3 PAL violates its segment limits — the simulated
+    general-protection fault. *)
+
+val policy_for_launch :
+  slb_base:int -> footprint:int -> policy
+(** The region the flicker-module allocated: SLB window plus I/O pages. *)
+
+val check : policy -> addr:int -> len:int -> unit
+(** @raise Pal_fault on any byte outside the region. *)
+
+val enter_ring3 : Flicker_hw.Machine.t -> policy -> unit
+(** IRET with PAL-limited segment descriptors (two extra PUSHes in the
+    real SLB Core). *)
+
+val exit_ring3 : Flicker_hw.Machine.t -> unit
+(** Return to ring 0 through the call gate / TSS. *)

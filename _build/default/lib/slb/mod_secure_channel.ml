@@ -1,0 +1,63 @@
+open Flicker_crypto
+module Tpm = Flicker_tpm.Tpm
+module Tpm_types = Flicker_tpm.Tpm_types
+
+type setup_output = { public_key : Rsa.public; sealed_private : string }
+
+let with_tpm env f =
+  match Mod_tpm_driver.claim env.Pal_env.tpm_driver with
+  | Error e -> Error e
+  | Ok () ->
+      let result = f (Pal_env.tpm env) in
+      Mod_tpm_driver.release env.Pal_env.tpm_driver;
+      result
+
+let setup env ~key_bits =
+  with_tpm env (fun tpm ->
+      (* Seed the PAL's keygen from the TPM hardware RNG, as the paper's
+         implementation does (the 1.3 ms GetRandom in Section 7.4.1). *)
+      let seed = Mod_tpm_utils.get_random tpm 128 in
+      Prng.reseed env.Pal_env.rng seed;
+      let key = Mod_crypto.rsa_generate env.Pal_env.machine env.Pal_env.rng ~bits:key_bits in
+      match Mod_tpm_utils.pcr_read tpm 17 with
+      | Error e -> Error (Tpm_types.error_to_string e)
+      | Ok pcr17 -> (
+          match
+            Mod_tpm_utils.seal_to_pcr17 tpm ~rng:env.Pal_env.rng ~pcr17
+              (Rsa.private_to_string key)
+          with
+          | Error e -> Error (Tpm_types.error_to_string e)
+          | Ok sealed_private -> Ok { public_key = key.Rsa.pub; sealed_private }))
+
+let recover env ~sealed_private =
+  with_tpm env (fun tpm ->
+      match Mod_tpm_utils.unseal tpm ~rng:env.Pal_env.rng sealed_private with
+      | Error e -> Error (Tpm_types.error_to_string e)
+      | Ok raw -> (
+          match Rsa.private_of_string raw with
+          | key -> Ok key
+          | exception Invalid_argument msg -> Error ("corrupt private key: " ^ msg)))
+
+let field s = Util.be32_of_int (String.length s) ^ s
+
+let encode_setup_output out =
+  field (Rsa.public_to_string out.public_key) ^ field out.sealed_private
+
+let decode_setup_output s =
+  let read off =
+    if off + 4 > String.length s then Error "truncated"
+    else begin
+      let len = Util.int_of_be32 s off in
+      if off + 4 + len > String.length s then Error "truncated"
+      else Ok (String.sub s (off + 4) len, off + 4 + len)
+    end
+  in
+  match read 0 with
+  | Error e -> Error e
+  | Ok (pub_raw, off) -> (
+      match read off with
+      | Error e -> Error e
+      | Ok (sealed_private, _) -> (
+          match Rsa.public_of_string pub_raw with
+          | public_key -> Ok { public_key; sealed_private }
+          | exception Invalid_argument msg -> Error msg))

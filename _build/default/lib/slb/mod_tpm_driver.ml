@@ -1,0 +1,29 @@
+type t = { device : Flicker_tpm.Tpm.t; mutable claimed : bool }
+
+let attach device = { device; claimed = false }
+
+let claim t =
+  if t.claimed then Error "TPM driver: device already claimed"
+  else begin
+    t.claimed <- true;
+    Ok ()
+  end
+
+let release t = t.claimed <- false
+let is_claimed t = t.claimed
+
+let tpm t =
+  if t.claimed then Ok t.device
+  else Error "TPM driver: device not claimed (call claim first)"
+
+let submit_raw t buf =
+  if not t.claimed then Error "TPM driver: device not claimed (call claim first)"
+  else Ok (Flicker_tpm.Tpm_wire.dispatch t.device buf)
+
+let submit t cmd =
+  match submit_raw t (Flicker_tpm.Tpm_wire.encode_command cmd) with
+  | Error e -> Error e
+  | Ok resp_buf ->
+      Flicker_tpm.Tpm_wire.decode_response
+        ~ordinal:(Flicker_tpm.Tpm_wire.ordinal_of_command cmd)
+        resp_buf

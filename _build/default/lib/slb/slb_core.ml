@@ -1,0 +1,46 @@
+open Flicker_crypto
+
+let loc = 94
+let core_size = 320
+let stub_size = 4736
+
+(* Patch fields live inside the core region; their offsets are measured
+   from the SLB base (header included). *)
+let gdt_patch_offset = 8
+let tss_patch_offset = 16
+
+let synth ~name ~size =
+  let buf = Buffer.create size in
+  Buffer.add_string buf ("\x7fSLBCORE:" ^ name ^ "\x00");
+  let counter = ref 0 in
+  while Buffer.length buf < size do
+    Buffer.add_string buf (Sha256.digest (Printf.sprintf "slbcore:%s:%d" name !counter));
+    incr counter
+  done;
+  String.sub (Buffer.contents buf) 0 size
+
+(* Zero the skeleton GDT/TSS base fields so images are deterministic
+   before patching. Offsets here are relative to the core code (which
+   starts 4 bytes into the SLB). *)
+let blank_patches code =
+  let b = Bytes.of_string code in
+  Bytes.fill b (gdt_patch_offset - Layout.header_size) 4 '\000';
+  Bytes.fill b (tss_patch_offset - Layout.header_size) 4 '\000';
+  Bytes.to_string b
+
+let code = blank_patches (synth ~name:"core-v1" ~size:core_size)
+let stub_code = blank_patches (synth ~name:"hash-extend-stub-v1" ~size:(stub_size - Layout.header_size))
+
+let patch image ~slb_base =
+  let set32 off v =
+    for i = 0 to 3 do
+      Bytes.set image (off + i) (Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+    done
+  in
+  set32 gdt_patch_offset slb_base;
+  set32 tss_patch_offset slb_base
+
+let cap_value = Sha1.digest "FLICKER: session closed"
+
+let init_overhead_ms = 0.02
+let cleanup_overhead_ms = 0.05

@@ -1,0 +1,50 @@
+(** The SLB Core: the mandatory ~250-line trusted stub every PAL links
+    against (Figure 6: 94 LOC, 0.3 KB; Section 4.2).
+
+    Its code occupies the front of the SLB right after the header. It
+    carries a skeleton GDT and TSS whose base fields the flicker-module
+    patches once the SLB's physical address is known; after SKINIT it
+    loads segments, calls the PAL, erases secrets, extends PCR 17 with
+    the results and the closing constant, rebuilds skeleton page tables,
+    and resumes the OS.
+
+    The "hash-then-extend" variant is the Section 7.2 optimization: a
+    4736-byte stub is all SKINIT measures; the stub then hashes the full
+    64 KB on the fast main CPU and extends PCR 17 itself, cutting SKINIT
+    from 177.5 ms to 14 ms. *)
+
+val loc : int
+(** 94 lines (Figure 6). *)
+
+val core_size : int
+(** 320 bytes of core code following the 4-byte header. *)
+
+val stub_size : int
+(** 4736 bytes: the measured portion of an optimized SLB, header
+    included (Section 7.2 reports exactly this figure). *)
+
+val code : string
+(** The core's code bytes ([core_size] long) with zeroed patch fields. *)
+
+val stub_code : string
+(** Code bytes of the hash-then-extend loader ([stub_size - 4] long,
+    the header being separate). *)
+
+val gdt_patch_offset : int
+(** Offset (from the SLB base) of the 4-byte GDT base field the
+    flicker-module fills in with [slb_base]. *)
+
+val tss_patch_offset : int
+val patch : Bytes.t -> slb_base:int -> unit
+(** Apply both patches to an SLB image in place. *)
+
+val cap_value : Flicker_tpm.Tpm_types.digest
+(** The "well-known value" extended into PCR 17 when the session ends —
+    it revokes the PAL's access to sealed secrets and marks everything
+    after it as untrusted (Section 4.4.1). *)
+
+val init_overhead_ms : float
+(** GDT/segment loads and the call into the PAL. *)
+
+val cleanup_overhead_ms : float
+(** Zeroization, page-table skeleton, segment reloads, resume. *)

@@ -1,0 +1,19 @@
+(** TCB accounting (Figures 1 and 6, and the paper's headline "as few as
+    250 lines"). *)
+
+type row = { component : string; loc : int; size_bytes : int }
+
+val figure6 : unit -> row list
+(** Every module with the paper's LOC and size figures, SLB Core first. *)
+
+val pal_tcb : Pal.t -> row list
+(** The rows a specific PAL actually links: SLB Core plus its modules. *)
+
+val totals : row list -> int * int
+(** (total LOC, total bytes). *)
+
+val comparison : (string * int) list
+(** Approximate TCB sizes the paper contrasts: Flicker's mandatory core
+    vs the Xen hypervisor vs a commodity OS kernel. *)
+
+val pp_rows : Format.formatter -> row list -> unit

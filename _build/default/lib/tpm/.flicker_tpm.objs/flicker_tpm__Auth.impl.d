@@ -1,0 +1,1 @@
+lib/tpm/auth.ml: Flicker_crypto Hashtbl Hmac Prng Tpm_types Util

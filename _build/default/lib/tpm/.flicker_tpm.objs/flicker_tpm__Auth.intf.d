@@ -1,0 +1,1 @@
+lib/tpm/auth.mli: Flicker_crypto Tpm_types

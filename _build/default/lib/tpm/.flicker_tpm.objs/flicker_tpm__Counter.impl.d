@@ -1,0 +1,1 @@
+lib/tpm/counter.ml: Hashtbl Tpm_types

@@ -1,0 +1,1 @@
+lib/tpm/counter.mli: Tpm_types

@@ -1,0 +1,1 @@
+lib/tpm/keys.ml: Flicker_crypto Rsa String Tpm_types

@@ -1,0 +1,1 @@
+lib/tpm/keys.mli: Flicker_crypto

@@ -1,0 +1,1 @@
+lib/tpm/nvram.ml: Hashtbl Int List String Tpm_types

@@ -1,0 +1,1 @@
+lib/tpm/nvram.mli: Tpm_types

@@ -1,0 +1,1 @@
+lib/tpm/pcr.ml: Array Flicker_crypto List Sha1 String Tpm_types

@@ -1,0 +1,1 @@
+lib/tpm/pcr.mli: Tpm_types

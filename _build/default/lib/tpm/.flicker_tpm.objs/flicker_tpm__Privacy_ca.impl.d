@@ -1,0 +1,1 @@
+lib/tpm/privacy_ca.ml: Flicker_crypto Hash List Pkcs1 Rsa

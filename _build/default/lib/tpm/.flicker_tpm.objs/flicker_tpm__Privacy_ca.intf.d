@@ -1,0 +1,1 @@
+lib/tpm/privacy_ca.mli: Flicker_crypto

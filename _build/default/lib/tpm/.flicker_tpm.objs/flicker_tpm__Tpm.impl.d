@@ -1,0 +1,1 @@
+lib/tpm/tpm.ml: Aes Auth Counter Flicker_crypto Flicker_hw Hash Hmac Keys List Nvram Pcr Pkcs1 Prng Rsa Sha1 Sha256 String Tpm_types Util

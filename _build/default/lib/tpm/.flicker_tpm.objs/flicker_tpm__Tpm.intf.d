@@ -1,0 +1,1 @@
+lib/tpm/tpm.mli: Auth Flicker_crypto Flicker_hw Nvram Tpm_types

@@ -1,0 +1,1 @@
+lib/tpm/tpm_types.ml: Buffer Flicker_crypto Format Int List Sha1 String Util

@@ -1,0 +1,1 @@
+lib/tpm/tpm_types.mli: Format

@@ -1,0 +1,1 @@
+lib/tpm/tpm_wire.ml: Auth Flicker_crypto List Printf String Tpm Tpm_types Util

@@ -1,0 +1,1 @@
+lib/tpm/tpm_wire.mli: Tpm Tpm_types

@@ -1,0 +1,61 @@
+open Flicker_crypto
+
+type kind = Oiap | Osap of { entity : string }
+
+type session = {
+  handle : int;
+  kind : kind;
+  mutable nonce_even : string;
+  shared_secret : string option;
+}
+
+type t = {
+  rng : Prng.t;
+  sessions : (int, session) Hashtbl.t;
+  mutable next_handle : int;
+}
+
+let create rng = { rng; sessions = Hashtbl.create 4; next_handle = 0x1000 }
+
+let fresh_nonce t = Prng.bytes t.rng Tpm_types.digest_size
+
+let register t kind shared_secret =
+  let handle = t.next_handle in
+  t.next_handle <- handle + 1;
+  let session = { handle; kind; nonce_even = fresh_nonce t; shared_secret } in
+  Hashtbl.replace t.sessions handle session;
+  session
+
+let start_oiap t = register t Oiap None
+
+let osap_shared_secret ~usage_auth ~ne_osap ~no_osap =
+  Hmac.sha1 ~key:usage_auth (ne_osap ^ no_osap)
+
+let start_osap t ~entity ~usage_auth ~no_osap =
+  let ne_osap = fresh_nonce t in
+  let shared = osap_shared_secret ~usage_auth ~ne_osap ~no_osap in
+  let session = register t (Osap { entity }) (Some shared) in
+  (session, ne_osap)
+
+let auth_mac ~secret ~command_digest ~nonce_even ~nonce_odd =
+  Hmac.sha1 ~key:secret (command_digest ^ nonce_even ^ nonce_odd)
+
+let find t handle = Hashtbl.find_opt t.sessions handle
+
+let verify t ~handle ~entity_auth ~command_digest ~nonce_odd ~mac =
+  match find t handle with
+  | None -> Error Tpm_types.Bad_index
+  | Some session ->
+      let secret =
+        match session.shared_secret with Some s -> s | None -> entity_auth
+      in
+      let expected =
+        auth_mac ~secret ~command_digest ~nonce_even:session.nonce_even ~nonce_odd
+      in
+      if Util.constant_time_equal expected mac then begin
+        session.nonce_even <- fresh_nonce t;
+        Ok ()
+      end
+      else Error Tpm_types.Bad_auth
+
+let close t handle = Hashtbl.remove t.sessions handle

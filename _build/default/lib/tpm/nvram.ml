@@ -1,0 +1,61 @@
+type space_attributes = {
+  size : int;
+  read_pcrs : Tpm_types.pcr_composite;
+  write_pcrs : Tpm_types.pcr_composite;
+}
+
+type space = { attrs : space_attributes; mutable data : string }
+type t = { spaces : (int, space) Hashtbl.t }
+
+let create () = { spaces = Hashtbl.create 8 }
+
+let define_space t ~index attrs =
+  if Hashtbl.mem t.spaces index then Error Tpm_types.Area_exists
+  else if attrs.size <= 0 || attrs.size > 4096 then
+    Error (Tpm_types.Bad_parameter "NV space size out of range")
+  else begin
+    Hashtbl.replace t.spaces index { attrs; data = String.make attrs.size '\000' };
+    Ok ()
+  end
+
+let undefine_space t ~index =
+  if Hashtbl.mem t.spaces index then begin
+    Hashtbl.remove t.spaces index;
+    Ok ()
+  end
+  else Error Tpm_types.Bad_index
+
+(* A constraint is met when every named PCR currently holds the value the
+   space was defined with. *)
+let constraints_met required ~current_pcrs =
+  match required with
+  | [] -> true
+  | _ ->
+      let sel = Tpm_types.selection (List.map fst required) in
+      let live = current_pcrs sel in
+      Tpm_types.composite_hash live = Tpm_types.composite_hash required
+
+let read t ~index ~current_pcrs =
+  match Hashtbl.find_opt t.spaces index with
+  | None -> Error Tpm_types.Bad_index
+  | Some space ->
+      if constraints_met space.attrs.read_pcrs ~current_pcrs then Ok space.data
+      else Error Tpm_types.Wrong_pcr_value
+
+let write t ~index ~current_pcrs data =
+  match Hashtbl.find_opt t.spaces index with
+  | None -> Error Tpm_types.Bad_index
+  | Some space ->
+      if String.length data > space.attrs.size then
+        Error (Tpm_types.Bad_parameter "NV write larger than space")
+      else if constraints_met space.attrs.write_pcrs ~current_pcrs then begin
+        (* short writes update a prefix, as TPM_NV_WriteValue with offset 0 *)
+        space.data <-
+          data ^ String.sub space.data (String.length data)
+                   (space.attrs.size - String.length data);
+        Ok ()
+      end
+      else Error Tpm_types.Wrong_pcr_value
+
+let defined_indices t =
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.spaces [])

@@ -1,0 +1,41 @@
+(** TPM Non-volatile Storage (Section 4.3.2).
+
+    Spaces are defined under owner authorization and can be configured so
+    that reads and writes succeed only when named PCRs hold specified
+    values. Flicker's replay-protection scheme stores a counter in a space
+    gated on the same PCR-17 value as its sealed blobs, making the counter
+    readable only by the intended PAL. *)
+
+type t
+
+type space_attributes = {
+  size : int;
+  read_pcrs : Tpm_types.pcr_composite;
+      (** required PCR values for reading; empty = unrestricted *)
+  write_pcrs : Tpm_types.pcr_composite;
+}
+
+val create : unit -> t
+
+val define_space :
+  t -> index:int -> space_attributes -> (unit, Tpm_types.error) result
+(** @return [Error Area_exists] if the index is taken. *)
+
+val undefine_space : t -> index:int -> (unit, Tpm_types.error) result
+
+val read :
+  t ->
+  index:int ->
+  current_pcrs:(Tpm_types.pcr_selection -> Tpm_types.pcr_composite) ->
+  (string, Tpm_types.error) result
+(** Checks the space's read PCR constraints against the live bank. *)
+
+val write :
+  t ->
+  index:int ->
+  current_pcrs:(Tpm_types.pcr_selection -> Tpm_types.pcr_composite) ->
+  string ->
+  (unit, Tpm_types.error) result
+(** @return [Error (Bad_parameter _)] if the data exceeds the space. *)
+
+val defined_indices : t -> int list

@@ -1,0 +1,245 @@
+open Flicker_crypto
+module Machine = Flicker_hw.Machine
+module Timing = Flicker_hw.Timing
+
+type t = {
+  machine : Machine.t;
+  rng : Prng.t;
+  pcrs : Pcr.t;
+  keys : Keys.t;
+  nvram : Nvram.t;
+  counters : Counter.t;
+  mutable auth_sessions : Auth.t;
+  owner_auth : string;
+  seal_enc_key : Aes.key;
+  seal_mac_key : string;
+}
+
+type authorization = { session : int; nonce_odd : string; mac : string }
+
+type quote = {
+  quoted_composite : Tpm_types.pcr_composite;
+  quote_nonce : string;
+  signature : string;
+}
+
+let profile t = t.machine.Machine.timing.Timing.tpm
+let charge t ms = Machine.charge t.machine ms
+
+(* Sealed-storage wrapping keys, derived from the SRK private key so that
+   unsealing is possible only on this TPM. *)
+let derive_seal_keys srk =
+  let secret = Rsa.private_to_string srk in
+  let enc = String.sub (Sha256.digest ("tpm-seal-enc" ^ secret)) 0 16 in
+  let mac = Sha256.digest ("tpm-seal-mac" ^ secret) in
+  (Aes.expand_key enc, mac)
+
+let create ?owner_auth ?srk_auth machine rng ~key_bits =
+  let owner_auth =
+    match owner_auth with Some a -> a | None -> Keys.well_known_auth
+  in
+  if String.length owner_auth <> Tpm_types.owner_auth_size then
+    invalid_arg "Tpm.create: owner auth must be 20 bytes";
+  let keys = Keys.generate ?srk_auth rng ~key_bits in
+  let seal_enc_key, seal_mac_key = derive_seal_keys keys.Keys.srk in
+  {
+    machine;
+    rng;
+    pcrs = Pcr.create ();
+    keys;
+    nvram = Nvram.create ();
+    counters = Counter.create ();
+    auth_sessions = Auth.create (Prng.fork rng ~label:"tpm-auth");
+    owner_auth;
+    seal_enc_key;
+    seal_mac_key;
+  }
+
+let skinit_hooks t =
+  {
+    Machine.dynamic_pcr_reset = (fun () -> Pcr.dynamic_reset t.pcrs);
+    measure_into_pcr17 =
+      (fun slb_contents ->
+        let measurement = Sha1.digest slb_contents in
+        match Pcr.extend t.pcrs 17 measurement with
+        | Ok _ -> ()
+        | Error e -> failwith ("TPM: PCR 17 extend failed: " ^ Tpm_types.error_to_string e));
+  }
+
+let reboot t =
+  Pcr.reboot t.pcrs;
+  t.auth_sessions <- Auth.create (Prng.fork t.rng ~label:"tpm-auth-reboot")
+
+let aik_public t = Keys.aik_public t.keys
+let ek_public t = Keys.ek_public t.keys
+let owner_auth t = t.owner_auth
+let srk_auth t = t.keys.Keys.srk_auth
+
+let pcr_read t i =
+  charge t (profile t).Timing.pcr_read_ms;
+  Pcr.read t.pcrs i
+
+let pcr_extend t i m =
+  charge t (profile t).Timing.pcr_extend_ms;
+  Pcr.extend t.pcrs i m
+
+let pcr_composite t sel = Pcr.composite t.pcrs sel
+
+let get_random t n =
+  charge t (Timing.get_random_ms t.machine.Machine.timing ~bytes:n);
+  Prng.bytes t.rng n
+
+let quote t ~nonce ~selection =
+  if String.length nonce <> Tpm_types.digest_size then
+    invalid_arg "Tpm.quote: nonce must be 20 bytes";
+  charge t (profile t).Timing.quote_ms;
+  let composite = Pcr.composite t.pcrs selection in
+  let payload = "QUOT" ^ Tpm_types.composite_hash composite ^ nonce in
+  let signature = Pkcs1.sign t.keys.Keys.aik Hash.SHA1 payload in
+  { quoted_composite = composite; quote_nonce = nonce; signature }
+
+let oiap t = Auth.start_oiap t.auth_sessions
+
+let osap t ~entity ~no_osap =
+  match entity with
+  | "SRK" ->
+      Ok (Auth.start_osap t.auth_sessions ~entity ~usage_auth:t.keys.Keys.srk_auth ~no_osap)
+  | _ -> Error (Tpm_types.Bad_parameter ("unknown OSAP entity " ^ entity))
+
+let close_session t handle = Auth.close t.auth_sessions handle
+
+(* --- sealed storage --- *)
+
+let field s = Util.be32_of_int (String.length s) ^ s
+
+let fields_exn s =
+  let rec go off acc =
+    if off = String.length s then List.rev acc
+    else begin
+      let len = Util.int_of_be32 s off in
+      go (off + 4 + len) (String.sub s (off + 4) len :: acc)
+    end
+  in
+  go 0 []
+
+let serialize_composite composite =
+  String.concat ""
+    (List.map (fun (i, v) -> Util.be32_of_int i ^ field v) composite)
+
+let deserialize_composite s =
+  let rec go off acc =
+    if off = String.length s then List.rev acc
+    else begin
+      let idx = Util.int_of_be32 s off in
+      let len = Util.int_of_be32 s (off + 4) in
+      let v = String.sub s (off + 8) len in
+      go (off + 8 + len) ((idx, v) :: acc)
+    end
+  in
+  go 0 []
+
+let seal_command_digest ~release ~data =
+  Sha1.digest ("TPM_Seal" ^ serialize_composite release ^ data)
+
+let unseal_command_digest ~blob = Sha1.digest ("TPM_Unseal" ^ blob)
+
+let check_auth t ~auth ~entity_auth ~command_digest =
+  Auth.verify t.auth_sessions ~handle:auth.session ~entity_auth ~command_digest
+    ~nonce_odd:auth.nonce_odd ~mac:auth.mac
+
+let seal t ~auth ~release data =
+  charge t (profile t).Timing.seal_ms;
+  let command_digest = seal_command_digest ~release ~data in
+  match check_auth t ~auth ~entity_auth:t.keys.Keys.srk_auth ~command_digest with
+  | Error e -> Error e
+  | Ok () ->
+      let payload = field (serialize_composite release) ^ field data in
+      let iv = Prng.bytes t.rng 16 in
+      let ct = Aes.encrypt_cbc t.seal_enc_key ~iv payload in
+      let body = iv ^ ct in
+      let tag = Hmac.mac Hash.SHA256 ~key:t.seal_mac_key body in
+      Ok (tag ^ body)
+
+let unseal t ~auth blob =
+  charge t (profile t).Timing.unseal_ms;
+  let command_digest = unseal_command_digest ~blob in
+  match check_auth t ~auth ~entity_auth:t.keys.Keys.srk_auth ~command_digest with
+  | Error e -> Error e
+  | Ok () ->
+      if String.length blob < 32 + 16 + 16 then Error Tpm_types.Decrypt_error
+      else begin
+        let tag = String.sub blob 0 32 in
+        let body = String.sub blob 32 (String.length blob - 32) in
+        if not (Hmac.verify Hash.SHA256 ~key:t.seal_mac_key ~msg:body ~tag) then
+          Error Tpm_types.Decrypt_error
+        else begin
+          let iv = String.sub body 0 16 in
+          let ct = String.sub body 16 (String.length body - 16) in
+          match Aes.decrypt_cbc t.seal_enc_key ~iv ct with
+          | exception Invalid_argument _ -> Error Tpm_types.Decrypt_error
+          | payload -> (
+              match fields_exn payload with
+              | [ release_raw; data ] ->
+                  let release = deserialize_composite release_raw in
+                  let current = Pcr.composite t.pcrs (List.map fst release) in
+                  if
+                    Tpm_types.composite_hash current
+                    = Tpm_types.composite_hash release
+                  then Ok data
+                  else Error Tpm_types.Wrong_pcr_value
+              | _ | (exception _) -> Error Tpm_types.Decrypt_error)
+        end
+      end
+
+(* --- NV storage --- *)
+
+let nv_define_command_digest ~index (attrs : Nvram.space_attributes) =
+  Sha1.digest
+    ("TPM_NV_DefineSpace" ^ Util.be32_of_int index
+    ^ Util.be32_of_int attrs.Nvram.size
+    ^ serialize_composite attrs.Nvram.read_pcrs
+    ^ serialize_composite attrs.Nvram.write_pcrs)
+
+let nv_define_space t ~auth ~index attrs =
+  charge t (profile t).Timing.nv_write_ms;
+  let command_digest = nv_define_command_digest ~index attrs in
+  match check_auth t ~auth ~entity_auth:t.owner_auth ~command_digest with
+  | Error e -> Error e
+  | Ok () -> Nvram.define_space t.nvram ~index attrs
+
+let current_pcrs t sel = Pcr.composite t.pcrs sel
+
+let nv_read t ~index =
+  charge t (profile t).Timing.nv_read_ms;
+  Nvram.read t.nvram ~index ~current_pcrs:(current_pcrs t)
+
+let nv_write t ~index data =
+  charge t (profile t).Timing.nv_write_ms;
+  Nvram.write t.nvram ~index ~current_pcrs:(current_pcrs t) data
+
+(* --- monotonic counters --- *)
+
+let counter_command_digest ~label = Sha1.digest ("TPM_CreateCounter" ^ label)
+
+let create_counter t ~auth ~label =
+  charge t (profile t).Timing.counter_increment_ms;
+  let command_digest = counter_command_digest ~label in
+  match check_auth t ~auth ~entity_auth:t.owner_auth ~command_digest with
+  | Error e -> Error e
+  | Ok () -> Ok (Counter.create_counter t.counters ~label)
+
+let increment_counter t ~handle =
+  charge t (profile t).Timing.counter_increment_ms;
+  Counter.increment t.counters ~handle
+
+let read_counter t ~handle =
+  charge t (profile t).Timing.nv_read_ms;
+  Counter.read t.counters ~handle
+
+let get_capability_version t =
+  charge t (profile t).Timing.pcr_read_ms;
+  "TPM 1.2 rev 103 (simulated, " ^ (profile t).Timing.tpm_name ^ ")"
+
+let get_capability_pcr_count t =
+  charge t (profile t).Timing.pcr_read_ms;
+  Pcr.count

@@ -1,0 +1,343 @@
+open Flicker_crypto
+
+type command =
+  | Pcr_read of int
+  | Pcr_extend of int * string
+  | Get_random of int
+  | Quote of { nonce : string; selection : int list }
+  | Oiap
+  | Osap of { entity : string; no_osap : string }
+  | Seal of { auth : Tpm.authorization; release : Tpm_types.pcr_composite; data : string }
+  | Unseal of { auth : Tpm.authorization; blob : string }
+  | Nv_read of int
+  | Nv_write of int * string
+  | Read_counter of int
+  | Increment_counter of int
+  | Get_capability_version
+
+type response =
+  | Digest_resp of string
+  | Unit_resp
+  | Quote_resp of Tpm.quote
+  | Session_resp of { handle : int; nonce_even : string }
+  | Osap_resp of { handle : int; nonce_even : string; ne_osap : string }
+  | Blob_resp of string
+  | Counter_resp of int
+  | Error_resp of Tpm_types.error
+
+(* TPM 1.2 Part 3 ordinals *)
+let ord_oiap = 0x0A
+let ord_osap = 0x0B
+let ord_extend = 0x14
+let ord_pcr_read = 0x15
+let ord_quote = 0x16
+let ord_seal = 0x17
+let ord_unseal = 0x18
+let ord_get_random = 0x46
+let ord_nv_read = 0xCF
+let ord_nv_write = 0xCD
+let ord_read_counter = 0xDE
+let ord_increment_counter = 0xDD
+let ord_get_capability = 0x65
+
+let ordinal_of_command = function
+  | Pcr_read _ -> ord_pcr_read
+  | Pcr_extend _ -> ord_extend
+  | Get_random _ -> ord_get_random
+  | Quote _ -> ord_quote
+  | Oiap -> ord_oiap
+  | Osap _ -> ord_osap
+  | Seal _ -> ord_seal
+  | Unseal _ -> ord_unseal
+  | Nv_read _ -> ord_nv_read
+  | Nv_write _ -> ord_nv_write
+  | Read_counter _ -> ord_read_counter
+  | Increment_counter _ -> ord_increment_counter
+  | Get_capability_version -> ord_get_capability
+
+(* tags *)
+let tag_rqu = 0x00C1
+let tag_rqu_auth1 = 0x00C2
+let tag_rsp = 0x00C4
+let tag_rsp_auth1 = 0x00C5
+
+let is_auth_command = function Seal _ | Unseal _ -> true | _ -> false
+
+(* return codes (TPM_BASE offsets from the 1.2 spec) *)
+let error_codes =
+  [
+    (Tpm_types.Bad_auth, 0x01);
+    (Tpm_types.Bad_index, 0x02);
+    (Tpm_types.Bad_parameter "wire", 0x03);
+    (Tpm_types.Wrong_pcr_value, 0x18);
+    (Tpm_types.Decrypt_error, 0x21);
+    (Tpm_types.Area_exists, 0x3B);
+    (Tpm_types.Locality_violation, 0x44);
+  ]
+
+let code_of_error e =
+  let canonical = match e with Tpm_types.Bad_parameter _ -> Tpm_types.Bad_parameter "wire" | e -> e in
+  match List.assoc_opt canonical error_codes with Some c -> c | None -> 0x03
+
+let error_of_code c =
+  match List.find_opt (fun (_, c') -> c = c') error_codes with
+  | Some (e, _) -> Some e
+  | None -> None
+
+(* --- little marshaling kit --- *)
+
+exception Parse of string
+
+type cursor = { buf : string; mutable pos : int }
+
+let take cur n =
+  if cur.pos + n > String.length cur.buf then raise (Parse "buffer underrun");
+  let s = String.sub cur.buf cur.pos n in
+  cur.pos <- cur.pos + n;
+  s
+
+let u32 cur = Util.int_of_be32 (take cur 4) 0
+let digest20 cur = take cur 20
+let lfield cur = take cur (u32 cur)
+let at_end cur = cur.pos = String.length cur.buf
+let expect_end cur = if not (at_end cur) then raise (Parse "trailing bytes")
+
+let put_u32 v = Util.be32_of_int v
+let put_field s = Util.field s
+
+let encode_auth (a : Tpm.authorization) =
+  put_u32 a.Tpm.session ^ a.Tpm.nonce_odd ^ a.Tpm.mac
+
+let decode_auth cur =
+  let session = u32 cur in
+  let nonce_odd = digest20 cur in
+  let mac = digest20 cur in
+  { Tpm.session; nonce_odd; mac }
+
+let encode_composite composite =
+  put_u32 (List.length composite)
+  ^ String.concat ""
+      (List.map (fun (i, v) -> put_u32 i ^ put_field v) composite)
+
+let decode_composite cur =
+  let n = u32 cur in
+  if n < 0 || n > 24 then raise (Parse "composite too large");
+  List.init n (fun _ ->
+      let i = u32 cur in
+      let v = lfield cur in
+      (i, v))
+
+let body_of_command = function
+  | Pcr_read i -> put_u32 i
+  | Pcr_extend (i, d) ->
+      if String.length d <> 20 then invalid_arg "Tpm_wire: extend digest must be 20 bytes";
+      put_u32 i ^ d
+  | Get_random n -> put_u32 n
+  | Quote { nonce; selection } ->
+      if String.length nonce <> 20 then invalid_arg "Tpm_wire: nonce must be 20 bytes";
+      nonce ^ put_u32 (List.length selection)
+      ^ String.concat "" (List.map put_u32 selection)
+  | Oiap -> ""
+  | Osap { entity; no_osap } ->
+      if String.length no_osap <> 20 then invalid_arg "Tpm_wire: no_osap must be 20 bytes";
+      put_field entity ^ no_osap
+  | Seal { auth; release; data } ->
+      encode_auth auth ^ put_field (encode_composite release) ^ put_field data
+  | Unseal { auth; blob } -> encode_auth auth ^ put_field blob
+  | Nv_read i -> put_u32 i
+  | Nv_write (i, data) -> put_u32 i ^ put_field data
+  | Read_counter h -> put_u32 h
+  | Increment_counter h -> put_u32 h
+  | Get_capability_version -> ""
+
+let encode_command cmd =
+  let body = body_of_command cmd in
+  let tag = if is_auth_command cmd then tag_rqu_auth1 else tag_rqu in
+  let total = 2 + 4 + 4 + String.length body in
+  Util.be16_of_int tag ^ put_u32 total ^ put_u32 (ordinal_of_command cmd) ^ body
+
+let decode_command buf =
+  try
+    if String.length buf < 10 then Error "short buffer"
+    else begin
+      let tag = Util.int_of_be16 buf 0 in
+      if tag <> tag_rqu && tag <> tag_rqu_auth1 then Error "bad request tag"
+      else begin
+        let total = Util.int_of_be32 buf 2 in
+        if total <> String.length buf then Error "length field mismatch"
+        else begin
+          let ordinal = Util.int_of_be32 buf 6 in
+          let cur = { buf; pos = 10 } in
+          let cmd =
+            if ordinal = ord_pcr_read then Pcr_read (u32 cur)
+            else if ordinal = ord_extend then begin
+              let i = u32 cur in
+              Pcr_extend (i, digest20 cur)
+            end
+            else if ordinal = ord_get_random then Get_random (u32 cur)
+            else if ordinal = ord_quote then begin
+              let nonce = digest20 cur in
+              let n = u32 cur in
+              if n < 0 || n > 24 then raise (Parse "selection too large");
+              let selection = List.init n (fun _ -> u32 cur) in
+              Quote { nonce; selection }
+            end
+            else if ordinal = ord_oiap then Oiap
+            else if ordinal = ord_osap then begin
+              let entity = lfield cur in
+              Osap { entity; no_osap = digest20 cur }
+            end
+            else if ordinal = ord_seal then begin
+              let auth = decode_auth cur in
+              let release_raw = lfield cur in
+              let rcur = { buf = release_raw; pos = 0 } in
+              let release = decode_composite rcur in
+              expect_end rcur;
+              Seal { auth; release; data = lfield cur }
+            end
+            else if ordinal = ord_unseal then begin
+              let auth = decode_auth cur in
+              Unseal { auth; blob = lfield cur }
+            end
+            else if ordinal = ord_nv_read then Nv_read (u32 cur)
+            else if ordinal = ord_nv_write then begin
+              let i = u32 cur in
+              Nv_write (i, lfield cur)
+            end
+            else if ordinal = ord_read_counter then Read_counter (u32 cur)
+            else if ordinal = ord_increment_counter then Increment_counter (u32 cur)
+            else if ordinal = ord_get_capability then Get_capability_version
+            else raise (Parse (Printf.sprintf "unknown ordinal %#x" ordinal))
+          in
+          expect_end cur;
+          (* auth commands must carry the auth tag and vice versa *)
+          if is_auth_command cmd <> (tag = tag_rqu_auth1) then Error "tag/ordinal mismatch"
+          else Ok cmd
+        end
+      end
+    end
+  with Parse msg -> Error msg
+
+let body_of_response = function
+  | Digest_resp s -> put_field s
+  | Unit_resp -> ""
+  | Quote_resp q ->
+      put_field (encode_composite q.Tpm.quoted_composite)
+      ^ q.Tpm.quote_nonce ^ put_field q.Tpm.signature
+  | Session_resp { handle; nonce_even } -> put_u32 handle ^ nonce_even
+  | Osap_resp { handle; nonce_even; ne_osap } -> put_u32 handle ^ nonce_even ^ ne_osap
+  | Blob_resp b -> put_field b
+  | Counter_resp v -> put_u32 v
+  | Error_resp _ -> ""
+
+let encode_response resp =
+  let tag = tag_rsp in
+  let code = match resp with Error_resp e -> code_of_error e | _ -> 0 in
+  let body = body_of_response resp in
+  let total = 2 + 4 + 4 + String.length body in
+  Util.be16_of_int tag ^ put_u32 total ^ put_u32 code ^ body
+
+let decode_response ~ordinal buf =
+  try
+    if String.length buf < 10 then Error "short response"
+    else begin
+      let tag = Util.int_of_be16 buf 0 in
+      if tag <> tag_rsp && tag <> tag_rsp_auth1 then Error "bad response tag"
+      else if Util.int_of_be32 buf 2 <> String.length buf then Error "length mismatch"
+      else begin
+        let code = Util.int_of_be32 buf 6 in
+        let cur = { buf; pos = 10 } in
+        if code <> 0 then begin
+          match error_of_code code with
+          | Some e -> Ok (Error_resp e)
+          | None -> Error (Printf.sprintf "unknown TPM error code %#x" code)
+        end
+        else begin
+          let resp =
+            if ordinal = ord_pcr_read || ordinal = ord_get_random
+               || ordinal = ord_extend || ordinal = ord_get_capability
+               || ordinal = ord_nv_read
+            then Digest_resp (lfield cur)
+            else if ordinal = ord_quote then begin
+              let composite_raw = lfield cur in
+              let ccur = { buf = composite_raw; pos = 0 } in
+              let quoted_composite = decode_composite ccur in
+              expect_end ccur;
+              let quote_nonce = digest20 cur in
+              Quote_resp { Tpm.quoted_composite; quote_nonce; signature = lfield cur }
+            end
+            else if ordinal = ord_oiap then begin
+              let handle = u32 cur in
+              Session_resp { handle; nonce_even = digest20 cur }
+            end
+            else if ordinal = ord_osap then begin
+              let handle = u32 cur in
+              let nonce_even = digest20 cur in
+              Osap_resp { handle; nonce_even; ne_osap = digest20 cur }
+            end
+            else if ordinal = ord_seal || ordinal = ord_unseal then Blob_resp (lfield cur)
+            else if ordinal = ord_nv_write then Unit_resp
+            else if ordinal = ord_read_counter || ordinal = ord_increment_counter then
+              Counter_resp (u32 cur)
+            else raise (Parse "unknown ordinal for response")
+          in
+          expect_end cur;
+          Ok resp
+        end
+      end
+    end
+  with Parse msg -> Error msg
+
+let run_command tpm = function
+  | Pcr_read i -> (
+      match Tpm.pcr_read tpm i with Ok d -> Digest_resp d | Error e -> Error_resp e)
+  | Pcr_extend (i, d) -> (
+      match Tpm.pcr_extend tpm i d with Ok v -> Digest_resp v | Error e -> Error_resp e)
+  | Get_random n ->
+      if n < 0 || n > 4096 then Error_resp (Tpm_types.Bad_parameter "size")
+      else Digest_resp (Tpm.get_random tpm n)
+  | Quote { nonce; selection } -> (
+      match Tpm_types.selection selection with
+      | exception Invalid_argument _ -> Error_resp (Tpm_types.Bad_parameter "selection")
+      | sel -> (
+          match Tpm.quote tpm ~nonce ~selection:sel with
+          | q -> Quote_resp q
+          | exception Invalid_argument _ -> Error_resp (Tpm_types.Bad_parameter "nonce")))
+  | Oiap ->
+      let s = Tpm.oiap tpm in
+      Session_resp { handle = s.Auth.handle; nonce_even = s.Auth.nonce_even }
+  | Osap { entity; no_osap } -> (
+      match Tpm.osap tpm ~entity ~no_osap with
+      | Ok (s, ne_osap) ->
+          Osap_resp { handle = s.Auth.handle; nonce_even = s.Auth.nonce_even; ne_osap }
+      | Error e -> Error_resp e)
+  | Seal { auth; release; data } -> (
+      match Tpm.seal tpm ~auth ~release data with
+      | Ok blob -> Blob_resp blob
+      | Error e -> Error_resp e)
+  | Unseal { auth; blob } -> (
+      match Tpm.unseal tpm ~auth blob with
+      | Ok data -> Blob_resp data
+      | Error e -> Error_resp e)
+  | Nv_read i -> (
+      match Tpm.nv_read tpm ~index:i with Ok d -> Digest_resp d | Error e -> Error_resp e)
+  | Nv_write (i, data) -> (
+      match Tpm.nv_write tpm ~index:i data with Ok () -> Unit_resp | Error e -> Error_resp e)
+  | Read_counter h -> (
+      match Tpm.read_counter tpm ~handle:h with
+      | Ok v -> Counter_resp v
+      | Error e -> Error_resp e)
+  | Increment_counter h -> (
+      match Tpm.increment_counter tpm ~handle:h with
+      | Ok v -> Counter_resp v
+      | Error e -> Error_resp e)
+  | Get_capability_version -> Digest_resp (Tpm.get_capability_version tpm)
+
+let dispatch tpm buf =
+  match decode_command buf with
+  | Error _ -> encode_response (Error_resp (Tpm_types.Bad_parameter "wire"))
+  | Ok cmd -> encode_response (run_command tpm cmd)
+
+let call tpm cmd =
+  let resp_buf = dispatch tpm (encode_command cmd) in
+  decode_response ~ordinal:(ordinal_of_command cmd) resp_buf

@@ -1,0 +1,57 @@
+(** The TPM's byte-level command transport.
+
+    A real TPM is a memory-mapped device that consumes and produces
+    marshaled command buffers: a 2-byte tag, a 4-byte length, a 4-byte
+    ordinal, then the ordinal-specific body (TPM 1.2 Part 3). The paper's
+    216-line TPM driver exists to move exactly these buffers. This module
+    provides the marshaling and a [dispatch] that runs a raw request
+    buffer against a {!Tpm.t}, so the simulated driver can transport real
+    bytes instead of calling OCaml functions — and tests can exercise the
+    malformed-buffer handling a driver must survive. *)
+
+type command =
+  | Pcr_read of int
+  | Pcr_extend of int * string
+  | Get_random of int
+  | Quote of { nonce : string; selection : int list }
+  | Oiap
+  | Osap of { entity : string; no_osap : string }
+  | Seal of { auth : Tpm.authorization; release : Tpm_types.pcr_composite; data : string }
+  | Unseal of { auth : Tpm.authorization; blob : string }
+  | Nv_read of int
+  | Nv_write of int * string
+  | Read_counter of int
+  | Increment_counter of int
+  | Get_capability_version
+
+type response =
+  | Digest_resp of string  (** PCR values, random bytes, version strings *)
+  | Unit_resp
+  | Quote_resp of Tpm.quote
+  | Session_resp of { handle : int; nonce_even : string }
+  | Osap_resp of { handle : int; nonce_even : string; ne_osap : string }
+  | Blob_resp of string
+  | Counter_resp of int
+  | Error_resp of Tpm_types.error
+
+(** TPM 1.2 ordinals for the supported command subset. *)
+val ordinal_of_command : command -> int
+
+val encode_command : command -> string
+val decode_command : string -> (command, string) result
+(** Rejects short buffers, bad tags, length mismatches, and unknown
+    ordinals — everything a driver must not crash on. *)
+
+val encode_response : response -> string
+val decode_response : ordinal:int -> string -> (response, string) result
+(** Decoding needs the request's ordinal to know the body shape, as a
+    real driver does. *)
+
+val dispatch : Tpm.t -> string -> string
+(** The device: a raw request buffer in, a raw response buffer out.
+    Malformed requests produce a [TPM_BAD_PARAMETER] error response
+    rather than an exception. *)
+
+val call : Tpm.t -> command -> (response, string) result
+(** [encode_command], {!dispatch}, [decode_response] — what the PAL's TPM
+    driver does for every operation. *)

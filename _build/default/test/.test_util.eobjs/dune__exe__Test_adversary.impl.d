@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Flicker_core Flicker_crypto Flicker_hw Flicker_os Flicker_slb Flicker_tpm List Measurement Platform Result Sealed_storage Session Sha1 String

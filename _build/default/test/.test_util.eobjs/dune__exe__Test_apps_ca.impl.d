@@ -1,0 +1,1 @@
+test/test_apps_ca.ml: Alcotest Bignum Cert_authority Flicker_apps Flicker_core Flicker_crypto Flicker_os Flicker_slb Platform Printf Prng Result Rsa String

@@ -1,0 +1,1 @@
+test/test_apps_distcomp.ml: Alcotest Distcomp Flicker_apps Flicker_core Flicker_crypto Flicker_hw List Platform Printf Result String

@@ -1,0 +1,1 @@
+test/test_apps_rootkit.ml: Alcotest Attestation Flicker_apps Flicker_core Flicker_crypto Flicker_os Flicker_tpm Platform Prng Rootkit_detector Session String Verifier

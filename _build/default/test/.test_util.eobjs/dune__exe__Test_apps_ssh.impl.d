@@ -1,0 +1,1 @@
+test/test_apps_ssh.ml: Alcotest Attestation Flicker_apps Flicker_core Flicker_crypto Flicker_os Flicker_slb Flicker_tpm Md5crypt Platform Prng Result Session Ssh_auth String

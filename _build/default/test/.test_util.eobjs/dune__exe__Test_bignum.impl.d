@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum Flicker_crypto List Prng QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ciphers.ml: Aes Alcotest Bytes Flicker_crypto Gen List QCheck QCheck_alcotest Rc4 Sha256 String Util

@@ -1,0 +1,1 @@
+test/test_elgamal.ml: Alcotest Bignum Elgamal Flicker_crypto Flicker_hw Flicker_slb Gen Lazy List Primality Printf Prng QCheck QCheck_alcotest Result String

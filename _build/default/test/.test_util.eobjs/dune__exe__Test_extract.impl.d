@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Extract Flicker_extract Flicker_slb Format List Result String

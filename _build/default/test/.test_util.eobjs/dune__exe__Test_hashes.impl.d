@@ -1,0 +1,1 @@
+test/test_hashes.ml: Alcotest Bytes Char Flicker_crypto Gen Hash Hmac List Md5 Printf QCheck QCheck_alcotest Sha1 Sha256 Sha512 String Util

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Apic Clock Cpu Dev Dma Flicker_hw Gen List Machine Memory QCheck QCheck_alcotest Result Skinit String Timing

@@ -1,0 +1,1 @@
+test/test_md5crypt.ml: Alcotest Flicker_crypto Gen List Md5crypt QCheck QCheck_alcotest String

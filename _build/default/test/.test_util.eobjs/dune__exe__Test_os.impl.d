@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Blockdev Flicker_crypto Flicker_hw Flicker_os Kernel List Md5 Os_state Prng Result Scheduler String Sysfs

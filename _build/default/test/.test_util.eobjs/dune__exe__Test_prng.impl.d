@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Char Flicker_crypto Fun List Prng QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_rsa.ml: Alcotest Bignum Bytes Char Flicker_crypto Gen Hash List Pkcs1 Primality Prng QCheck QCheck_alcotest Result Rsa String

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Flicker_core Flicker_hw Flicker_os Flicker_slb Flicker_tpm List Measurement Platform Printf Result Session String

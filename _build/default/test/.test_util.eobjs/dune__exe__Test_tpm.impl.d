@@ -1,0 +1,1 @@
+test/test_tpm.ml: Alcotest Auth Bytes Char Flicker_crypto Flicker_hw Flicker_slb Flicker_tpm Gen Hash List Nvram Pcr Pkcs1 Privacy_ca Prng QCheck QCheck_alcotest Result Sha1 String Tpm Tpm_types

@@ -1,0 +1,1 @@
+test/test_tpm_wire.ml: Alcotest Auth Flicker_crypto Flicker_hw Flicker_slb Flicker_tpm Hash List Pkcs1 Prng QCheck QCheck_alcotest Result Sha1 String Tpm Tpm_types Tpm_wire Util

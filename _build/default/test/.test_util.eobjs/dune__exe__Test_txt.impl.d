@@ -1,0 +1,1 @@
+test/test_txt.ml: Alcotest Attestation Flicker_core Flicker_crypto Flicker_hw Flicker_slb Flicker_tpm Measurement Platform Prng Result Sealed_storage Session Sha1 String Util Verifier

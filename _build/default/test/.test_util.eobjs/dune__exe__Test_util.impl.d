@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bytes Flicker_crypto Gen List QCheck QCheck_alcotest Result String Util

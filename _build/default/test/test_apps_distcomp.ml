@@ -1,0 +1,194 @@
+open Flicker_core
+open Flicker_apps
+module Timing = Flicker_hw.Timing
+
+let make ~seed = Platform.create ~seed ~key_bits:512 ()
+
+let test_state_codec () =
+  let st =
+    {
+      Distcomp.unit_ = { Distcomp.unit_id = 7; number = 91; lo = 2; hi = 20 };
+      next_candidate = 5;
+      divisors_found = [ 13; 7 ];
+      finished = false;
+    }
+  in
+  match Distcomp.decode_state (Distcomp.encode_state st) with
+  | Ok st' ->
+      Alcotest.(check int) "unit id" 7 st'.Distcomp.unit_.Distcomp.unit_id;
+      Alcotest.(check int) "next" 5 st'.Distcomp.next_candidate;
+      Alcotest.(check (list int)) "divisors" [ 13; 7 ] st'.Distcomp.divisors_found;
+      Alcotest.(check bool) "running" false st'.Distcomp.finished
+  | Error e -> Alcotest.fail e
+
+let test_state_codec_errors () =
+  Alcotest.(check bool) "garbage" true (Result.is_error (Distcomp.decode_state "junk"));
+  Alcotest.(check bool) "truncated" true
+    (Result.is_error (Distcomp.decode_state (Flicker_crypto.Util.encode_fields [ "a" ])))
+
+let test_finds_real_factors () =
+  let p = make ~seed:"factors" in
+  let client = Distcomp.create_client p in
+  (* 3 * 5 * 7 * 11 * 13 = 15015; search all candidates in [2, 130] *)
+  let unit_ = { Distcomp.unit_id = 1; number = 15015; lo = 2; hi = 130 } in
+  match Distcomp.run_to_completion client unit_ ~slice_ms:0.2 with
+  | Error e -> Alcotest.fail e
+  | Ok (final, sessions) ->
+      Alcotest.(check bool) "finished" true final.Distcomp.finished;
+      Alcotest.(check bool) "multiple sessions" true (sessions > 1);
+      let divisors = List.sort compare final.Distcomp.divisors_found in
+      (* every divisor of 15015 in [2,130] *)
+      let expected =
+        List.filter (fun c -> 15015 mod c = 0) (List.init 129 (fun i -> i + 2))
+      in
+      Alcotest.(check (list int)) "all divisors found" expected divisors
+
+let test_single_session_completion () =
+  let p = make ~seed:"single" in
+  let client = Distcomp.create_client p in
+  let unit_ = { Distcomp.unit_id = 2; number = 35; lo = 2; hi = 10 } in
+  match Distcomp.run_to_completion client unit_ ~slice_ms:1000.0 with
+  | Error e -> Alcotest.fail e
+  | Ok (final, sessions) ->
+      Alcotest.(check int) "one session" 1 sessions;
+      Alcotest.(check (list int)) "5 and 7" [ 5; 7 ]
+        (List.sort compare final.Distcomp.divisors_found)
+
+let test_mac_tamper_detected () =
+  let p = make ~seed:"tamper" in
+  let client = Distcomp.create_client p in
+  let unit_ = { Distcomp.unit_id = 3; number = 1_000_003; lo = 2; hi = 100_000 } in
+  match Distcomp.start client unit_ ~slice_ms:5.0 with
+  | Error e -> Alcotest.fail e
+  | Ok step -> (
+      Alcotest.(check bool) "not finished yet" false step.Distcomp.state.Distcomp.finished;
+      (* the untrusted OS tampers with the stored state *)
+      let blob = Distcomp.tamper_state (Distcomp.encode_state step.Distcomp.state) in
+      match Distcomp.resume_raw client ~state_blob:blob ~slice_ms:5.0 with
+      | Error msg ->
+          Alcotest.(check bool) "MAC mismatch reported" true
+            (let lower = String.lowercase_ascii msg in
+             let rec contains i =
+               i + 3 <= String.length lower
+               && (String.sub lower i 3 = "mac" || contains (i + 1))
+             in
+             contains 0)
+      | Ok _ -> Alcotest.fail "tampered state accepted")
+
+let test_honest_resume_continues () =
+  let p = make ~seed:"resume" in
+  let client = Distcomp.create_client p in
+  let unit_ = { Distcomp.unit_id = 4; number = 9_999_991; lo = 2; hi = 10_000 } in
+  match Distcomp.start client unit_ ~slice_ms:10.0 with
+  | Error e -> Alcotest.fail e
+  | Ok step1 -> (
+      let progress1 = step1.Distcomp.state.Distcomp.next_candidate in
+      Alcotest.(check bool) "made progress" true (progress1 > 2);
+      match Distcomp.resume client step1.Distcomp.state ~slice_ms:10.0 with
+      | Error e -> Alcotest.fail e
+      | Ok step2 ->
+          Alcotest.(check bool) "continued from checkpoint" true
+            (step2.Distcomp.state.Distcomp.next_candidate > progress1))
+
+let test_resume_finished_raises () =
+  let p = make ~seed:"finished" in
+  let client = Distcomp.create_client p in
+  let st =
+    {
+      Distcomp.unit_ = { Distcomp.unit_id = 5; number = 6; lo = 2; hi = 3 };
+      next_candidate = 4;
+      divisors_found = [ 2; 3 ];
+      finished = true;
+    }
+  in
+  Alcotest.(check bool) "raises" true
+    (match Distcomp.resume client st ~slice_ms:1.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_overhead_dominated_by_unseal () =
+  (* Table 4: resume-session overhead = SKINIT (~14 ms) + Unseal (~898 ms) *)
+  let p = make ~seed:"overhead" in
+  let client = Distcomp.create_client p in
+  let unit_ = { Distcomp.unit_id = 6; number = 1_000_003; lo = 2; hi = 500_000 } in
+  match Distcomp.start client unit_ ~slice_ms:100.0 with
+  | Error e -> Alcotest.fail e
+  | Ok step1 -> (
+      match Distcomp.resume client step1.Distcomp.state ~slice_ms:1000.0 with
+      | Error e -> Alcotest.fail e
+      | Ok step2 ->
+          let overhead = step2.Distcomp.session_overhead_ms in
+          Alcotest.(check bool)
+            (Printf.sprintf "overhead ~912 ms (got %.1f)" overhead)
+            true
+            (overhead > 880.0 && overhead < 960.0))
+
+let test_efficiency_table4 () =
+  (* the analytic efficiency model must reproduce Table 4's overheads *)
+  let t = Timing.default in
+  let check_overhead work expected =
+    let eff = Distcomp.efficiency t ~work_ms:work in
+    let overhead_pct = (1.0 -. eff) *. 100.0 in
+    Alcotest.(check (float 2.0))
+      (Printf.sprintf "%.0f ms work" work)
+      expected overhead_pct
+  in
+  check_overhead 1000.0 47.0;
+  check_overhead 2000.0 30.0;
+  check_overhead 4000.0 18.0;
+  check_overhead 8000.0 10.0
+
+let test_efficiency_figure8 () =
+  let t = Timing.default in
+  (* Flicker beats 3-way replication somewhere below 2 s of user latency *)
+  Alcotest.(check bool) "2s beats 3-way" true
+    (Distcomp.efficiency t ~work_ms:2000.0 > Distcomp.replication_efficiency 3);
+  Alcotest.(check bool) "10s close to 1" true (Distcomp.efficiency t ~work_ms:10000.0 > 0.9);
+  (* replication efficiencies *)
+  Alcotest.(check (float 1e-9)) "3-way" (1.0 /. 3.0) (Distcomp.replication_efficiency 3);
+  Alcotest.(check (float 1e-9)) "7-way" (1.0 /. 7.0) (Distcomp.replication_efficiency 7);
+  (* efficiency is monotone in work *)
+  Alcotest.(check bool) "monotone" true
+    (Distcomp.efficiency t ~work_ms:1000.0 < Distcomp.efficiency t ~work_ms:4000.0);
+  (* Infineon improves efficiency *)
+  let infineon = Timing.with_tpm Timing.infineon t in
+  Alcotest.(check bool) "faster TPM helps" true
+    (Distcomp.efficiency infineon ~work_ms:1000.0 > Distcomp.efficiency t ~work_ms:1000.0)
+
+let test_results_extended_into_pcr () =
+  (* the final session extends the result hash, so the attested PCR
+     differs from a session that produced different results *)
+  let p = make ~seed:"extend-results" in
+  let client = Distcomp.create_client p in
+  let unit_ = { Distcomp.unit_id = 8; number = 21; lo = 2; hi = 10 } in
+  match Distcomp.run_to_completion client unit_ ~slice_ms:1000.0 with
+  | Error e -> Alcotest.fail e
+  | Ok (final, _) ->
+      Alcotest.(check (list int)) "3 and 7" [ 3; 7 ]
+        (List.sort compare final.Distcomp.divisors_found)
+
+let () =
+  Alcotest.run "apps-distcomp"
+    [
+      ( "state",
+        [
+          Alcotest.test_case "codec" `Quick test_state_codec;
+          Alcotest.test_case "codec errors" `Quick test_state_codec_errors;
+        ] );
+      ( "work",
+        [
+          Alcotest.test_case "finds real factors" `Quick test_finds_real_factors;
+          Alcotest.test_case "single session" `Quick test_single_session_completion;
+          Alcotest.test_case "honest resume" `Quick test_honest_resume_continues;
+          Alcotest.test_case "resume finished" `Quick test_resume_finished_raises;
+          Alcotest.test_case "results extended" `Quick test_results_extended_into_pcr;
+        ] );
+      ( "integrity",
+        [ Alcotest.test_case "MAC tamper detected" `Quick test_mac_tamper_detected ] );
+      ( "efficiency",
+        [
+          Alcotest.test_case "overhead = skinit+unseal" `Quick test_overhead_dominated_by_unseal;
+          Alcotest.test_case "table 4" `Quick test_efficiency_table4;
+          Alcotest.test_case "figure 8" `Quick test_efficiency_figure8;
+        ] );
+    ]

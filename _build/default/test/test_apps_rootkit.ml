@@ -1,0 +1,125 @@
+open Flicker_crypto
+open Flicker_core
+open Flicker_apps
+module Kernel = Flicker_os.Kernel
+module Privacy_ca = Flicker_tpm.Privacy_ca
+
+let ca = Privacy_ca.create (Prng.create ~seed:"rk-ca") ~name:"RkCA" ~key_bits:512
+let ca_key = Privacy_ca.public_key ca
+
+let make ~seed =
+  let p = Platform.create ~seed ~key_bits:512 ~kernel_text_size:(32 * 1024) ~ca () in
+  (p, Rootkit_detector.deploy_on p)
+
+let scan_verdict p d =
+  let nonce = Platform.fresh_nonce p in
+  match Rootkit_detector.scan d ~nonce with
+  | Error e -> Alcotest.fail e
+  | Ok result -> Rootkit_detector.admin_check d ~ca_key result
+
+let test_clean_kernel () =
+  let p, d = make ~seed:"clean" in
+  match scan_verdict p d with
+  | Rootkit_detector.Clean -> ()
+  | Rootkit_detector.Rootkit_detected _ -> Alcotest.fail "false positive"
+  | Rootkit_detector.Attestation_rejected f ->
+      Alcotest.fail (Verifier.failure_to_string f)
+
+let detects ~seed install =
+  let p, d = make ~seed in
+  (* verify clean first *)
+  (match scan_verdict p d with
+  | Rootkit_detector.Clean -> ()
+  | _ -> Alcotest.fail "not clean initially");
+  install p.Platform.kernel;
+  Rootkit_detector.sync d;
+  match scan_verdict p d with
+  | Rootkit_detector.Rootkit_detected { expected; got } ->
+      Alcotest.(check bool) "hashes differ" true (expected <> got)
+  | Rootkit_detector.Clean -> Alcotest.fail "rootkit missed"
+  | Rootkit_detector.Attestation_rejected f ->
+      Alcotest.fail (Verifier.failure_to_string f)
+
+let test_detects_text_rootkit () = detects ~seed:"text" Kernel.install_text_rootkit
+let test_detects_syscall_rootkit () = detects ~seed:"syscall" Kernel.install_syscall_rootkit
+let test_detects_module_rootkit () = detects ~seed:"module" Kernel.install_module_rootkit
+
+let test_lying_detector_rejected () =
+  (* a compromised OS runs the detector on a rootkitted kernel and then
+     substitutes the clean hash in its report: the attestation catches it *)
+  let p, d = make ~seed:"liar" in
+  let clean_hash = Rootkit_detector.known_good_hash d in
+  Kernel.install_syscall_rootkit p.Platform.kernel;
+  Rootkit_detector.sync d;
+  let nonce = Platform.fresh_nonce p in
+  match Rootkit_detector.scan d ~nonce with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+      let lie =
+        {
+          result with
+          Rootkit_detector.evidence =
+            Attestation.tamper_outputs result.Rootkit_detector.evidence clean_hash;
+        }
+      in
+      (match Rootkit_detector.admin_check d ~ca_key lie with
+      | Rootkit_detector.Attestation_rejected (Verifier.Pcr_mismatch _) -> ()
+      | Rootkit_detector.Attestation_rejected f ->
+          Alcotest.fail ("wrong failure: " ^ Verifier.failure_to_string f)
+      | _ -> Alcotest.fail "lying OS fooled the administrator")
+
+let test_detector_hash_matches_live_memory () =
+  (* what the PAL reports equals an independent hash of the regions *)
+  let p, d = make ~seed:"hash-check" in
+  let nonce = Platform.fresh_nonce p in
+  match Rootkit_detector.scan d ~nonce with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+      Alcotest.(check string) "reported = known good"
+        (Rootkit_detector.known_good_hash d) result.Rootkit_detector.reported_hash;
+      Alcotest.(check int) "hash size" 20 (String.length result.Rootkit_detector.reported_hash)
+
+let test_remote_query_latency () =
+  (* Section 7.2: the full remote query takes ~1 second, dominated by the
+     TPM quote *)
+  let p, d = make ~seed:"latency" in
+  match Rootkit_detector.remote_query d ~ca_key with
+  | Error e -> Alcotest.fail e
+  | Ok (verdict, ms) ->
+      (match verdict with
+      | Rootkit_detector.Clean -> ()
+      | _ -> Alcotest.fail "expected clean");
+      Alcotest.(check bool) "about one second" true (ms > 950.0 && ms < 1150.0);
+      ignore p
+
+let test_detection_query_breakdown () =
+  (* Table 1's shape: quote >> hash > skinit > extend *)
+  let p, d = make ~seed:"breakdown" in
+  let nonce = Platform.fresh_nonce p in
+  match Rootkit_detector.scan d ~nonce with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+      let o = result.Rootkit_detector.outcome in
+      let skinit = Session.phase_ms o Session.Skinit in
+      Alcotest.(check bool) "skinit ~14-16ms" true (skinit > 10.0 && skinit < 20.0);
+      Alcotest.(check bool) "pal exec includes kernel hash" true
+        (Session.phase_ms o Session.Pal_execution > 0.0)
+
+let () =
+  Alcotest.run "apps-rootkit"
+    [
+      ( "detection",
+        [
+          Alcotest.test_case "clean kernel" `Quick test_clean_kernel;
+          Alcotest.test_case "text rootkit" `Quick test_detects_text_rootkit;
+          Alcotest.test_case "syscall rootkit" `Quick test_detects_syscall_rootkit;
+          Alcotest.test_case "module rootkit" `Quick test_detects_module_rootkit;
+          Alcotest.test_case "hash matches memory" `Quick test_detector_hash_matches_live_memory;
+        ] );
+      ( "attestation",
+        [
+          Alcotest.test_case "lying detector rejected" `Quick test_lying_detector_rejected;
+          Alcotest.test_case "remote query latency" `Quick test_remote_query_latency;
+          Alcotest.test_case "breakdown shape" `Quick test_detection_query_breakdown;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+open Flicker_crypto
+
+let rng = Prng.create ~seed:"elgamal-tests"
+let params = Lazy.force Elgamal.shared_params_512
+
+let test_params () =
+  Alcotest.(check bool) "p is prime" true
+    (Primality.is_probably_prime rng params.Elgamal.p);
+  Alcotest.(check int) "512 bits" 512 (Bignum.bit_length params.Elgamal.p);
+  Alcotest.(check bool) "g in range" true
+    (Bignum.compare params.Elgamal.g params.Elgamal.p < 0);
+  (* deterministic shared group *)
+  let again = Lazy.force Elgamal.shared_params_512 in
+  Alcotest.(check bool) "shared params stable" true
+    (Bignum.equal params.Elgamal.p again.Elgamal.p)
+
+let test_keygen () =
+  let k1 = Elgamal.generate rng params in
+  let k2 = Elgamal.generate rng params in
+  Alcotest.(check bool) "keys differ" false
+    (Bignum.equal k1.Elgamal.x k2.Elgamal.x);
+  (* y = g^x *)
+  Alcotest.(check bool) "public consistent" true
+    (Bignum.equal k1.Elgamal.pub.Elgamal.y
+       (Bignum.mod_pow ~base:params.Elgamal.g ~exp:k1.Elgamal.x
+          ~modulus:params.Elgamal.p))
+
+let test_roundtrip () =
+  let key = Elgamal.generate rng params in
+  List.iter
+    (fun msg ->
+      match Elgamal.encrypt rng key.Elgamal.pub msg with
+      | Error e -> Alcotest.fail e
+      | Ok ct -> (
+          match Elgamal.decrypt key ct with
+          | Ok m -> Alcotest.(check string) "roundtrip" msg m
+          | Error e -> Alcotest.fail e))
+    [ ""; "x"; "a secret password"; String.make 40 '\000'; String.make 50 '\xff' ]
+
+let test_probabilistic () =
+  let key = Elgamal.generate rng params in
+  let c1 = Result.get_ok (Elgamal.encrypt rng key.Elgamal.pub "same message") in
+  let c2 = Result.get_ok (Elgamal.encrypt rng key.Elgamal.pub "same message") in
+  Alcotest.(check bool) "randomized" true (c1 <> c2)
+
+let test_too_long () =
+  let key = Elgamal.generate rng params in
+  Alcotest.(check bool) "oversized rejected" true
+    (Result.is_error (Elgamal.encrypt rng key.Elgamal.pub (String.make 64 'x')))
+
+let test_wrong_key () =
+  let k1 = Elgamal.generate rng params in
+  let k2 = Elgamal.generate rng params in
+  let ct = Result.get_ok (Elgamal.encrypt rng k1.Elgamal.pub "for k1 only") in
+  match Elgamal.decrypt k2 ct with
+  | Ok m -> Alcotest.(check bool) "wrong key garbles" true (m <> "for k1 only")
+  | Error _ -> ()
+
+let test_malformed_ct () =
+  let key = Elgamal.generate rng params in
+  Alcotest.(check bool) "garbage" true (Result.is_error (Elgamal.decrypt key "garbage"));
+  Alcotest.(check bool) "empty" true (Result.is_error (Elgamal.decrypt key ""))
+
+let test_serialization () =
+  let key = Elgamal.generate rng params in
+  (match Elgamal.public_of_string (Elgamal.public_to_string key.Elgamal.pub) with
+  | Ok pub -> Alcotest.(check bool) "public" true (Bignum.equal pub.Elgamal.y key.Elgamal.pub.Elgamal.y)
+  | Error e -> Alcotest.fail e);
+  match Elgamal.private_of_string (Elgamal.private_to_string key) with
+  | Ok k -> Alcotest.(check bool) "private" true (Bignum.equal k.Elgamal.x key.Elgamal.x)
+  | Error e -> Alcotest.fail e
+
+(* Section 7.4.1: the whole point — ElGamal keygen must be far cheaper
+   than RSA keygen at the same size when the group is shared. *)
+let test_keygen_cost_model () =
+  let module Timing = Flicker_hw.Timing in
+  let module Machine = Flicker_hw.Machine in
+  let module Clock = Flicker_hw.Clock in
+  let m = Machine.create ~memory_size:(1024 * 1024) Timing.default in
+  let t0 = Clock.now m.Machine.clock in
+  ignore (Flicker_slb.Mod_crypto.elgamal_generate m rng params);
+  let elgamal_ms = Clock.now m.Machine.clock -. t0 in
+  let t1 = Clock.now m.Machine.clock in
+  ignore (Flicker_slb.Mod_crypto.rsa_generate m rng ~bits:512);
+  let rsa_ms = Clock.now m.Machine.clock -. t1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "elgamal (%.2f ms) at least 10x cheaper than rsa (%.2f ms)"
+       elgamal_ms rsa_ms)
+    true
+    (elgamal_ms *. 10.0 < rsa_ms)
+
+let prop_roundtrip =
+  let key = Elgamal.generate rng params in
+  QCheck.Test.make ~name:"elgamal roundtrip" ~count:40
+    QCheck.(string_of_size Gen.(int_range 0 50))
+    (fun msg ->
+      match Elgamal.encrypt rng key.Elgamal.pub msg with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok ct -> Elgamal.decrypt key ct = Ok msg)
+
+let () =
+  Alcotest.run "elgamal"
+    [
+      ( "elgamal",
+        [
+          Alcotest.test_case "params" `Quick test_params;
+          Alcotest.test_case "keygen" `Quick test_keygen;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "probabilistic" `Quick test_probabilistic;
+          Alcotest.test_case "too long" `Quick test_too_long;
+          Alcotest.test_case "wrong key" `Quick test_wrong_key;
+          Alcotest.test_case "malformed" `Quick test_malformed_ct;
+          Alcotest.test_case "serialization" `Quick test_serialization;
+          Alcotest.test_case "keygen cost vs rsa" `Quick test_keygen_cost_model;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_roundtrip ]);
+    ]

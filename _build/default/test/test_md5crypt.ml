@@ -1,0 +1,69 @@
+open Flicker_crypto
+
+let test_known_vectors () =
+  (* cross-checked against glibc crypt(3) *)
+  Alcotest.(check string) "openssl vector" "$1$12345678$o2n/JiO/h5VviOInWJ4OQ/"
+    (Md5crypt.crypt ~salt:"12345678" ~password:"password");
+  Alcotest.(check string) "short salt" "$1$ab$dslkcXxVH.x8LwW1W/oAB/"
+    (Md5crypt.crypt ~salt:"ab" ~password:"secret")
+
+let test_salt_handling () =
+  (* salt truncated to 8 chars *)
+  Alcotest.(check string) "truncated salt"
+    (Md5crypt.crypt ~salt:"12345678" ~password:"pw")
+    (Md5crypt.crypt ~salt:"123456789abc" ~password:"pw");
+  (* salt stops at '$' *)
+  Alcotest.(check string) "dollar-terminated salt"
+    (Md5crypt.crypt ~salt:"abc" ~password:"pw")
+    (Md5crypt.crypt ~salt:"abc$def" ~password:"pw")
+
+let test_verify () =
+  let crypted = Md5crypt.crypt ~salt:"s4lt" ~password:"hunter2" in
+  Alcotest.(check bool) "correct" true (Md5crypt.verify ~crypted ~password:"hunter2");
+  Alcotest.(check bool) "wrong" false (Md5crypt.verify ~crypted ~password:"hunter3");
+  Alcotest.(check bool) "empty" false (Md5crypt.verify ~crypted ~password:"")
+
+let test_parse () =
+  let salt, hash = Md5crypt.parse "$1$mysalt$AbCdEfGhIjKlMnOpQrStU/" in
+  Alcotest.(check string) "salt" "mysalt" salt;
+  Alcotest.(check string) "hash" "AbCdEfGhIjKlMnOpQrStU/" hash;
+  Alcotest.check_raises "not crypt"
+    (Invalid_argument "Md5crypt.parse: not a $1$ crypt string") (fun () ->
+      ignore (Md5crypt.parse "plaintext"))
+
+let test_format () =
+  let c = Md5crypt.crypt ~salt:"saltsalt" ~password:"anything at all" in
+  Alcotest.(check bool) "prefix" true (String.length c > 3 && String.sub c 0 3 = "$1$");
+  let _, hash = Md5crypt.parse c in
+  Alcotest.(check int) "22-char hash" 22 (String.length hash)
+
+let prop_verify_roundtrip =
+  QCheck.Test.make ~name:"crypt verifies its own output" ~count:30
+    QCheck.(pair (string_of_size Gen.(int_range 1 30)) (string_of_size Gen.(int_range 0 8)))
+    (fun (password, salt) ->
+      QCheck.assume (not (String.contains salt '$'));
+      QCheck.assume (String.length password > 0);
+      Md5crypt.verify ~crypted:(Md5crypt.crypt ~salt ~password) ~password)
+
+let prop_distinct_salts =
+  QCheck.Test.make ~name:"different salts give different hashes" ~count:30
+    QCheck.(string_of_size Gen.(int_range 1 20))
+    (fun password ->
+      QCheck.assume (String.length password > 0);
+      Md5crypt.crypt ~salt:"aaaa" ~password <> Md5crypt.crypt ~salt:"bbbb" ~password)
+
+let () =
+  Alcotest.run "md5crypt"
+    [
+      ( "md5crypt",
+        [
+          Alcotest.test_case "known vectors" `Quick test_known_vectors;
+          Alcotest.test_case "salt handling" `Quick test_salt_handling;
+          Alcotest.test_case "verify" `Quick test_verify;
+          Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "format" `Quick test_format;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_verify_roundtrip; prop_distinct_salts ]
+      );
+    ]

@@ -1,0 +1,87 @@
+open Flicker_crypto
+
+let test_determinism () =
+  let a = Prng.create ~seed:"same" and b = Prng.create ~seed:"same" in
+  Alcotest.(check string) "identical streams" (Prng.bytes a 100) (Prng.bytes b 100);
+  let c = Prng.create ~seed:"different" in
+  Alcotest.(check bool) "different seeds differ" true
+    (Prng.bytes (Prng.create ~seed:"same") 100 <> Prng.bytes c 100)
+
+let test_lengths () =
+  let rng = Prng.create ~seed:"len" in
+  List.iter
+    (fun n -> Alcotest.(check int) "length" n (String.length (Prng.bytes rng n)))
+    [ 0; 1; 31; 32; 33; 1000 ];
+  Alcotest.check_raises "negative" (Invalid_argument "Prng.bytes: negative") (fun () ->
+      ignore (Prng.bytes rng (-1)))
+
+let test_stream_advances () =
+  let rng = Prng.create ~seed:"advance" in
+  let a = Prng.bytes rng 32 and b = Prng.bytes rng 32 in
+  Alcotest.(check bool) "consecutive draws differ" true (a <> b)
+
+let test_int_below () =
+  let rng = Prng.create ~seed:"ints" in
+  for _ = 1 to 500 do
+    let v = Prng.int_below rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  (* all residues reachable for a small bound *)
+  let seen = Array.make 5 false in
+  for _ = 1 to 200 do
+    seen.(Prng.int_below rng 5) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen);
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prng.int_below: non-positive bound") (fun () ->
+      ignore (Prng.int_below rng 0))
+
+let test_fork_independence () =
+  let parent = Prng.create ~seed:"forking" in
+  let child1 = Prng.fork parent ~label:"a" in
+  let child2 = Prng.fork parent ~label:"b" in
+  Alcotest.(check bool) "children differ" true (Prng.bytes child1 64 <> Prng.bytes child2 64);
+  (* forking with the same label from identical parents is deterministic *)
+  let p1 = Prng.create ~seed:"x" and p2 = Prng.create ~seed:"x" in
+  let c1 = Prng.fork p1 ~label:"same" and c2 = Prng.fork p2 ~label:"same" in
+  Alcotest.(check string) "deterministic forks" (Prng.bytes c1 32) (Prng.bytes c2 32);
+  (* the fork ratchets the parent: same label twice gives a new stream *)
+  let again = Prng.fork p1 ~label:"same" in
+  Alcotest.(check bool) "re-fork differs" true (Prng.bytes c1 32 <> Prng.bytes again 32)
+
+let test_reseed () =
+  let a = Prng.create ~seed:"r" and b = Prng.create ~seed:"r" in
+  Prng.reseed a "extra entropy";
+  Alcotest.(check bool) "reseed changes stream" true (Prng.bytes a 32 <> Prng.bytes b 32)
+
+let test_byte_distribution () =
+  (* crude sanity: over 4096 draws every quartile of byte values appears *)
+  let rng = Prng.create ~seed:"dist" in
+  let quartiles = Array.make 4 0 in
+  String.iter
+    (fun c -> quartiles.(Char.code c / 64) <- quartiles.(Char.code c / 64) + 1)
+    (Prng.bytes rng 4096);
+  Array.iter (fun n -> Alcotest.(check bool) "quartile populated" true (n > 800)) quartiles
+
+let prop_chunked_draws_differ =
+  QCheck.Test.make ~name:"no short cycles" ~count:50 QCheck.small_int (fun n ->
+      let rng = Prng.create ~seed:(string_of_int n) in
+      let a = Prng.bytes rng 32 in
+      let rec distinct k = k = 0 || (Prng.bytes rng 32 <> a && distinct (k - 1)) in
+      distinct 20)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "lengths" `Quick test_lengths;
+          Alcotest.test_case "stream advances" `Quick test_stream_advances;
+          Alcotest.test_case "int_below" `Quick test_int_below;
+          Alcotest.test_case "fork independence" `Quick test_fork_independence;
+          Alcotest.test_case "reseed" `Quick test_reseed;
+          Alcotest.test_case "byte distribution" `Quick test_byte_distribution;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_chunked_draws_differ ]);
+    ]
