@@ -6,7 +6,10 @@
 
      dune exec bench/main.exe -- table1 table2 table3 table4
      dune exec bench/main.exe -- figure6 figure8 figure9
-     dune exec bench/main.exe -- ca impact ablation infineon micro *)
+     dune exec bench/main.exe -- ca impact ablation infineon micro
+
+   With --json <path>, every table/figure row is also written to <path>
+   as a JSON array of records ({"artifact", "label", ...fields}). *)
 
 module Timing = Flicker_hw.Timing
 
@@ -38,9 +41,23 @@ let all_in_order =
   [ "table1"; "table2"; "table3"; "table4"; "figure6"; "figure8"; "figure9";
     "ca"; "impact"; "ablation"; "keygen"; "burden"; "txt"; "micro" ]
 
+let rec extract_json = function
+  | [] -> (None, [])
+  | "--json" :: path :: rest ->
+      let _, targets = extract_json rest in
+      (Some path, targets)
+  | [ "--json" ] ->
+      prerr_endline "--json requires a path argument";
+      exit 1
+  | arg :: rest ->
+      let path, targets = extract_json rest in
+      (path, arg :: targets)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let targets = if args = [] then all_in_order else args in
+  let json_path, targets = extract_json args in
+  let targets = if targets = [] then all_in_order else targets in
+  if json_path <> None then Paper.start_collecting ();
   print_endline "Flicker reproduction benchmark harness";
   print_endline "(timings below are simulated platform latencies calibrated to Section 7;";
   print_endline " the 'micro' section reports the real cost of the simulator itself)";
@@ -52,4 +69,13 @@ let () =
           Printf.eprintf "unknown benchmark %S; known: %s\n" name
             (String.concat ", " (List.map fst known));
           exit 1)
-    targets
+    targets;
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let rows = Paper.collected_rows () in
+      let oc = open_out path in
+      output_string oc (Flicker_obs.Json.to_string (Paper.json_of_rows rows));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %d records to %s\n" (List.length rows) path

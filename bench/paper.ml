@@ -34,6 +34,48 @@ let row3 a b c = Printf.printf "%-34s %14s %14s\n" a b c
 
 let ms v = Printf.sprintf "%.1f" v
 
+(* Machine-readable output.  Each printed table/figure row is also
+   recorded here when collection is on; the harness dumps the records as
+   JSON when invoked with --json <path>. *)
+
+module J = Flicker_obs.Json
+
+type row = { artifact : string; label : string; fields : (string * J.t) list }
+
+let sink : row list ref = ref []
+let collecting = ref false
+
+let start_collecting () =
+  collecting := true;
+  sink := []
+
+let collected_rows () = List.rev !sink
+
+let emit ~artifact ~label fields =
+  if !collecting then sink := { artifact; label; fields } :: !sink
+
+let json_of_rows rows =
+  J.List
+    (List.map
+       (fun r ->
+         J.Obj
+           (("artifact", J.String r.artifact)
+           :: ("label", J.String r.label)
+           :: r.fields))
+       rows)
+
+(* a paper-value/measured-value line: print it and record it.  [key]
+   overrides the recorded label when the printed one is ambiguous. *)
+let paper_row ~artifact ?key label ~paper ~measured =
+  row3 label paper (ms measured);
+  let paper_field =
+    match float_of_string_opt paper with
+    | Some v -> ("paper_ms", J.Float v)
+    | None -> ("paper", J.String paper)
+  in
+  emit ~artifact ~label:(Option.value key ~default:label)
+    [ paper_field; ("measured_ms", J.Float measured) ]
+
 (* The evaluation platform: a 5.06 MB kernel so the detector's hash takes
    the paper's 22 ms, TPM keys at 1024 bits to keep real RSA fast while
    the *simulated* latencies follow the Broadcom profile. *)
@@ -73,10 +115,11 @@ let table1 ?(timing = Timing.default) () =
     Timing.sha1_ms timing ~bytes:(Rootkit_detector.measured_region_bytes d)
   in
   row3 "Operation" "Paper (ms)" "Measured (ms)";
-  row3 "SKINIT" "15.4" (ms skinit);
-  row3 "PCR Extend" "1.2" (ms extend);
-  row3 "Hash of Kernel" "22.0" (ms hash_ms);
-  row3 "TPM Quote" "972.7" (ms quote_ms);
+  let t1_row = paper_row ~artifact:"table1" in
+  t1_row "SKINIT" ~paper:"15.4" ~measured:skinit;
+  t1_row "PCR Extend" ~paper:"1.2" ~measured:extend;
+  t1_row "Hash of Kernel" ~paper:"22.0" ~measured:hash_ms;
+  t1_row "TPM Quote" ~paper:"972.7" ~measured:quote_ms;
   (* end-to-end over the 12-hop network, on a fresh platform clock *)
   let p2, _ = eval_platform ~timing ~seed:"table1-e2e" () in
   let d2 = Rootkit_detector.deploy_on p2 in
@@ -94,7 +137,7 @@ let table1 ?(timing = Timing.default) () =
     | Error e -> failwith e
   in
   ignore verdict;
-  row3 "Total Query Latency" "1022.7" (ms total)
+  paper_row ~artifact:"table1" "Total Query Latency" ~paper:"1022.7" ~measured:total
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: SKINIT latency vs SLB size                                 *)
@@ -120,13 +163,25 @@ let table2 () =
     ignore (Skinit.execute m ~slb_base:base);
     Clock.now m.Machine.clock -. t0
   in
+  let skinit_row label bytes paper measured =
+    emit ~artifact:"table2" ~label
+      [
+        ("slb_bytes", J.Int bytes);
+        ("paper_ms", J.Float (float_of_string paper));
+        ("measured_ms", J.Float measured);
+      ]
+  in
   List.iter
     (fun (label, kb, paper) ->
-      Printf.printf "%-14s %14s %14s\n" label paper (ms (measure (kb * 1024))))
+      let measured = measure (kb * 1024) in
+      Printf.printf "%-14s %14s %14s\n" label paper (ms measured);
+      skinit_row label (kb * 1024) paper measured)
     [ ("0 KB", 0, "0.0"); ("4 KB", 4, "11.9"); ("16 KB", 16, "45.0");
       ("32 KB", 32, "89.2"); ("64 KB", 64, "177.5") ];
+  let stub_ms = measure Slb_core.stub_size in
   Printf.printf "%-14s %14s %14s  (Section 7.2 optimization)\n" "4736 B stub" "14.0"
-    (ms (measure Slb_core.stub_size))
+    (ms stub_ms);
+  skinit_row "4736 B stub" Slb_core.stub_size "14.0" stub_ms
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: kernel-build time under periodic detection                 *)
@@ -159,8 +214,15 @@ let table3 () =
   Printf.printf "%-18s %14s %14s\n" "Detection period" "Paper [m:s]" "Measured [m:s]";
   List.iter
     (fun (label, period, paper) ->
-      Printf.printf "%-18s %14s %14s\n" label paper
-        (mmss (build_with_detection ~period_s:period)))
+      let msv = build_with_detection ~period_s:period in
+      Printf.printf "%-18s %14s %14s\n" label paper (mmss msv);
+      emit ~artifact:"table3" ~label
+        [
+          ( "period_s",
+            match period with None -> J.Null | Some s -> J.Int s );
+          ("paper", J.String paper);
+          ("measured_ms", J.Float msv);
+        ])
     [
       ("No detection", None, "7:22.6");
       ("5:00", Some 300, "7:21.4");
@@ -206,7 +268,16 @@ let table4 ?(timing = Timing.default) () =
   fmt_row "SKINIT (ms)" (fun (s, _) _ -> ms s);
   fmt_row "Unseal+setup (ms)" (fun (s, o) _ -> ms (o -. s -. 0.1));
   fmt_row "Flicker overhead (%)" (fun (_, o) w -> Printf.sprintf "%.0f%%" (o /. (o +. w) *. 100.0));
-  Printf.printf "%-22s %10s %10s %10s %10s   (paper)\n" "" "47%" "30%" "18%" "10%"
+  Printf.printf "%-22s %10s %10s %10s %10s   (paper)\n" "" "47%" "30%" "18%" "10%";
+  let emit_row label value =
+    emit ~artifact:"table4" ~label
+      (List.map2
+         (fun w r -> (Printf.sprintf "work_%.0f_ms" w, J.Float (value r w)))
+         works results)
+  in
+  emit_row "skinit_ms" (fun (s, _) _ -> s);
+  emit_row "unseal_setup_ms" (fun (s, o) _ -> o -. s -. 0.1);
+  emit_row "overhead_pct" (fun (_, o) w -> o /. (o +. w) *. 100.0)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8: Flicker vs replication efficiency                         *)
@@ -224,13 +295,25 @@ let figure8 ?(timing = Timing.default) () =
     Printf.printf "%6.2f" (Distcomp.efficiency timing ~work_ms:(float_of_int s *. 1000.0))
   done;
   print_newline ();
+  emit ~artifact:"figure8" ~label:"Flicker"
+    [
+      ( "efficiency_by_latency_s",
+        J.List
+          (List.init 10 (fun i ->
+               J.Float
+                 (Distcomp.efficiency timing
+                    ~work_ms:(float_of_int (i + 1) *. 1000.0)))) );
+    ];
   List.iter
     (fun k ->
       Printf.printf "%-16s" (Printf.sprintf "%d-way repl." k);
       for _ = 1 to 10 do
         Printf.printf "%6.2f" (Distcomp.replication_efficiency k)
       done;
-      print_newline ())
+      print_newline ();
+      emit ~artifact:"figure8"
+        ~label:(Printf.sprintf "%d-way replication" k)
+        [ ("efficiency", J.Float (Distcomp.replication_efficiency k)) ])
     [ 3; 5; 7 ];
   (* crossover commentary, as in the paper's text *)
   let eff2s = Distcomp.efficiency timing ~work_ms:2000.0 in
@@ -255,10 +338,15 @@ let figure9 ?(timing = Timing.default) () =
   let so = setup.Ssh_auth.setup_outcome in
   Printf.printf "(a) PAL 1 (setup)\n";
   row3 "Operation" "Paper (ms)" "Measured (ms)";
-  row3 "SKINIT" "14.3" (ms (Session.phase_ms so Session.Skinit));
-  row3 "Key Gen" "185.7" (ms (Timing.rsa_keygen_ms timing ~bits:1024));
-  row3 "Seal" "10.2" (ms timing.Timing.tpm.Timing.seal_ms);
-  row3 "Total Time" "217.1" (ms so.Session.total_ms);
+  let setup_row = paper_row ~artifact:"figure9" in
+  setup_row ~key:"setup SKINIT" "SKINIT" ~paper:"14.3"
+    ~measured:(Session.phase_ms so Session.Skinit);
+  setup_row ~key:"setup Key Gen" "Key Gen" ~paper:"185.7"
+    ~measured:(Timing.rsa_keygen_ms timing ~bits:1024);
+  setup_row ~key:"setup Seal" "Seal" ~paper:"10.2"
+    ~measured:timing.Timing.tpm.Timing.seal_ms;
+  setup_row ~key:"setup Total Time" "Total Time" ~paper:"217.1"
+    ~measured:so.Session.total_ms;
   let client =
     Ssh_auth.Client.create ~rng:(Prng.create ~seed:"fig9-client") ~ca_key
       ~server_slb_base:p.Platform.slb_base ~key_bits:1024 ()
@@ -281,10 +369,15 @@ let figure9 ?(timing = Timing.default) () =
   Printf.printf "(b) PAL 2 (login)   [password %s]\n"
     (if login.Ssh_auth.granted then "accepted" else "REJECTED");
   row3 "Operation" "Paper (ms)" "Measured (ms)";
-  row3 "SKINIT" "14.3" (ms (Session.phase_ms lo Session.Skinit));
-  row3 "Unseal" "905.4" (ms timing.Timing.tpm.Timing.unseal_ms);
-  row3 "Decrypt" "4.6" (ms (Timing.rsa_private_ms timing ~bits:1024));
-  row3 "Total Time" "937.6" (ms lo.Session.total_ms)
+  let login_row = paper_row ~artifact:"figure9" in
+  login_row ~key:"login SKINIT" "SKINIT" ~paper:"14.3"
+    ~measured:(Session.phase_ms lo Session.Skinit);
+  login_row ~key:"login Unseal" "Unseal" ~paper:"905.4"
+    ~measured:timing.Timing.tpm.Timing.unseal_ms;
+  login_row ~key:"login Decrypt" "Decrypt" ~paper:"4.6"
+    ~measured:(Timing.rsa_private_ms timing ~bits:1024);
+  login_row ~key:"login Total Time" "Total Time" ~paper:"937.6"
+    ~measured:lo.Session.total_ms
 
 (* ------------------------------------------------------------------ *)
 (* Section 7.4.2: certificate authority                                *)
@@ -312,12 +405,20 @@ let ca_bench ?(timing = Timing.default) () =
   let cert = match CA.sign_csr ca csr with Ok c -> c | Error e -> failwith e in
   let sign_ms = Platform.now_ms p -. t1 in
   row3 "Operation" "Paper (ms)" "Measured (ms)";
-  row3 "Keypair generation session" "~217" (ms init_ms);
-  row3 "Certificate signing session" "906.2" (ms sign_ms);
-  row3 "RSA signature (inside PAL)" "4.7" (ms (Timing.rsa_private_ms timing ~bits:1024));
+  let ca_row = paper_row ~artifact:"ca" in
+  ca_row "Keypair generation session" ~paper:"~217" ~measured:init_ms;
+  ca_row "Certificate signing session" ~paper:"906.2" ~measured:sign_ms;
+  ca_row "RSA signature (inside PAL)" ~paper:"4.7"
+    ~measured:(Timing.rsa_private_ms timing ~bits:1024);
+  let verifies = CA.verify_certificate ~ca_key:pub cert in
   Printf.printf "certificate #%d for %s verifies: %b\n" cert.CA.serial
-    cert.CA.cert_subject
-    (CA.verify_certificate ~ca_key:pub cert)
+    cert.CA.cert_subject verifies;
+  emit ~artifact:"ca" ~label:"certificate"
+    [
+      ("serial", J.Int cert.CA.serial);
+      ("subject", J.String cert.CA.cert_subject);
+      ("verifies", J.Bool verifies);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Section 7.5: impact on the suspended OS                             *)
@@ -363,7 +464,14 @@ let impact () =
           let ok = Result.get_ok (Blockdev.md5sum (dev dst) ~file:"file.bin") = reference in
           Printf.printf "%-22s %12.1f %10d %8b\n"
             (Printf.sprintf "%s -> %s" src dst)
-            (msv /. 1000.0) !sessions ok)
+            (msv /. 1000.0) !sessions ok;
+          emit ~artifact:"impact"
+            ~label:(Printf.sprintf "%s -> %s" src dst)
+            [
+              ("duration_ms", J.Float msv);
+              ("sessions", J.Int !sessions);
+              ("md5_ok", J.Bool ok);
+            ])
     [ ("cdrom", "hd"); ("cdrom", "usb"); ("hd", "usb"); ("usb", "hd") ]
 
 (* ------------------------------------------------------------------ *)
@@ -373,9 +481,16 @@ let impact () =
 let figure6 () =
   header "Figure 6: PAL modules (LOC and binary size)";
   Format.printf "%a" Tcb.pp_rows (Tcb.figure6 ());
+  List.iter
+    (fun r ->
+      emit ~artifact:"figure6" ~label:r.Tcb.component
+        [ ("loc", J.Int r.Tcb.loc); ("size_bytes", J.Int r.Tcb.size_bytes) ])
+    (Tcb.figure6 ());
   header "Figure 1 / Section 3: TCB size comparison";
   List.iter
-    (fun (name, loc) -> Printf.printf "%-55s %10d LOC\n" name loc)
+    (fun (name, loc) ->
+      Printf.printf "%-55s %10d LOC\n" name loc;
+      emit ~artifact:"figure6" ~label:name [ ("loc", J.Int loc) ])
     Tcb.comparison
 
 (* ------------------------------------------------------------------ *)
@@ -407,6 +522,13 @@ let keygen_ablation () =
   Printf.printf "%-34s %14.1f %14.1f\n" "key generation (ms)" rsa_ms elg_ms;
   Printf.printf "%-34s %14.1f %14.1f\n" "setup PAL total (ms, modelled)" (fixed +. rsa_ms)
     (fixed +. elg_ms);
+  emit ~artifact:"keygen" ~label:"key generation (ms)"
+    [ ("rsa_1024", J.Float rsa_ms); ("elgamal_1024", J.Float elg_ms) ];
+  emit ~artifact:"keygen" ~label:"setup PAL total (ms, modelled)"
+    [
+      ("rsa_1024", J.Float (fixed +. rsa_ms));
+      ("elgamal_1024", J.Float (fixed +. elg_ms));
+    ];
   Printf.printf
     "the paper: \"this cost could be mitigated by choosing a different public key\n\
      algorithm with faster key generation, such as ElGamal\" -- a %.0fx keygen saving.\n"
@@ -435,10 +557,17 @@ let burden () =
   in
   let fl = Trusted_boot.flicker_burden pal in
   Printf.printf "%-44s %10s %16s\n" "Attestation model" "Components" "Includes full OS";
-  Printf.printf "%-44s %10d %16b\n" "Trusted boot (IMA event log, one workday)"
-    tb.Trusted_boot.components_to_assess tb.Trusted_boot.includes_full_os;
-  Printf.printf "%-44s %10d %16b\n" "Flicker (SLB Core + 2 modules + PAL)"
-    fl.Trusted_boot.components_to_assess fl.Trusted_boot.includes_full_os
+  let burden_row label b =
+    Printf.printf "%-44s %10d %16b\n" label b.Trusted_boot.components_to_assess
+      b.Trusted_boot.includes_full_os;
+    emit ~artifact:"burden" ~label
+      [
+        ("components", J.Int b.Trusted_boot.components_to_assess);
+        ("includes_full_os", J.Bool b.Trusted_boot.includes_full_os);
+      ]
+  in
+  burden_row "Trusted boot (IMA event log, one workday)" tb;
+  burden_row "Flicker (SLB Core + 2 modules + PAL)" fl
 
 (* ------------------------------------------------------------------ *)
 (* Comparison: AMD SKINIT vs Intel GETSEC[SENTER] launch               *)
@@ -456,11 +585,15 @@ let txt () =
   let svm = run None in
   let txt = run (Some (Session.Txt { acm = Flicker_hw.Senter.default_acm })) in
   Printf.printf "%-30s %14s %14s\n" "" "SKINIT" "SENTER";
-  Printf.printf "%-30s %14.1f %14.1f\n" "launch instruction (ms)"
+  let txt_row label skinit_v senter_v =
+    Printf.printf "%-30s %14.1f %14.1f\n" label skinit_v senter_v;
+    emit ~artifact:"txt" ~label
+      [ ("skinit_ms", J.Float skinit_v); ("senter_ms", J.Float senter_v) ]
+  in
+  txt_row "launch instruction (ms)"
     (Session.phase_ms svm Session.Skinit)
     (Session.phase_ms txt Session.Skinit);
-  Printf.printf "%-30s %14.1f %14.1f\n" "session total (ms)" svm.Session.total_ms
-    txt.Session.total_ms;
+  txt_row "session total (ms)" svm.Session.total_ms txt.Session.total_ms;
   Printf.printf
     "SENTER additionally transfers and measures the %d-byte SINIT ACM; the\n\
      measurement chains differ, so attestations identify the launch technology.\n"
@@ -489,7 +622,13 @@ let ablation () =
   in
   let print_row name values unit_str =
     Printf.printf "%-28s %12.1f %12.1f %12.1f %s\n" name (List.nth values 0)
-      (List.nth values 1) (List.nth values 2) unit_str
+      (List.nth values 1) (List.nth values 2) unit_str;
+    emit ~artifact:"ablation" ~label:name
+      [
+        ("broadcom", J.Float (List.nth values 0));
+        ("infineon", J.Float (List.nth values 1));
+        ("next_gen", J.Float (List.nth values 2));
+      ]
   in
   print_row "TPM Quote (ms)" quote "";
   print_row "TPM Unseal (ms)" unseal "";

@@ -6,6 +6,8 @@
      flicker ca --subjects a.x,b.x      certificate authority service
      flicker factor --number N          distributed factoring
      flicker tcb [--modules m1,m2]      TCB accounting for a PAL
+     flicker trace WORKLOAD [-o FILE]   Chrome trace JSON of a workload
+     flicker stats WORKLOAD [--json]    counters + latency histograms
      flicker info                       platform + timing-profile summary *)
 
 open Cmdliner
@@ -303,6 +305,132 @@ let extract_cmd =
        ~doc:"Run the Section 5.2 PAL-extraction tool on a sample program")
     Term.(const extract_run $ target_arg $ render_arg)
 
+(* --- trace / stats --- *)
+
+(* the workloads the observability subcommands can drive *)
+let workload_arg =
+  let doc =
+    "Workload to run: $(b,hello) (quickstart PAL), $(b,rootkit) (detector \
+     scan), $(b,ssh) (password-auth protocol) or $(b,ca) (keygen + one \
+     certificate)."
+  in
+  Arg.(value & pos 0 (enum [ ("hello", `Hello); ("rootkit", `Rootkit); ("ssh", `Ssh); ("ca", `Ca) ]) `Hello
+       & info [] ~docv:"WORKLOAD" ~doc)
+
+let run_workload p ca_key ~seed = function
+  | `Hello -> (
+      let pal =
+        Pal.define ~name:"cli-hello" (fun env -> Pal_env.set_output env "Hello, world")
+      in
+      match Session.execute p ~pal () with
+      | Ok o -> Ok (Some o)
+      | Error e -> Error (Format.asprintf "%a" Session.pp_error e))
+  | `Rootkit -> (
+      let d = Flicker_apps.Rootkit_detector.deploy_on p in
+      match Flicker_apps.Rootkit_detector.scan d ~nonce:(Platform.fresh_nonce p) with
+      | Ok r -> Ok (Some r.Flicker_apps.Rootkit_detector.outcome)
+      | Error e -> Error e)
+  | `Ssh -> (
+      let server =
+        Flicker_apps.Ssh_auth.create_server p ~users:[ ("user", "hunter2") ] ()
+      in
+      let client =
+        Flicker_apps.Ssh_auth.Client.create ~rng:(Prng.create ~seed:(seed ^ "/client"))
+          ~ca_key ~server_slb_base:p.Platform.slb_base ()
+      in
+      match
+        Flicker_apps.Ssh_auth.authenticate server client ~user:"user" ~password:"hunter2"
+      with
+      | Ok _ -> Ok None
+      | Error e -> Error e)
+  | `Ca -> (
+      let module CA = Flicker_apps.Cert_authority in
+      let policy =
+        { CA.allowed_suffixes = [ ".example.com" ]; denied_subjects = [];
+          max_certificates = 10 }
+      in
+      let ca = CA.create p policy in
+      match CA.init_ca ca with
+      | Error e -> Error e
+      | Ok _ -> (
+          let csr =
+            { CA.subject = "www.example.com";
+              subject_key =
+                (Rsa.generate (Prng.create ~seed:(seed ^ "/csr")) ~bits:512).Rsa.pub }
+          in
+          match CA.sign_csr ca csr with
+          | Ok _ -> Ok None
+          | Error e -> Error e))
+
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the output there instead of stdout.")
+
+let trace seed tpm workload out verbose =
+  setup_logging verbose;
+  let p, ca_key = make_platform ~seed ~tpm () in
+  match run_workload p ca_key ~seed workload with
+  | Error e -> Printf.printf "workload failed: %s\n" e; 1
+  | Ok outcome ->
+      (* human-readable summary on stderr so `trace W > file.json` stays
+         valid JSON when no --out is given *)
+      (match outcome with
+      | None -> ()
+      | Some o ->
+          Printf.eprintf "phase breakdown (last session):\n";
+          List.iter
+            (fun (phase, phase_ms) ->
+              Printf.eprintf "  %-14s %8.3f ms\n" (Session.phase_name phase) phase_ms)
+            o.Session.breakdown);
+      let tracer = p.Platform.machine.Flicker_hw.Machine.tracer in
+      let json = Flicker_obs.Export.chrome_trace_string ~process_name:"flicker-sim" tracer in
+      (match out with
+      | None -> print_endline json
+      | Some path ->
+          let oc = open_out path in
+          output_string oc json;
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "wrote %d trace events to %s (open in chrome://tracing or Perfetto)\n"
+            (Flicker_obs.Tracer.length tracer) path);
+      0
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a workload and dump the simulated timeline as Chrome trace JSON")
+    Term.(const trace $ seed_arg $ tpm_arg $ workload_arg $ out_arg $ verbose_arg)
+
+let stats seed tpm workload as_json out verbose =
+  setup_logging verbose;
+  let p, ca_key = make_platform ~seed ~tpm () in
+  match run_workload p ca_key ~seed workload with
+  | Error e -> Printf.printf "workload failed: %s\n" e; 1
+  | Ok _ ->
+      let metrics = p.Platform.machine.Flicker_hw.Machine.metrics in
+      let text =
+        if as_json then
+          Flicker_obs.Json.to_string (Flicker_obs.Export.stats_json metrics) ^ "\n"
+        else Flicker_obs.Export.stats_summary metrics
+      in
+      (match out with
+      | None -> print_string text
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Printf.printf "stats written to %s\n" path);
+      0
+
+let stats_json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of the text table.")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a workload and print the platform's counters and latency histograms")
+    Term.(const stats $ seed_arg $ tpm_arg $ workload_arg $ stats_json_arg $ out_arg $ verbose_arg)
+
 (* --- info --- *)
 
 let info_run tpm =
@@ -327,6 +455,7 @@ let info_cmd =
 let () =
   let doc = "Flicker: an execution infrastructure for TCB minimization (simulated)" in
   let main = Cmd.group (Cmd.info "flicker" ~version:"1.0.0" ~doc)
-      [ hello_cmd; scan_cmd; ssh_cmd; ca_cmd; factor_cmd; tcb_cmd; extract_cmd; info_cmd ]
+      [ hello_cmd; scan_cmd; ssh_cmd; ca_cmd; factor_cmd; tcb_cmd; extract_cmd;
+        trace_cmd; stats_cmd; info_cmd ]
   in
   exit (Cmd.eval' main)

@@ -124,8 +124,10 @@ let behavior env =
     match Mod_tpm_driver.claim env.Pal_env.tpm_driver with
     | Error e -> fail e
     | Ok () ->
-        f ();
-        Mod_tpm_driver.release env.Pal_env.tpm_driver
+        (* release also on exception, or a PAL fault wedges the driver *)
+        Fun.protect
+          ~finally:(fun () -> Mod_tpm_driver.release env.Pal_env.tpm_driver)
+          f
   in
   match Util.decode_fields env.Pal_env.inputs with
   | Ok [ "keygen"; key_bits; issuer ] ->

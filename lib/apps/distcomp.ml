@@ -94,6 +94,12 @@ let behavior env =
       match Mod_tpm_driver.claim env.Pal_env.tpm_driver with
       | Error e -> fail e
       | Ok () ->
+          (* the per-branch releases below are kept (release is
+             idempotent); the protect guarantees the claim is also
+             dropped when an exception escapes mid-operation *)
+          Fun.protect
+            ~finally:(fun () -> Mod_tpm_driver.release env.Pal_env.tpm_driver)
+          @@ fun () ->
           let tpm = Pal_env.tpm env in
           let respond ~sealed_key ~key ~slice_ms st =
             let pre_work_ms = Clock.now clock -. entered in

@@ -119,9 +119,11 @@ let detector_behavior env =
       (match Mod_tpm_driver.claim env.Pal_env.tpm_driver with
       | Error _ -> ()
       | Ok () ->
-          (match Mod_tpm_utils.pcr_extend (Pal_env.tpm env) 17 hash with
-          | Ok _ | Error _ -> ());
-          Mod_tpm_driver.release env.Pal_env.tpm_driver);
+          Fun.protect
+            ~finally:(fun () -> Mod_tpm_driver.release env.Pal_env.tpm_driver)
+            (fun () ->
+              match Mod_tpm_utils.pcr_extend (Pal_env.tpm env) 17 hash with
+              | Ok _ | Error _ -> ()));
       Pal_env.set_output env hash
 
 let pal_instance = ref None

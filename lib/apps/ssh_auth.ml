@@ -39,9 +39,14 @@ let behavior env =
                     (match Mod_tpm_driver.claim env.Pal_env.tpm_driver with
                     | Error _ -> ()
                     | Ok () ->
-                        (match Mod_tpm_utils.pcr_extend (Pal_env.tpm env) 17 bottom with
-                        | Ok _ | Error _ -> ());
-                        Mod_tpm_driver.release env.Pal_env.tpm_driver);
+                        Fun.protect
+                          ~finally:(fun () ->
+                            Mod_tpm_driver.release env.Pal_env.tpm_driver)
+                          (fun () ->
+                            match
+                              Mod_tpm_utils.pcr_extend (Pal_env.tpm env) 17 bottom
+                            with
+                            | Ok _ | Error _ -> ()));
                     Pal_env.set_output env hash
                   end
               | Ok _ | Error _ -> fail "malformed login payload")))

@@ -7,13 +7,16 @@ module Mod_tpm_driver = Flicker_slb.Mod_tpm_driver
 
 type guard = { counter_handle : int }
 
+(* The release must survive an exception from the callback: a PAL fault
+   mid-seal would otherwise leave the driver claimed and wedge every
+   later TPM operation in the session. *)
 let with_tpm (env : Pal_env.t) f =
   match Mod_tpm_driver.claim env.Pal_env.tpm_driver with
   | Error e -> Error e
   | Ok () ->
-      let result = f (Pal_env.tpm env) in
-      Mod_tpm_driver.release env.Pal_env.tpm_driver;
-      result
+      Fun.protect
+        ~finally:(fun () -> Mod_tpm_driver.release env.Pal_env.tpm_driver)
+        (fun () -> f (Pal_env.tpm env))
 
 let init env ~owner_auth ~label =
   with_tpm env (fun tpm ->

@@ -9,6 +9,15 @@
 
 type guard = { counter_handle : int }
 
+val with_tpm :
+  Flicker_slb.Pal_env.t ->
+  (Flicker_tpm.Tpm.t -> ('a, string) result) ->
+  ('a, string) result
+(** Claim the session's TPM driver, run the callback against the device,
+    and release the claim — also on exception, so a PAL fault mid-operation
+    never leaves the driver wedged. Fails without running the callback if
+    the driver is already claimed. *)
+
 val init : Flicker_slb.Pal_env.t -> owner_auth:string -> label:string -> (guard, string) result
 (** Create the PAL's monotonic counter (owner-authorized; the 20-byte
     owner secret reaches the PAL over a secure channel in the paper's

@@ -14,9 +14,10 @@ let with_tpm (env : Pal_env.t) f =
   match Mod_tpm_driver.claim env.Pal_env.tpm_driver with
   | Error e -> Error e
   | Ok () ->
-      let result = f (Pal_env.tpm env) in
-      Mod_tpm_driver.release env.Pal_env.tpm_driver;
-      result
+      (* release also on exception, or a PAL fault wedges the driver *)
+      Fun.protect
+        ~finally:(fun () -> Mod_tpm_driver.release env.Pal_env.tpm_driver)
+        (fun () -> f (Pal_env.tpm env))
 
 let lift = Result.map_error Tpm_types.error_to_string
 

@@ -1,4 +1,6 @@
 open Flicker_crypto
+module Tracer = Flicker_obs.Tracer
+module Metrics = Flicker_obs.Metrics
 module Machine = Flicker_hw.Machine
 module Memory = Flicker_hw.Memory
 module Clock = Flicker_hw.Clock
@@ -96,6 +98,14 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
     Error (Os_busy "already inside a Flicker session")
   else begin
     platform.Platform.sessions_run <- platform.Platform.sessions_run + 1;
+    let tracer = machine.Machine.tracer in
+    let metrics = machine.Machine.metrics in
+    Metrics.incr metrics "session.runs";
+    let session_span =
+      Tracer.begin_span tracer ~cat:"session"
+        ~args:[ ("pal", Tracer.Str pal.Flicker_slb.Pal.name) ]
+        "Flicker session"
+    in
     let session_rng =
       Platform.fork_rng platform
         ~label:(Printf.sprintf "session-%d" platform.Platform.sessions_run)
@@ -104,8 +114,20 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
     let started = Clock.now clock in
     let breakdown = ref [] in
     let timed phase f =
-      let result, span = Clock.time clock f in
-      breakdown := (phase, Clock.duration span) :: !breakdown;
+      Tracer.with_span tracer ~cat:"session.phase" (phase_name phase) (fun () ->
+          let result, span = Clock.time clock f in
+          breakdown := (phase, Clock.duration span) :: !breakdown;
+          result)
+    in
+    (* close the session span and roll the outcome into the counters at
+       every exit *)
+    let finish result =
+      Tracer.end_span tracer session_span;
+      (match result with
+      | Error (Skinit_failed _) -> Metrics.incr metrics "session.skinit_failures"
+      | Error Unknown_pal -> Metrics.incr metrics "session.unknown_pal"
+      | Error (Os_busy _) -> ()
+      | Ok o -> if o.pal_fault <> None then Metrics.incr metrics "session.pal_faults");
       result
     in
 
@@ -168,7 +190,7 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
         Os_state.restore machine platform.Platform.kernel saved_state;
         Apic.release_aps machine;
         Scheduler.resume platform.Platform.scheduler;
-        Error (Skinit_failed msg)
+        finish (Error (Skinit_failed msg))
     | Ok launch ->
         let slb_measurement =
           Sha1.digest (Memory.read memory ~addr:slb_base ~len:launch.Skinit.slb_length)
@@ -277,18 +299,19 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
             Sysfs.write platform.Platform.sysfs ~path:"outputs" env_outputs;
             Machine.charge machine Slb_core.cleanup_overhead_ms);
 
-        if not known_pal then Error Unknown_pal
-        else
-          Ok
-            {
-              outputs = env_outputs;
-              slb_measurement;
-              pcr17_during;
-              pcr17_final;
-              breakdown = List.rev !breakdown;
-              total_ms = Clock.now clock -. started;
-              pal_fault;
-            }
+        finish
+          (if not known_pal then Error Unknown_pal
+           else
+             Ok
+               {
+                 outputs = env_outputs;
+                 slb_measurement;
+                 pcr17_during;
+                 pcr17_final;
+                 breakdown = List.rev !breakdown;
+                 total_ms = Clock.now clock -. started;
+                 pal_fault;
+               })
   end
 
 let execute_from_sysfs (platform : Platform.t) ?nonce ?time_limit_ms () =

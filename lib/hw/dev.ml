@@ -34,7 +34,8 @@ let allows t ~addr ~len =
   if len <= 0 then true
   else begin
     let first, last = Memory.pages_of_range ~addr ~len in
-    let rec go p = p > last || ((p >= t.pages || not (is_page_protected t p)) && go (p + 1)) in
+    (* pages beyond the bitmap are permanently protected (fail closed) *)
+    let rec go p = p > last || (p < t.pages && not (is_page_protected t p) && go (p + 1)) in
     go first
   end
 

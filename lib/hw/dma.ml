@@ -27,11 +27,13 @@ let record t ~addr ~len ~write ~blocked =
       blocked;
     }
     :: t.log;
-  if blocked then
+  if blocked then begin
+    Flicker_obs.Metrics.incr t.machine.Machine.metrics "dev.blocked_dma";
     Machine.log_event t.machine
       (Printf.sprintf "dev: blocked DMA %s by %s at %#x (%d bytes)"
          (if write then "write" else "read")
          t.device_name addr len)
+  end
 
 let read t ~addr ~len =
   let allowed = Dev.allows t.machine.Machine.dev ~addr ~len in

@@ -1,3 +1,6 @@
+module Tracer = Flicker_obs.Tracer
+module Metrics = Flicker_obs.Metrics
+
 type tpm_hooks = {
   dynamic_pcr_reset : unit -> unit;
   measure_into_pcr17 : string -> unit;
@@ -11,30 +14,43 @@ type t = {
   cpus : Cpu.t;
   clock : Clock.t;
   timing : Timing.t;
+  tracer : Tracer.t;
+  metrics : Metrics.t;
   mutable tpm_hooks : tpm_hooks option;
-  mutable events : event list;
 }
 
-let create ?(memory_size = 16 * 1024 * 1024) ?(cores = 2) timing =
+let create ?(memory_size = 16 * 1024 * 1024) ?(cores = 2) ?(trace_capacity = 4096)
+    timing =
   let memory = Memory.create ~size:memory_size in
+  let clock = Clock.create () in
   {
     memory;
     dev = Dev.create ~pages:(memory_size / Memory.page_size);
     cpus = Cpu.create ~cores;
-    clock = Clock.create ();
+    clock;
     timing;
+    tracer = Tracer.create ~capacity:trace_capacity ~now:(fun () -> Clock.now clock) ();
+    metrics = Metrics.create ();
     tpm_hooks = None;
-    events = [];
   }
 
 let set_tpm_hooks t hooks = t.tpm_hooks <- Some hooks
 
 let log_event t detail =
-  t.events <- { at = Clock.now t.clock; detail } :: t.events;
+  Tracer.instant t.tracer ~cat:"machine" detail;
   Logs.debug (fun m -> m "[%.3f ms] %s" (Clock.now t.clock) detail)
 
 let events_between t ~since =
-  List.rev (List.filter (fun e -> e.at >= since) t.events)
+  List.filter_map
+    (fun (e : Tracer.event) ->
+      match e.Tracer.kind with
+      | Tracer.Instant when e.Tracer.ts >= since ->
+          Some { at = e.Tracer.ts; detail = e.Tracer.name }
+      | _ -> None)
+    (Tracer.events t.tracer)
+
+let event_count t = Tracer.length t.tracer
+let events_dropped t = Tracer.dropped t.tracer
 
 let charge t ms = Clock.advance t.clock ms
 let charge_sha1 t ~bytes = charge t (Timing.sha1_ms t.timing ~bytes)

@@ -3,7 +3,12 @@
 
     The TPM itself lives in [flicker_tpm] (which depends on this library
     for the clock and timing model); the platform assembly in
-    [flicker_core.Platform] wires a TPM instance into [tpm_hooks]. *)
+    [flicker_core.Platform] wires a TPM instance into [tpm_hooks].
+
+    Observability: every machine carries a {!Flicker_obs.Tracer} (span
+    and instant events over the simulated clock, in a bounded ring
+    buffer) and a {!Flicker_obs.Metrics} registry (counters and latency
+    histograms) that the TPM, session, and OS layers feed. *)
 
 type tpm_hooks = {
   dynamic_pcr_reset : unit -> unit;
@@ -20,17 +25,30 @@ type t = {
   cpus : Cpu.t;
   clock : Clock.t;
   timing : Timing.t;
+  tracer : Flicker_obs.Tracer.t;  (** bounded audit trail + spans *)
+  metrics : Flicker_obs.Metrics.t;
   mutable tpm_hooks : tpm_hooks option;
-  mutable events : event list;  (** audit trail, newest first *)
 }
 
-val create : ?memory_size:int -> ?cores:int -> Timing.t -> t
-(** Defaults: 16 MB of memory, 2 cores (the dual-core dc5750). *)
+val create : ?memory_size:int -> ?cores:int -> ?trace_capacity:int -> Timing.t -> t
+(** Defaults: 16 MB of memory, 2 cores (the dual-core dc5750), and a
+    4096-event trace ring buffer. *)
 
 val set_tpm_hooks : t -> tpm_hooks -> unit
+
 val log_event : t -> string -> unit
+(** Record an instant event on the tracer (and the debug log). *)
+
 val events_between : t -> since:float -> event list
-(** Events at or after [since], oldest first. *)
+(** Instant events at or after [since] still retained in the ring
+    buffer, oldest first. The buffer is bounded: a long-running platform
+    keeps only the most recent [trace_capacity] events. *)
+
+val event_count : t -> int
+(** Events currently retained (never exceeds the trace capacity). *)
+
+val events_dropped : t -> int
+(** Events evicted from the ring buffer so far. *)
 
 val charge : t -> float -> unit
 (** Advance the simulated clock by [ms]. *)

@@ -118,8 +118,11 @@ let rsa_public_ms t ~bits =
   t.cpu.rsa_public_1024_ms *. ((float_of_int bits /. 1024.0) ** 2.0)
 
 let get_random_ms t ~bytes =
-  let blocks = (bytes + 127) / 128 in
-  t.tpm.get_random_ms_per_128b *. float_of_int (max 1 blocks)
+  if bytes <= 0 then 0.0
+  else begin
+    let blocks = (bytes + 127) / 128 in
+    t.tpm.get_random_ms_per_128b *. float_of_int blocks
+  end
 
 let network_ms t ~bytes =
   (t.network.rtt_ms /. 2.0)

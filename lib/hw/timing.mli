@@ -71,5 +71,8 @@ val rsa_keygen_ms : t -> bits:int -> float
 val rsa_private_ms : t -> bits:int -> float
 val rsa_public_ms : t -> bits:int -> float
 val get_random_ms : t -> bytes:int -> float
+(** One 128-byte block per started 128 bytes; a zero-byte request (no
+    command issued) costs nothing. *)
+
 val network_ms : t -> bytes:int -> float
 (** One-way message latency: half an RTT plus serialization. *)

@@ -1,0 +1,30 @@
+(** A minimal JSON tree, printer, and parser.
+
+    The repository deliberately has no external dependencies beyond the
+    toolchain, so the observability exporters (Chrome [trace_event]
+    files, bench records) carry their own JSON support. The printer
+    emits compact, valid JSON; the parser accepts anything the printer
+    produces (and standard JSON generally) and exists mainly so tests
+    and downstream tooling can round-trip exported artifacts. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering. Non-finite floats become [null] so the output is
+    always standard JSON. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val to_float : t -> float option
+(** Numeric value of [Int] or [Float]. *)

@@ -1,0 +1,45 @@
+(** Monotonic counters and latency histograms.
+
+    A registry lives on the simulated machine and is fed by every layer:
+    the TPM records per-command counts and simulated latencies, the
+    session layer records runs/faults, the DEV records blocked DMA.
+    Registration is implicit — the first [incr] or [observe] of a name
+    creates the series. Names are dot-separated, e.g. [tpm.quote.ms]. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> unit
+(** Bump a counter (creating it at zero first). [by] defaults to 1 and
+    must be non-negative: counters are monotonic. *)
+
+val counter : t -> string -> int
+(** Current value; 0 for a counter never incremented. *)
+
+val observe : t -> string -> float -> unit
+(** Record one sample (a simulated latency in ms) into a histogram. *)
+
+type histogram_summary = {
+  h_name : string;
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+(** Percentiles are estimated from power-of-two buckets and clamped to
+    the observed [min_v, max_v] range, so they are exact for single-value
+    series and within a 2x bucket for mixed ones. *)
+
+val histogram : t -> string -> histogram_summary option
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val histograms : t -> histogram_summary list
+(** All histogram summaries, sorted by name. *)
+
+val reset : t -> unit

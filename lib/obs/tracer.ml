@@ -1,0 +1,73 @@
+type arg = Str of string | Num of float | Count of int | Flag of bool
+
+type kind = Span of { dur : float } | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ts : float;
+  kind : kind;
+  args : (string * arg) list;
+}
+
+type t = {
+  now : unit -> float;
+  cap : int;
+  buf : event option array;
+  mutable next : int;  (* ring write cursor *)
+  mutable len : int;
+  mutable evicted : int;
+}
+
+let create ?(capacity = 4096) ~now () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  { now; cap = capacity; buf = Array.make capacity None; next = 0; len = 0; evicted = 0 }
+
+let push t e =
+  if t.len = t.cap then t.evicted <- t.evicted + 1 else t.len <- t.len + 1;
+  t.buf.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod t.cap
+
+let instant t ?(cat = "event") ?(args = []) name =
+  push t { name; cat; ts = t.now (); kind = Instant; args }
+
+type span_handle = {
+  h_name : string;
+  h_cat : string;
+  h_args : (string * arg) list;
+  h_started : float;
+}
+
+let begin_span t ?(cat = "span") ?(args = []) name =
+  { h_name = name; h_cat = cat; h_args = args; h_started = t.now () }
+
+let end_span t h =
+  push t
+    {
+      name = h.h_name;
+      cat = h.h_cat;
+      ts = h.h_started;
+      kind = Span { dur = t.now () -. h.h_started };
+      args = h.h_args;
+    }
+
+let with_span t ?cat ?args name f =
+  let h = begin_span t ?cat ?args name in
+  Fun.protect ~finally:(fun () -> end_span t h) f
+
+let events t =
+  let start = (t.next - t.len + t.cap) mod t.cap in
+  List.init t.len (fun i ->
+      match t.buf.((start + i) mod t.cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let length t = t.len
+let capacity t = t.cap
+let dropped t = t.evicted
+
+let clear t =
+  Array.fill t.buf 0 t.cap None;
+  t.next <- 0;
+  t.len <- 0;
+  t.evicted <- 0

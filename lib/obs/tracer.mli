@@ -1,0 +1,54 @@
+(** Structured trace events over the simulated clock.
+
+    The tracer replaces the machine's old unbounded ad-hoc event list: it
+    records complete spans (begin/end pairs with simulated-clock
+    timestamps, so nesting falls out of containment) and instant events
+    into a bounded ring buffer — a platform that runs forever keeps
+    constant event memory, dropping the oldest records first.
+
+    Timestamps come from the [now] callback supplied at creation (wired
+    to [Clock.now] by the machine), so the tracer itself has no hardware
+    dependencies and the library sits below [flicker_hw]. *)
+
+type arg = Str of string | Num of float | Count of int | Flag of bool
+
+type kind =
+  | Span of { dur : float }  (** complete span: [ts .. ts + dur] *)
+  | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ts : float;  (** simulated ms at which the event began *)
+  kind : kind;
+  args : (string * arg) list;
+}
+
+type t
+
+val create : ?capacity:int -> now:(unit -> float) -> unit -> t
+(** [capacity] defaults to 4096 events and must be positive. *)
+
+val instant : t -> ?cat:string -> ?args:(string * arg) list -> string -> unit
+
+type span_handle
+
+val begin_span : t -> ?cat:string -> ?args:(string * arg) list -> string -> span_handle
+val end_span : t -> span_handle -> unit
+(** Records the completed span. Ending the same handle twice records the
+    span twice; don't. *)
+
+val with_span : t -> ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span; the span is recorded even if the thunk
+    raises (the exception is re-raised). *)
+
+val events : t -> event list
+(** Retained events, oldest first. At most [capacity] of them. *)
+
+val length : t -> int
+val capacity : t -> int
+val dropped : t -> int
+(** Events evicted so far to stay within [capacity]. *)
+
+val clear : t -> unit
+(** Drop all retained events and reset the dropped counter. *)

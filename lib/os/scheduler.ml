@@ -10,6 +10,9 @@ type process = {
   mutable completed_at : float option;
 }
 
+module Tracer = Flicker_obs.Tracer
+module Metrics = Flicker_obs.Metrics
+
 type t = {
   machine : Machine.t;
   mutable processes : process list;
@@ -17,6 +20,8 @@ type t = {
   mutable suspended : bool;
   mutable last_sync : float;
       (* clock value up to which process progress has been accounted *)
+  mutable suspend_span : Tracer.span_handle option;
+      (* open "OS suspended" span between suspend and resume *)
 }
 
 let create machine =
@@ -26,6 +31,7 @@ let create machine =
     next_pid = 1;
     suspended = false;
     last_sync = Clock.now machine.Machine.clock;
+    suspend_span = None;
   }
 
 let active_processes t = List.filter (fun p -> p.completed_at = None) t.processes
@@ -109,11 +115,19 @@ let run_until_complete t p =
 let suspend t =
   sync t;
   t.suspended <- true;
+  Metrics.incr t.machine.Machine.metrics "os.suspensions";
+  t.suspend_span <-
+    Some (Tracer.begin_span t.machine.Machine.tracer ~cat:"os" "OS suspended");
   Machine.log_event t.machine "os: suspended for Flicker session"
 
 let resume t =
   t.suspended <- false;
   t.last_sync <- Clock.now t.machine.Machine.clock;
+  (match t.suspend_span with
+  | Some h ->
+      Tracer.end_span t.machine.Machine.tracer h;
+      t.suspend_span <- None
+  | None -> ());
   Machine.log_event t.machine "os: resumed"
 
 let is_suspended t = t.suspended

@@ -8,9 +8,10 @@ let with_tpm env f =
   match Mod_tpm_driver.claim env.Pal_env.tpm_driver with
   | Error e -> Error e
   | Ok () ->
-      let result = f (Pal_env.tpm env) in
-      Mod_tpm_driver.release env.Pal_env.tpm_driver;
-      result
+      (* release also on exception, or a PAL fault wedges the driver *)
+      Fun.protect
+        ~finally:(fun () -> Mod_tpm_driver.release env.Pal_env.tpm_driver)
+        (fun () -> f (Pal_env.tpm env))
 
 let setup env ~key_bits =
   with_tpm env (fun tpm ->

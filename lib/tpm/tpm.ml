@@ -24,7 +24,14 @@ type quote = {
 }
 
 let profile t = t.machine.Machine.timing.Timing.tpm
-let charge t ms = Machine.charge t.machine ms
+
+(* Every TPM command advances the simulated clock and records one count
+   plus the charged latency under tpm.<command>.{count,ms}. *)
+let charge_op t op ms =
+  Machine.charge t.machine ms;
+  let metrics = t.machine.Machine.metrics in
+  Flicker_obs.Metrics.incr metrics ("tpm." ^ op ^ ".count");
+  Flicker_obs.Metrics.observe metrics ("tpm." ^ op ^ ".ms") ms
 
 (* Sealed-storage wrapping keys, derived from the SRK private key so that
    unsealing is possible only on this TPM. *)
@@ -76,23 +83,23 @@ let owner_auth t = t.owner_auth
 let srk_auth t = t.keys.Keys.srk_auth
 
 let pcr_read t i =
-  charge t (profile t).Timing.pcr_read_ms;
+  charge_op t "pcr_read" (profile t).Timing.pcr_read_ms;
   Pcr.read t.pcrs i
 
 let pcr_extend t i m =
-  charge t (profile t).Timing.pcr_extend_ms;
+  charge_op t "pcr_extend" (profile t).Timing.pcr_extend_ms;
   Pcr.extend t.pcrs i m
 
 let pcr_composite t sel = Pcr.composite t.pcrs sel
 
 let get_random t n =
-  charge t (Timing.get_random_ms t.machine.Machine.timing ~bytes:n);
+  charge_op t "get_random" (Timing.get_random_ms t.machine.Machine.timing ~bytes:n);
   Prng.bytes t.rng n
 
 let quote t ~nonce ~selection =
   if String.length nonce <> Tpm_types.digest_size then
     invalid_arg "Tpm.quote: nonce must be 20 bytes";
-  charge t (profile t).Timing.quote_ms;
+  charge_op t "quote" (profile t).Timing.quote_ms;
   let composite = Pcr.composite t.pcrs selection in
   let payload = "QUOT" ^ Tpm_types.composite_hash composite ^ nonce in
   let signature = Pkcs1.sign t.keys.Keys.aik Hash.SHA1 payload in
@@ -148,7 +155,7 @@ let check_auth t ~auth ~entity_auth ~command_digest =
     ~nonce_odd:auth.nonce_odd ~mac:auth.mac
 
 let seal t ~auth ~release data =
-  charge t (profile t).Timing.seal_ms;
+  charge_op t "seal" (profile t).Timing.seal_ms;
   let command_digest = seal_command_digest ~release ~data in
   match check_auth t ~auth ~entity_auth:t.keys.Keys.srk_auth ~command_digest with
   | Error e -> Error e
@@ -161,7 +168,7 @@ let seal t ~auth ~release data =
       Ok (tag ^ body)
 
 let unseal t ~auth blob =
-  charge t (profile t).Timing.unseal_ms;
+  charge_op t "unseal" (profile t).Timing.unseal_ms;
   let command_digest = unseal_command_digest ~blob in
   match check_auth t ~auth ~entity_auth:t.keys.Keys.srk_auth ~command_digest with
   | Error e -> Error e
@@ -201,7 +208,7 @@ let nv_define_command_digest ~index (attrs : Nvram.space_attributes) =
     ^ serialize_composite attrs.Nvram.write_pcrs)
 
 let nv_define_space t ~auth ~index attrs =
-  charge t (profile t).Timing.nv_write_ms;
+  charge_op t "nv_define_space" (profile t).Timing.nv_write_ms;
   let command_digest = nv_define_command_digest ~index attrs in
   match check_auth t ~auth ~entity_auth:t.owner_auth ~command_digest with
   | Error e -> Error e
@@ -210,11 +217,11 @@ let nv_define_space t ~auth ~index attrs =
 let current_pcrs t sel = Pcr.composite t.pcrs sel
 
 let nv_read t ~index =
-  charge t (profile t).Timing.nv_read_ms;
+  charge_op t "nv_read" (profile t).Timing.nv_read_ms;
   Nvram.read t.nvram ~index ~current_pcrs:(current_pcrs t)
 
 let nv_write t ~index data =
-  charge t (profile t).Timing.nv_write_ms;
+  charge_op t "nv_write" (profile t).Timing.nv_write_ms;
   Nvram.write t.nvram ~index ~current_pcrs:(current_pcrs t) data
 
 (* --- monotonic counters --- *)
@@ -222,24 +229,24 @@ let nv_write t ~index data =
 let counter_command_digest ~label = Sha1.digest ("TPM_CreateCounter" ^ label)
 
 let create_counter t ~auth ~label =
-  charge t (profile t).Timing.counter_increment_ms;
+  charge_op t "counter_create" (profile t).Timing.counter_increment_ms;
   let command_digest = counter_command_digest ~label in
   match check_auth t ~auth ~entity_auth:t.owner_auth ~command_digest with
   | Error e -> Error e
   | Ok () -> Ok (Counter.create_counter t.counters ~label)
 
 let increment_counter t ~handle =
-  charge t (profile t).Timing.counter_increment_ms;
+  charge_op t "counter_increment" (profile t).Timing.counter_increment_ms;
   Counter.increment t.counters ~handle
 
 let read_counter t ~handle =
-  charge t (profile t).Timing.nv_read_ms;
+  charge_op t "counter_read" (profile t).Timing.nv_read_ms;
   Counter.read t.counters ~handle
 
 let get_capability_version t =
-  charge t (profile t).Timing.pcr_read_ms;
+  charge_op t "get_capability" (profile t).Timing.pcr_read_ms;
   "TPM 1.2 rev 103 (simulated, " ^ (profile t).Timing.tpm_name ^ ")"
 
 let get_capability_pcr_count t =
-  charge t (profile t).Timing.pcr_read_ms;
+  charge_op t "get_capability" (profile t).Timing.pcr_read_ms;
   Pcr.count

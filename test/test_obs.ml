@@ -1,0 +1,344 @@
+(* Tests for the observability subsystem (flicker_obs) and the bugfix
+   regressions that ride with it: the TPM-driver claim leak, the DEV
+   out-of-range policy, and zero-byte GetRandom timing. *)
+
+open Flicker_obs
+module Machine = Flicker_hw.Machine
+module Clock = Flicker_hw.Clock
+module Timing = Flicker_hw.Timing
+module Dev = Flicker_hw.Dev
+module Dma = Flicker_hw.Dma
+module Tpm = Flicker_tpm.Tpm
+module Scheduler = Flicker_os.Scheduler
+module Pal_env = Flicker_slb.Pal_env
+module Mod_tpm_driver = Flicker_slb.Mod_tpm_driver
+module Platform = Flicker_core.Platform
+module Session = Flicker_core.Session
+module Replay = Flicker_core.Replay
+module Prng = Flicker_crypto.Prng
+
+let make_tracer ?capacity () =
+  let t_ref = ref 0.0 in
+  let tracer = Tracer.create ?capacity ~now:(fun () -> !t_ref) () in
+  (tracer, fun ms -> t_ref := !t_ref +. ms)
+
+(* --- tracer --- *)
+
+let test_span_nesting () =
+  let tracer, advance = make_tracer () in
+  let outer = Tracer.begin_span tracer ~cat:"test" "outer" in
+  advance 1.0;
+  Tracer.with_span tracer ~cat:"test" "inner" (fun () -> advance 2.0);
+  advance 1.0;
+  Tracer.end_span tracer outer;
+  match Tracer.events tracer with
+  | [ inner; outer ] ->
+      Alcotest.(check string) "inner first (ends first)" "inner" inner.Tracer.name;
+      Alcotest.(check string) "outer second" "outer" outer.Tracer.name;
+      let dur e =
+        match e.Tracer.kind with
+        | Tracer.Span { dur } -> dur
+        | Tracer.Instant -> Alcotest.fail "expected a span"
+      in
+      Alcotest.(check (float 1e-9)) "inner duration" 2.0 (dur inner);
+      Alcotest.(check (float 1e-9)) "outer duration" 4.0 (dur outer);
+      (* containment: the inner span lies inside the outer one *)
+      Alcotest.(check bool) "inner starts after outer" true
+        (inner.Tracer.ts >= outer.Tracer.ts);
+      Alcotest.(check bool) "inner ends before outer" true
+        (inner.Tracer.ts +. dur inner <= outer.Tracer.ts +. dur outer)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_span_on_exception () =
+  let tracer, advance = make_tracer () in
+  (try
+     Tracer.with_span tracer "doomed" (fun () ->
+         advance 3.0;
+         raise Exit)
+   with Exit -> ());
+  match Tracer.events tracer with
+  | [ { Tracer.name = "doomed"; kind = Tracer.Span { dur }; _ } ] ->
+      Alcotest.(check (float 1e-9)) "span recorded despite raise" 3.0 dur
+  | _ -> Alcotest.fail "span not recorded on exception"
+
+let test_ring_bounding () =
+  let tracer, advance = make_tracer ~capacity:8 () in
+  for i = 1 to 20 do
+    advance 1.0;
+    Tracer.instant tracer (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "capacity" 8 (Tracer.capacity tracer);
+  Alcotest.(check int) "length bounded" 8 (Tracer.length tracer);
+  Alcotest.(check int) "evictions counted" 12 (Tracer.dropped tracer);
+  let names = List.map (fun e -> e.Tracer.name) (Tracer.events tracer) in
+  Alcotest.(check (list string)) "last 8, oldest first"
+    [ "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20" ]
+    names;
+  Tracer.clear tracer;
+  Alcotest.(check int) "clear empties" 0 (Tracer.length tracer);
+  Alcotest.(check int) "clear resets dropped" 0 (Tracer.dropped tracer)
+
+(* --- metrics --- *)
+
+let test_counters () =
+  let m = Metrics.create () in
+  Alcotest.(check int) "unknown is 0" 0 (Metrics.counter m "nope");
+  Metrics.incr m "a";
+  Metrics.incr m ~by:4 "a";
+  Metrics.incr m "b";
+  Alcotest.(check int) "accumulates" 5 (Metrics.counter m "a");
+  Alcotest.(check (list (pair string int))) "sorted listing"
+    [ ("a", 5); ("b", 1) ] (Metrics.counters m);
+  Alcotest.(check bool) "negative by rejected" true
+    (match Metrics.incr m ~by:(-1) "a" with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Metrics.counter m "a")
+
+let test_histograms () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m "lat") [ 1.0; 2.0; 3.0 ];
+  (match Metrics.histogram m "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check int) "count" 3 h.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum" 6.0 h.Metrics.sum;
+      Alcotest.(check (float 1e-9)) "mean" 2.0 h.Metrics.mean;
+      Alcotest.(check (float 1e-9)) "min" 1.0 h.Metrics.min_v;
+      Alcotest.(check (float 1e-9)) "max" 3.0 h.Metrics.max_v;
+      Alcotest.(check bool) "p50 in range" true
+        (h.Metrics.p50 >= 1.0 && h.Metrics.p50 <= 3.0);
+      Alcotest.(check bool) "p99 in range" true
+        (h.Metrics.p99 >= 1.0 && h.Metrics.p99 <= 3.0));
+  (* single-value series: percentiles clamp to the exact value *)
+  Metrics.observe m "single" 42.0;
+  match Metrics.histogram m "single" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check (float 1e-9)) "single p50" 42.0 h.Metrics.p50;
+      Alcotest.(check (float 1e-9)) "single p99" 42.0 h.Metrics.p99
+
+(* --- JSON / exporters --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\n\t");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Float 2.25; Json.String "x" ]);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_chrome_trace_wellformed () =
+  let tracer, advance = make_tracer () in
+  Tracer.instant tracer ~args:[ ("k", Tracer.Str "v") ] "boot";
+  let h = Tracer.begin_span tracer ~cat:"phase" "work" in
+  advance 2.5;
+  Tracer.end_span tracer h;
+  let s = Export.chrome_trace_string ~process_name:"test" tracer in
+  match Json.of_string s with
+  | Error e -> Alcotest.failf "trace JSON unparsable: %s" e
+  | Ok json -> (
+      match Json.member "traceEvents" json with
+      | Some (Json.List evs) ->
+          (* metadata + instant + span *)
+          Alcotest.(check int) "event count" 3 (List.length evs);
+          let has ph =
+            List.exists
+              (fun e -> Json.member "ph" e = Some (Json.String ph))
+              evs
+          in
+          Alcotest.(check bool) "has metadata" true (has "M");
+          Alcotest.(check bool) "has instant" true (has "i");
+          Alcotest.(check bool) "has span" true (has "X");
+          let span =
+            List.find (fun e -> Json.member "ph" e = Some (Json.String "X")) evs
+          in
+          (match Option.bind (Json.member "dur" span) Json.to_float with
+          | Some d ->
+              (* 2.5 simulated ms = 2500 trace-format microseconds *)
+              Alcotest.(check (float 1e-6)) "ms to us" 2500.0 d
+          | None -> Alcotest.fail "span missing dur")
+      | _ -> Alcotest.fail "traceEvents missing")
+
+let test_stats_json () =
+  let m = Metrics.create () in
+  Metrics.incr m "runs";
+  Metrics.observe m "lat" 4.0;
+  match Json.of_string (Json.to_string (Export.stats_json m)) with
+  | Error e -> Alcotest.failf "stats JSON unparsable: %s" e
+  | Ok json ->
+      (match Json.member "counters" json with
+      | Some (Json.Obj [ ("runs", Json.Int 1) ]) -> ()
+      | _ -> Alcotest.fail "counters wrong");
+      (match Json.member "histograms" json with
+      | Some (Json.List [ h ]) ->
+          Alcotest.(check bool) "histogram named" true
+            (Json.member "name" h = Some (Json.String "lat"))
+      | _ -> Alcotest.fail "histograms wrong")
+
+(* --- regression: TPM driver released on PAL exception --- *)
+
+let make_env () =
+  let machine = Machine.create ~memory_size:(1024 * 1024) Timing.default in
+  let tpm = Tpm.create machine (Prng.create ~seed:"obs-env") ~key_bits:512 in
+  Pal_env.create ~machine ~tpm ~rng:(Prng.create ~seed:"obs-rng") ~inputs:""
+    ~inputs_addr:0x1000 ~outputs_addr:0x2000 ~protection:None ~heap:None
+
+let test_with_tpm_releases_on_exception () =
+  let env = make_env () in
+  (match Replay.with_tpm env (fun _ -> raise Exit) with
+  | exception Exit -> ()
+  | Ok () | Error _ -> Alcotest.fail "callback exception should propagate");
+  Alcotest.(check bool) "driver released after raise" false
+    (Mod_tpm_driver.is_claimed env.Pal_env.tpm_driver);
+  (* and it is actually claimable again *)
+  (match Mod_tpm_driver.claim env.Pal_env.tpm_driver with
+  | Ok () -> Mod_tpm_driver.release env.Pal_env.tpm_driver
+  | Error e -> Alcotest.failf "driver still wedged: %s" e);
+  (* the normal path still works *)
+  match Replay.with_tpm env (fun _ -> Ok ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "normal path broken: %s" e
+
+(* --- regression: DEV fails closed beyond its coverage --- *)
+
+let test_dev_out_of_range () =
+  let dev = Dev.create ~pages:4 in
+  (* 4 pages x 4096 = 16384 bytes covered *)
+  Alcotest.(check bool) "in-range unprotected allows" true
+    (Dev.allows dev ~addr:0 ~len:16384);
+  Alcotest.(check bool) "straddling coverage is denied" false
+    (Dev.allows dev ~addr:16000 ~len:1024);
+  Alcotest.(check bool) "fully beyond coverage is denied" false
+    (Dev.allows dev ~addr:20000 ~len:16);
+  (* range ops on the uncovered region are no-ops, not crashes *)
+  Dev.protect_range dev ~addr:20000 ~len:4096;
+  Dev.unprotect_range dev ~addr:20000 ~len:4096;
+  Alcotest.(check (list int)) "bitmap untouched" [] (Dev.protected_pages dev);
+  (* per-page query on a nonexistent page is still a caller bug *)
+  Alcotest.(check bool) "is_page_protected raises" true
+    (match Dev.is_page_protected dev 4 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_dma_beyond_memory_blocked () =
+  let machine = Machine.create ~memory_size:16384 Timing.default in
+  let nic = Dma.create machine ~name:"evil-nic" in
+  (match Dma.read nic ~addr:(10 * 16384) ~len:64 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "DMA beyond physical memory must be blocked");
+  Alcotest.(check int) "blocked DMA counted" 1
+    (Flicker_obs.Metrics.counter machine.Machine.metrics "dev.blocked_dma")
+
+(* --- regression: zero-byte GetRandom costs nothing --- *)
+
+let test_zero_byte_get_random () =
+  Alcotest.(check (float 0.0)) "timing model" 0.0
+    (Timing.get_random_ms Timing.default ~bytes:0);
+  Alcotest.(check bool) "one block still costs" true
+    (Timing.get_random_ms Timing.default ~bytes:1 > 0.0);
+  let machine = Machine.create ~memory_size:16384 Timing.default in
+  let tpm = Tpm.create machine (Prng.create ~seed:"zr") ~key_bits:512 in
+  let t0 = Clock.now machine.Machine.clock in
+  Alcotest.(check string) "empty string back" "" (Tpm.get_random tpm 0);
+  Alcotest.(check (float 0.0)) "clock unmoved" t0 (Clock.now machine.Machine.clock)
+
+(* --- regression: long-running platforms keep bounded event memory --- *)
+
+let test_bounded_event_memory () =
+  let machine =
+    Machine.create ~memory_size:(1024 * 1024) ~trace_capacity:256 Timing.default
+  in
+  let sched = Scheduler.create machine in
+  for _ = 1 to 10_000 do
+    Scheduler.suspend sched;
+    Machine.log_event machine "tick";
+    Scheduler.resume sched
+  done;
+  Alcotest.(check bool) "retained events bounded" true
+    (Machine.event_count machine <= 256);
+  Alcotest.(check bool) "older events were evicted" true
+    (Machine.events_dropped machine > 0);
+  Alcotest.(check int) "suspensions all counted" 10_000
+    (Metrics.counter machine.Machine.metrics "os.suspensions")
+
+let test_session_events_bounded () =
+  (* real sessions through the full stack also stay within the ring *)
+  let p = Platform.create ~seed:"obs-sessions" () in
+  let pal =
+    Flicker_slb.Pal.define ~name:"obs-noop" (fun env ->
+        Flicker_slb.Pal_env.set_output env "ok")
+  in
+  for _ = 1 to 5 do
+    match Session.execute p ~pal () with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "session failed: %s" (Format.asprintf "%a" Session.pp_error e)
+  done;
+  let machine = p.Platform.machine in
+  Alcotest.(check bool) "events within capacity" true
+    (Machine.event_count machine
+    <= Tracer.capacity machine.Machine.tracer);
+  Alcotest.(check int) "runs counted" 5
+    (Metrics.counter machine.Machine.metrics "session.runs");
+  (* every phase of the last session appears as a span on the tracer *)
+  let span_names =
+    List.filter_map
+      (fun e ->
+        match e.Tracer.kind with
+        | Tracer.Span _ when e.Tracer.cat = "session.phase" -> Some e.Tracer.name
+        | _ -> None)
+      (Tracer.events machine.Machine.tracer)
+  in
+  List.iter
+    (fun phase ->
+      let name = Session.phase_name phase in
+      Alcotest.(check bool) (name ^ " span present") true
+        (List.mem name span_names))
+    [ Session.Load_slb; Session.Suspend_os; Session.Skinit; Session.Slb_init;
+      Session.Pal_execution; Session.Cleanup; Session.Pcr_extends;
+      Session.Resume_os ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span on exception" `Quick test_span_on_exception;
+          Alcotest.test_case "ring bounding" `Quick test_ring_bounding;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace_wellformed;
+          Alcotest.test_case "stats json" `Quick test_stats_json;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "tpm driver released on exception" `Quick
+            test_with_tpm_releases_on_exception;
+          Alcotest.test_case "dev out of range" `Quick test_dev_out_of_range;
+          Alcotest.test_case "dma beyond memory" `Quick
+            test_dma_beyond_memory_blocked;
+          Alcotest.test_case "zero-byte get_random" `Quick
+            test_zero_byte_get_random;
+          Alcotest.test_case "bounded event memory" `Quick
+            test_bounded_event_memory;
+          Alcotest.test_case "session events bounded" `Quick
+            test_session_events_bounded;
+        ] );
+    ]
