@@ -1,0 +1,95 @@
+(* Fleet benchmark: certificate-authority throughput and latency versus
+   fleet size and batch size.
+
+   Each configuration builds a fresh fleet of simulated Flicker platforms
+   running the paper's CA (Section 6.3.2) as the workload, then offers an
+   open-loop burst of CSRs that deliberately overloads a single machine
+   (one signature session costs ~906 ms of simulated time). Batching
+   amortizes the SKINIT + unseal + reseal overhead across up to
+   [batch_size] CSRs per session, so throughput should rise with both
+   axes of the sweep. *)
+
+module Prng = Flicker_crypto.Prng
+module Rsa = Flicker_crypto.Rsa
+module CA = Flicker_apps.Cert_authority
+module Workload = Flicker_service.Workload
+module Fleet = Flicker_service.Fleet
+module Dispatch = Flicker_service.Dispatch
+module J = Flicker_obs.Json
+
+let platform_counts = [ 1; 2; 4 ]
+let batch_sizes = [ 1; 4; 16 ]
+let clients = 8
+let per_client = 6
+
+let policy =
+  {
+    CA.allowed_suffixes = [ ".example.com" ];
+    denied_subjects = [];
+    max_certificates = 10_000;
+  }
+
+(* one keypair per client, shared across every configuration so the
+   offered load is identical everywhere *)
+let client_keys =
+  lazy
+    (Array.init clients (fun c ->
+         (Rsa.generate
+            (Prng.create ~seed:(Printf.sprintf "fleet-bench-client-%d" c))
+            ~bits:512)
+           .Rsa.pub))
+
+let run_config ~platforms ~batch =
+  let config =
+    {
+      Fleet.default_config with
+      platforms;
+      batch_size = batch;
+      queue_depth = 64;
+      policy = Dispatch.Least_loaded;
+      seed = Printf.sprintf "fleet-bench-p%d-b%d" platforms batch;
+    }
+  in
+  let fleet = Fleet.create ~config (Workload.ca policy) in
+  let keys = Lazy.force client_keys in
+  Fleet.submit_open_loop fleet ~clients ~per_client ~mean_gap_ms:5.0
+    ~payload:(fun ~client ~seq ->
+      Workload.ca_csr_payload
+        ~subject:(Printf.sprintf "host-%d-%d.example.com" client seq)
+        ~subject_key:keys.(client))
+    ();
+  Fleet.run fleet;
+  Fleet.summary fleet
+
+let run () =
+  Printf.printf "\n=== Fleet: CA throughput vs fleet size and batch size ===\n";
+  Printf.printf "(%d clients x %d CSRs each, open-loop, least-loaded routing)\n"
+    clients per_client;
+  Printf.printf "%-10s %6s %10s %9s %12s %10s %10s\n" "platforms" "batch"
+    "completed" "sessions" "thruput r/s" "p50 ms" "p95 ms";
+  List.iter
+    (fun platforms ->
+      List.iter
+        (fun batch ->
+          let s = run_config ~platforms ~batch in
+          Printf.printf "%-10d %6d %10d %9d %12.2f %10.1f %10.1f\n" platforms
+            batch s.Fleet.completed s.sessions s.throughput_rps s.latency_p50_ms
+            s.latency_p95_ms;
+          Paper.emit ~artifact:"fleet"
+            ~label:(Printf.sprintf "p%d b%d" platforms batch)
+            [
+              ("platforms", J.Int platforms);
+              ("batch", J.Int batch);
+              ("submitted", J.Int s.submitted);
+              ("completed", J.Int s.completed);
+              ("rejected", J.Int s.rejected);
+              ("expired", J.Int s.expired);
+              ("sessions", J.Int s.sessions);
+              ("throughput_rps", J.Float s.throughput_rps);
+              ("p50_ms", J.Float s.latency_p50_ms);
+              ("p95_ms", J.Float s.latency_p95_ms);
+              ("mean_ms", J.Float s.latency_mean_ms);
+              ("makespan_ms", J.Float s.makespan_ms);
+            ])
+        batch_sizes)
+    platform_counts

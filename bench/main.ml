@@ -6,7 +6,7 @@
 
      dune exec bench/main.exe -- table1 table2 table3 table4
      dune exec bench/main.exe -- figure6 figure8 figure9
-     dune exec bench/main.exe -- ca impact ablation infineon micro
+     dune exec bench/main.exe -- ca impact ablation infineon fleet micro
 
    With --json <path>, every table/figure row is also written to <path>
    as a JSON array of records ({"artifact", "label", ...fields}). *)
@@ -34,12 +34,13 @@ let known =
         Paper.table1 ~timing ();
         Paper.table4 ~timing ();
         Paper.figure9 ~timing () );
+    ("fleet", Fleet.run);
     ("micro", Micro.run);
   ]
 
 let all_in_order =
   [ "table1"; "table2"; "table3"; "table4"; "figure6"; "figure8"; "figure9";
-    "ca"; "impact"; "ablation"; "keygen"; "burden"; "txt"; "micro" ]
+    "ca"; "impact"; "ablation"; "keygen"; "burden"; "txt"; "fleet"; "micro" ]
 
 let rec extract_json = function
   | [] -> (None, [])

@@ -8,6 +8,7 @@
      flicker tcb [--modules m1,m2]      TCB accounting for a PAL
      flicker trace WORKLOAD [-o FILE]   Chrome trace JSON of a workload
      flicker stats WORKLOAD [--json]    counters + latency histograms
+     flicker fleet [--platforms N]      multi-machine fleet serving PAL requests
      flicker info                       platform + timing-profile summary *)
 
 open Cmdliner
@@ -431,6 +432,124 @@ let stats_cmd =
        ~doc:"Run a workload and print the platform's counters and latency histograms")
     Term.(const stats $ seed_arg $ tpm_arg $ workload_arg $ stats_json_arg $ out_arg $ verbose_arg)
 
+(* --- fleet --- *)
+
+let fleet_run seed tpm platforms batch queue_depth policy workload clients
+    per_client mean_gap deadline verbose =
+  setup_logging verbose;
+  let module Fleet = Flicker_service.Fleet in
+  let module Workload = Flicker_service.Workload in
+  let module CA = Flicker_apps.Cert_authority in
+  let config =
+    {
+      Fleet.default_config with
+      platforms;
+      batch_size = batch;
+      queue_depth;
+      policy;
+      seed;
+      timing = Timing.with_tpm tpm Timing.default;
+    }
+  in
+  let is_ca = workload = `Ca in
+  let wl =
+    if is_ca then
+      Workload.ca
+        { CA.allowed_suffixes = [ ".example.com" ]; denied_subjects = [];
+          max_certificates = 10_000 }
+    else Workload.echo ()
+  in
+  let fleet = Fleet.create ~config wl in
+  let keys =
+    (* the clients' own keypairs, only needed to build CSRs *)
+    if is_ca then
+      Array.init clients (fun c ->
+          (Rsa.generate (Prng.create ~seed:(Printf.sprintf "%s/client-%d" seed c))
+             ~bits:512)
+            .Rsa.pub)
+    else [||]
+  in
+  Fleet.submit_open_loop fleet ~clients ~per_client ~mean_gap_ms:mean_gap
+    ?deadline_ms:deadline
+    ~payload:(fun ~client ~seq ->
+      if is_ca then
+        Workload.ca_csr_payload
+          ~subject:(Printf.sprintf "host-%d-%d.example.com" client seq)
+          ~subject_key:keys.(client)
+      else Printf.sprintf "ping-%d-%d" client seq)
+    ();
+  Fleet.run fleet;
+  if is_ca then begin
+    let verified = ref 0 and bad = ref 0 in
+    List.iter
+      (fun (_, disposition) ->
+        match disposition with
+        | Flicker_service.Request.Completed c -> (
+            match Workload.decode_ca_output c.Flicker_service.Request.output with
+            | Ok (cert, ca_pub) when CA.verify_certificate ~ca_key:ca_pub cert ->
+                incr verified
+            | Ok _ | Error _ -> incr bad)
+        | _ -> ())
+      (Fleet.dispositions fleet);
+    Printf.printf "certificates verified: %d (bad: %d)\n" !verified !bad
+  end;
+  Format.printf "%a@." Fleet.pp_summary (Fleet.summary fleet);
+  0
+
+let platforms_arg =
+  Arg.(value & opt int 2
+       & info [ "platforms" ] ~docv:"N" ~doc:"Number of Flicker machines in the fleet.")
+
+let batch_arg =
+  Arg.(value & opt int 4
+       & info [ "batch" ] ~docv:"K"
+           ~doc:"Max requests served per Flicker session (amortizes SKINIT + TPM).")
+
+let queue_depth_arg =
+  Arg.(value & opt int 32
+       & info [ "queue-depth" ] ~docv:"D"
+           ~doc:"Per-platform admission bound; arrivals beyond it are rejected.")
+
+let policy_arg =
+  let doc =
+    "Dispatch policy: $(b,round-robin), $(b,least-loaded) or $(b,sealed-affinity)."
+  in
+  Arg.(value
+       & opt (enum Flicker_service.Dispatch.all_policies)
+           Flicker_service.Dispatch.Least_loaded
+       & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let fleet_workload_arg =
+  Arg.(value & opt (enum [ ("ca", `Ca); ("echo", `Echo) ]) `Ca
+       & info [ "workload" ] ~docv:"W"
+           ~doc:"What the fleet serves: $(b,ca) (certificate signing) or $(b,echo).")
+
+let clients_arg =
+  Arg.(value & opt int 6
+       & info [ "clients" ] ~docv:"N" ~doc:"Number of concurrent clients.")
+
+let per_client_arg =
+  Arg.(value & opt int 4
+       & info [ "per-client" ] ~docv:"N" ~doc:"Requests each client sends.")
+
+let mean_gap_arg =
+  Arg.(value & opt float 50.0
+       & info [ "mean-gap" ] ~docv:"MS"
+           ~doc:"Mean gap between a client's sends (exponential, simulated ms).")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"MS"
+           ~doc:"Per-request deadline relative to its send time (simulated ms).")
+
+let fleet_cmd =
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Serve many clients' PAL requests from a multi-machine Flicker fleet")
+    Term.(const fleet_run $ seed_arg $ tpm_arg $ platforms_arg $ batch_arg
+          $ queue_depth_arg $ policy_arg $ fleet_workload_arg $ clients_arg
+          $ per_client_arg $ mean_gap_arg $ deadline_arg $ verbose_arg)
+
 (* --- info --- *)
 
 let info_run tpm =
@@ -456,6 +575,6 @@ let () =
   let doc = "Flicker: an execution infrastructure for TCB minimization (simulated)" in
   let main = Cmd.group (Cmd.info "flicker" ~version:"1.0.0" ~doc)
       [ hello_cmd; scan_cmd; ssh_cmd; ca_cmd; factor_cmd; tcb_cmd; extract_cmd;
-        trace_cmd; stats_cmd; info_cmd ]
+        trace_cmd; stats_cmd; fleet_cmd; info_cmd ]
   in
   exit (Cmd.eval' main)

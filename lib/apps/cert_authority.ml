@@ -143,6 +143,53 @@ let behavior env =
           | Ok sdata ->
               Pal_env.set_output env
                 (Util.encode_fields [ "ok"; Rsa.public_to_string priv.Rsa.pub; sdata ]))
+  | Ok ("sign-batch" :: sdata :: policy_blob :: items) when List.length items mod 2 = 0
+    ->
+      (* one session, one unseal + one reseal, k signatures: the TPM
+         overhead that dominates Section 7.4.2 is paid once per batch *)
+      with_tpm (fun () ->
+          match Mod_tpm_utils.unseal (Pal_env.tpm env) ~rng:env.Pal_env.rng sdata with
+          | Error e -> fail ("unseal: " ^ Flicker_tpm.Tpm_types.error_to_string e)
+          | Ok state_raw -> (
+              match (decode_ca_state state_raw, decode_policy policy_blob) with
+              | Error m, _ -> fail ("state: " ^ m)
+              | _, Error m -> fail ("policy: " ^ m)
+              | Ok (priv, issuer, count), Ok policy -> (
+                  let rec pair = function
+                    | [] -> []
+                    | subject :: key :: rest -> (subject, key) :: pair rest
+                    | [ _ ] -> assert false
+                  in
+                  let count = ref count in
+                  let sign_one (subject, subject_key_raw) =
+                    if not (policy_allows policy ~issued:!count ~subject) then
+                      "E" ^ "policy denies subject " ^ subject
+                    else
+                      match Rsa.public_of_string subject_key_raw with
+                      | exception Invalid_argument m -> "E" ^ "subject key: " ^ m
+                      | subject_key ->
+                          let serial = !count + 1 in
+                          let signature =
+                            Mod_crypto.rsa_sign env.Pal_env.machine priv Hash.SHA1
+                              (cert_payload ~serial ~subject ~key:subject_key ~issuer)
+                          in
+                          count := serial;
+                          "C"
+                          ^ encode_certificate
+                              {
+                                serial;
+                                cert_subject = subject;
+                                cert_key = subject_key;
+                                issuer;
+                                signature;
+                              }
+                  in
+                  let results = List.map sign_one (pair items) in
+                  match seal_self env (encode_ca_state ~priv ~issuer ~count:!count) with
+                  | Error msg -> fail msg
+                  | Ok sdata' ->
+                      Pal_env.set_output env
+                        (Util.encode_fields ("ok" :: sdata' :: results)))))
   | Ok [ "sign"; sdata; policy_blob; subject; subject_key_raw ] ->
       with_tpm (fun () ->
           match Mod_tpm_utils.unseal (Pal_env.tpm env) ~rng:env.Pal_env.rng sdata with
@@ -215,7 +262,11 @@ let create platform ?(key_bits = 1024) ?(issuer = "Flicker Simulated CA") policy
 let public_key server = server.pub
 
 let run_pal server inputs =
-  match Session.execute server.platform ~pal:(ca_pal ~key_bits:server.key_bits) ~inputs () with
+  match
+    Session.retry_busy server.platform (fun () ->
+        Session.execute server.platform ~pal:(ca_pal ~key_bits:server.key_bits)
+          ~inputs ())
+  with
   | Error e -> Error (Format.asprintf "%a" Session.pp_error e)
   | Ok outcome ->
       let out = outcome.Session.outputs in
@@ -268,6 +319,91 @@ let sign_csr server csr =
                   server.log <- (cert.serial, cert.cert_subject) :: server.log;
                   Ok cert)
           | Ok _ | Error _ -> Error "malformed sign output"))
+
+(* Batch signing. The 4 KB input and output pages bound how many CSRs one
+   session can carry, so the batch is split greedily into page-sized
+   chunks; each chunk costs one unseal + k signatures + one reseal instead
+   of k of each. Sizes are computed exactly from the wire encodings (the
+   resealed state keeps its length: only the fixed-width counter
+   changes). *)
+
+let field_len s = 4 + String.length s
+
+let batch_chunks server csrs =
+  let page = Flicker_slb.Layout.io_page_size in
+  let sdata_len =
+    match server.sdata with Some s -> String.length s | None -> 0
+  in
+  let policy_len = String.length (encode_policy server.policy) in
+  let in_base = field_len "sign-batch" + (4 + sdata_len) + (4 + policy_len) in
+  let out_base = field_len "ok" + (4 + sdata_len) in
+  let sig_len = (server.key_bits + 7) / 8 in
+  let cost csr =
+    let subj = String.length csr.subject in
+    let key = String.length (Rsa.public_to_string csr.subject_key) in
+    let cert_len =
+      field_len (Util.be32_of_int 0) + (4 + subj) + (4 + key)
+      + field_len server.issuer + (4 + sig_len)
+    in
+    ((4 + subj) + (4 + key), 4 + 1 + cert_len)
+  in
+  let rec take in_used out_used acc = function
+    | [] -> (List.rev acc, [])
+    | csr :: rest ->
+        let in_c, out_c = cost csr in
+        if acc <> [] && (in_used + in_c > page || out_used + out_c > page) then
+          (List.rev acc, csr :: rest)
+        else take (in_used + in_c) (out_used + out_c) (csr :: acc) rest
+  in
+  let rec split = function
+    | [] -> []
+    | csrs ->
+        let chunk, rest = take in_base out_base [] csrs in
+        chunk :: split rest
+  in
+  split csrs
+
+let sign_chunk server csrs =
+  match server.sdata with
+  | None -> List.map (fun _ -> Error "CA not initialized (run init_ca)") csrs
+  | Some sdata -> (
+      let items =
+        List.concat_map
+          (fun csr -> [ csr.subject; Rsa.public_to_string csr.subject_key ])
+          csrs
+      in
+      let inputs =
+        Util.encode_fields ("sign-batch" :: sdata :: encode_policy server.policy :: items)
+      in
+      if String.length inputs > Flicker_slb.Layout.io_page_size then
+        List.map (fun _ -> Error "CSR too large for the 4 KB input page") csrs
+      else
+        match run_pal server inputs with
+        | Error e -> List.map (fun _ -> Error e) csrs
+        | Ok out -> (
+            match Util.decode_fields out with
+            | Ok ("ok" :: sdata' :: results) when List.length results = List.length csrs
+              ->
+                server.sdata <- Some sdata';
+                List.map
+                  (fun item ->
+                    if String.length item >= 1 && item.[0] = 'C' then
+                      match
+                        decode_certificate
+                          (String.sub item 1 (String.length item - 1))
+                      with
+                      | Ok cert ->
+                          server.log <- (cert.serial, cert.cert_subject) :: server.log;
+                          Ok cert
+                      | Error m -> Error m
+                    else if String.length item >= 1 && item.[0] = 'E' then
+                      Error (String.sub item 1 (String.length item - 1))
+                    else Error "malformed batch item")
+                  results
+            | Ok _ | Error _ -> List.map (fun _ -> Error "malformed batch output") csrs))
+
+let sign_batch server csrs =
+  List.concat_map (sign_chunk server) (batch_chunks server csrs)
 
 let issued_count server = List.length server.log
 let audit_log server = List.rev server.log

@@ -46,6 +46,14 @@ val sign_csr : server -> csr -> (certificate, string) result
 (** One signing session (the paper's 906.2 ms operation). Policy
     violations are reported as errors, without consuming a serial. *)
 
+val sign_batch : server -> csr list -> (certificate, string) result list
+(** Sign many CSRs, amortizing the per-session TPM overhead (SKINIT, the
+    ~898 ms unseal, the reseal) that dominates single-request signing:
+    each Flicker session carries as many CSRs as fit the 4 KB input and
+    output pages and pays that overhead once. Results are positional
+    (one per CSR, in order); per-CSR policy denials consume no serial and
+    do not abort the rest of the batch. *)
+
 val issued_count : server -> int
 (** From the public audit log the server keeps alongside the sealed DB. *)
 

@@ -62,6 +62,13 @@ let pp_error fmt = function
   | Unknown_pal -> Format.fprintf fmt "measured SLB matches no registered PAL"
   | Os_busy msg -> Format.fprintf fmt "OS not ready for a session: %s" msg
 
+(* "mid-session" busyness clears once the running session resumes the OS;
+   a missing/short SLB image will not fix itself however long we wait *)
+let busy_is_transient = function
+  | Os_busy msg ->
+      String.length msg >= 11 && String.sub msg 0 11 = "mid-session"
+  | Skinit_failed _ | Unknown_pal -> false
+
 (* PCR 17 read for bookkeeping, bypassing the command path so it charges
    nothing (the session code already knows the value; this is the
    simulator peeking, not the TPM serving a command). *)
@@ -95,7 +102,7 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
   let memory = machine.Machine.memory in
   let slb_base = platform.Platform.slb_base in
   if Scheduler.is_suspended platform.Platform.scheduler then
-    Error (Os_busy "already inside a Flicker session")
+    Error (Os_busy "mid-session: another Flicker session owns the machine")
   else begin
     platform.Platform.sessions_run <- platform.Platform.sessions_run + 1;
     let tracer = machine.Machine.tracer in
@@ -315,6 +322,12 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
   end
 
 let execute_from_sysfs (platform : Platform.t) ?nonce ?time_limit_ms () =
+  (* check for a running session before inspecting sysfs: mid-session the
+     slb entry may well be absent, and the caller needs to distinguish
+     "retry later" from "you never wrote an SLB" *)
+  if Scheduler.is_suspended platform.Platform.scheduler then
+    Error (Os_busy "mid-session: another Flicker session owns the machine")
+  else
   match Sysfs.read platform.Platform.sysfs ~path:"slb" with
   | None -> Error (Os_busy "no SLB written to the sysfs slb entry")
   | Some window ->
@@ -346,3 +359,20 @@ let execute_from_sysfs (platform : Platform.t) ?nonce ?time_limit_ms () =
 
 let corrupt_slb_in_memory (platform : Platform.t) =
   platform.Platform.corrupt_next_slb <- true
+
+let retry_busy (platform : Platform.t) ?(attempts = 3) ?(backoff_ms = 10.0) f =
+  if attempts < 1 then invalid_arg "Session.retry_busy: attempts must be >= 1";
+  if backoff_ms < 0.0 then invalid_arg "Session.retry_busy: negative backoff";
+  let machine = platform.Platform.machine in
+  let rec go attempt backoff =
+    match f () with
+    | Error e when busy_is_transient e && attempt < attempts ->
+        Metrics.incr machine.Machine.metrics "session.busy_retries";
+        Machine.log_event machine
+          (Printf.sprintf "session: OS busy, retrying in %.1f ms (attempt %d/%d)"
+             backoff attempt attempts);
+        Clock.advance machine.Machine.clock backoff;
+        go (attempt + 1) (backoff *. 2.0)
+    | result -> result
+  in
+  go 1 backoff_ms

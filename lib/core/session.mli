@@ -40,8 +40,17 @@ type error =
   | Skinit_failed of string
   | Unknown_pal  (** measured bytes match no registered PAL: nothing ran *)
   | Os_busy of string
+      (** The message distinguishes the two causes: it starts with
+          ["mid-session"] when another Flicker session currently owns the
+          machine (transient — retry once it resumes the OS), and
+          describes the missing or short SLB image otherwise (permanent — the
+          application never wrote a full window). *)
 
 val pp_error : Format.formatter -> error -> unit
+
+val busy_is_transient : error -> bool
+(** [true] exactly for the mid-session flavour of [Os_busy]: waiting (and
+    retrying) can succeed. A missing or short SLB image is not transient. *)
 
 type launch_tech =
   | Svm  (** AMD SKINIT — the paper's implementation platform *)
@@ -90,3 +99,19 @@ val corrupt_slb_in_memory : Platform.t -> unit
 (** Test hook simulating an adversary flipping SLB bytes between the
     sysfs write and SKINIT: flips one byte of the loaded window the next
     time a session loads it. *)
+
+val retry_busy :
+  Platform.t ->
+  ?attempts:int ->
+  ?backoff_ms:float ->
+  (unit -> (outcome, error) result) ->
+  (outcome, error) result
+(** Run [f], retrying with exponential backoff while it fails with a
+    {e transient} [Os_busy] (see {!busy_is_transient}). Between attempts
+    the platform clock advances by the backoff (starting at [backoff_ms],
+    default 10 ms, doubling each retry) and the machine's
+    [session.busy_retries] counter is bumped — the fleet dispatcher uses
+    this to ride out a machine that is momentarily mid-session. At most
+    [attempts] (default 3) calls of [f] in total; the final error is
+    returned verbatim. Non-transient errors are never retried.
+    @raise Invalid_argument if [attempts < 1] or [backoff_ms < 0]. *)

@@ -16,7 +16,11 @@ module Metrics = Flicker_obs.Metrics
 type t = {
   machine : Machine.t;
   mutable processes : process list;
+      (* runnable only: completed processes are pruned at the sync that
+         retires them (their records stay live in the spawner's hands) *)
   mutable next_pid : int;
+  mutable completed_total : int;
+  mutable last_completion : (int * float) option;
   mutable suspended : bool;
   mutable last_sync : float;
       (* clock value up to which process progress has been accounted *)
@@ -29,12 +33,17 @@ let create machine =
     machine;
     processes = [];
     next_pid = 1;
+    completed_total = 0;
+    last_completion = None;
     suspended = false;
     last_sync = Clock.now machine.Machine.clock;
     suspend_span = None;
   }
 
 let active_processes t = List.filter (fun p -> p.completed_at = None) t.processes
+let resident_processes t = List.length t.processes
+let completed_total t = t.completed_total
+let last_completion t = t.last_completion
 
 let online_cores t =
   List.length
@@ -55,8 +64,9 @@ let sync t =
     let epsilon = 1e-9 in
     let cursor = ref t.last_sync in
     let continue = ref true in
+    let retired = ref false in
     while !continue && now -. !cursor > epsilon do
-      let active = active_processes t in
+      let active = t.processes in
       let cores = online_cores t in
       if cores = 0 || active = [] then begin
         cursor := now;
@@ -75,9 +85,18 @@ let sync t =
             p.remaining_ms <- p.remaining_ms -. (step *. rate);
             if p.remaining_ms <= epsilon then begin
               p.remaining_ms <- 0.0;
-              p.completed_at <- Some !cursor
+              p.completed_at <- Some !cursor;
+              t.completed_total <- t.completed_total + 1;
+              t.last_completion <- Some (p.pid, !cursor);
+              retired := true
             end)
-          active
+          active;
+        (* prune inside the loop so the next segment's fair-share rate
+           sees only runnable processes *)
+        if !retired then begin
+          t.processes <- List.filter (fun p -> p.completed_at = None) t.processes;
+          retired := false
+        end
       end
     done;
     t.last_sync <- now
@@ -96,7 +115,9 @@ let spawn t ~name ~work_ms =
     }
   in
   t.next_pid <- t.next_pid + 1;
-  t.processes <- t.processes @ [ p ];
+  (* O(1) prepend: the fair-share rate is order-independent, and a
+     long-running service spawns an unbounded stream of processes *)
+  t.processes <- p :: t.processes;
   p
 
 let run_for t ms =

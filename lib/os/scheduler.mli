@@ -18,7 +18,25 @@ type t
 
 val create : Flicker_hw.Machine.t -> t
 val spawn : t -> name:string -> work_ms:float -> process
+(** O(1): a long-running service spawns an unbounded stream of
+    processes. The returned record stays valid (and its [completed_at]
+    readable) after the scheduler retires the process internally. *)
+
 val active_processes : t -> process list
+val resident_processes : t -> int
+(** Processes the scheduler still tracks. Completed processes are pruned
+    at the sync that retires them, so this stays bounded by the number of
+    concurrently runnable processes — it does not grow with service
+    lifetime. *)
+
+val completed_total : t -> int
+(** Processes retired since creation. *)
+
+val last_completion : t -> (int * float) option
+(** (pid, completion time) of the most recently retired process;
+    completion timestamps for a specific process remain queryable from
+    the record {!spawn} returned. *)
+
 val online_cores : t -> int
 (** Cores currently accepting work ([Running] state). *)
 

@@ -1,0 +1,64 @@
+type policy = Round_robin | Least_loaded | Sealed_affinity
+
+let policy_name = function
+  | Round_robin -> "round-robin"
+  | Least_loaded -> "least-loaded"
+  | Sealed_affinity -> "sealed-affinity"
+
+let all_policies =
+  [
+    ("round-robin", Round_robin);
+    ("least-loaded", Least_loaded);
+    ("sealed-affinity", Sealed_affinity);
+  ]
+
+let policy_of_string s =
+  match List.assoc_opt (String.lowercase_ascii s) all_policies with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown policy %S (expected %s)" s
+           (String.concat ", " (List.map fst all_policies)))
+
+type load = { queued : int; busy : bool }
+
+(* FNV-1a, so affinity routing does not depend on OCaml's Hashtbl.hash
+   implementation details *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3fffffff)
+    s;
+  !h
+
+let effective_load l = l.queued + if l.busy then 1 else 0
+
+let least_loaded loads =
+  let best = ref 0 in
+  Array.iteri
+    (fun i l -> if effective_load l < effective_load loads.(!best) then best := i)
+    loads;
+  !best
+
+let select policy ~cursor ~request loads =
+  let n = Array.length loads in
+  if n = 0 then invalid_arg "Dispatch.select: empty fleet";
+  match request.Request.home with
+  | Some h ->
+      if h < 0 || h >= n then
+        invalid_arg
+          (Printf.sprintf "Dispatch.select: home platform %d outside fleet of %d" h n);
+      h
+  | None -> (
+      match policy with
+      | Round_robin ->
+          let i = !cursor mod n in
+          cursor := (!cursor + 1) mod n;
+          i
+      | Least_loaded -> least_loaded loads
+      | Sealed_affinity -> (
+          match request.Request.client with
+          | Some c -> fnv1a c mod n
+          | None -> least_loaded loads))

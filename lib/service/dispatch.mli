@@ -1,0 +1,31 @@
+(** Request-to-platform routing policies.
+
+    A request with a [home] platform always routes there regardless of
+    policy — sealed blobs and replay counters are bound to one machine's
+    TPM (Section 4.3), so running it anywhere else could only fail. The
+    policy decides placement for the unconstrained rest:
+
+    - {!Round_robin} rotates blindly: cheapest, but a run of heavy
+      requests can pile onto one machine while another idles.
+    - {!Least_loaded} picks the shortest queue (idle beats busy on ties,
+      then the lowest index), the classic supermarket rule.
+    - {!Sealed_affinity} hashes the client identity so that all of one
+      client's requests — and therefore any sealed state those sessions
+      create — land on the same machine deterministically; anonymous
+      requests fall back to least-loaded. *)
+
+type policy = Round_robin | Least_loaded | Sealed_affinity
+
+val policy_name : policy -> string
+val policy_of_string : string -> (policy, string) result
+val all_policies : (string * policy) list
+
+type load = {
+  queued : int;  (** requests waiting in the platform's queue *)
+  busy : bool;  (** a batch is currently monopolizing the machine *)
+}
+
+val select : policy -> cursor:int ref -> request:Request.t -> load array -> int
+(** Chosen platform index. [cursor] is the round-robin rotation state,
+    advanced only when that policy actually rotates.
+    @raise Invalid_argument on an empty fleet or a [home] out of range. *)

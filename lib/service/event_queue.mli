@@ -1,0 +1,22 @@
+(** Deterministic min-priority queue of timestamped events.
+
+    The fleet coordinator's core data structure: client arrivals, platform
+    wake-ups, and retry timers all go through one of these, keyed by
+    virtual time in milliseconds. Events with equal timestamps pop in
+    insertion order, so a simulation driven from a fixed seed replays the
+    exact same schedule — the property the determinism tests pin down. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> at_ms:float -> 'a -> unit
+(** @raise Invalid_argument if [at_ms] is NaN. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, FIFO among equals; [None] when empty. *)
+
+val peek_ms : 'a t -> float option
+(** Timestamp of the next event without removing it. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

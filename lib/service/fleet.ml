@@ -1,0 +1,388 @@
+module Platform = Flicker_core.Platform
+module Timing = Flicker_hw.Timing
+module Clock = Flicker_hw.Clock
+module Machine = Flicker_hw.Machine
+module Privacy_ca = Flicker_tpm.Privacy_ca
+module Prng = Flicker_crypto.Prng
+module Metrics = Flicker_obs.Metrics
+
+type config = {
+  platforms : int;
+  queue_depth : int;
+  batch_size : int;
+  policy : Dispatch.policy;
+  seed : string;
+  key_bits : int;
+  timing : Timing.t;
+}
+
+let default_config =
+  {
+    platforms = 2;
+    queue_depth = 32;
+    batch_size = 4;
+    policy = Dispatch.Least_loaded;
+    seed = "fleet";
+    key_bits = 512;
+    timing = Timing.default;
+  }
+
+type pstate = {
+  platform : Platform.t;
+  index : int;
+  queue : Request.t Queue.t;
+  mutable busy : bool;
+  mutable completed : int;
+}
+
+type event = Arrival of Request.t | Wake of int
+
+type t = {
+  cfg : config;
+  workload : Workload.t;
+  members : pstate array;
+  events : event Event_queue.t;
+  metrics : Metrics.t;
+  arrival_rng : Prng.t;
+  ca_key : Flicker_crypto.Rsa.public;
+  rr_cursor : int ref;
+  mutable now : float;
+  mutable next_id : int;
+  mutable submitted : int;
+  (* id -> finalized (request, disposition); insertion keyed by id *)
+  finalized : (int, Request.t * Request.disposition) Hashtbl.t;
+}
+
+let create ?(config = default_config) workload =
+  if config.platforms < 1 then invalid_arg "Fleet.create: need at least one platform";
+  if config.queue_depth < 1 then invalid_arg "Fleet.create: queue_depth must be >= 1";
+  if config.batch_size < 1 then invalid_arg "Fleet.create: batch_size must be >= 1";
+  let privacy_ca =
+    Privacy_ca.create
+      (Prng.create ~seed:(config.seed ^ "/privacy-ca"))
+      ~name:"FleetPrivacyCA" ~key_bits:config.key_bits
+  in
+  let members =
+    Array.init config.platforms (fun i ->
+        let platform =
+          Platform.create
+            ~seed:(Printf.sprintf "%s/platform-%d" config.seed i)
+            ~timing:config.timing ~key_bits:config.key_bits ~ca:privacy_ca ()
+        in
+        workload.Workload.prepare platform i;
+        { platform; index = i; queue = Queue.create (); busy = false; completed = 0 })
+  in
+  (* the platforms' prepare work (CA keygen sessions, ...) consumed
+     different amounts of virtual time on each clock; global time starts
+     at the latest of them so no platform starts in the coordinator's
+     past *)
+  let now =
+    Array.fold_left (fun acc m -> max acc (Platform.now_ms m.platform)) 0.0 members
+  in
+  {
+    cfg = config;
+    workload;
+    members;
+    events = Event_queue.create ();
+    metrics = Metrics.create ();
+    arrival_rng = Prng.create ~seed:(config.seed ^ "/arrivals");
+    ca_key = Privacy_ca.public_key privacy_ca;
+    rr_cursor = ref 0;
+    now;
+    next_id = 1;
+    submitted = 0;
+    finalized = Hashtbl.create 64;
+  }
+
+let config t = t.cfg
+let workload_name t = t.workload.Workload.name
+let platform t i = t.members.(i).platform
+let verifier_key t = t.ca_key
+let now_ms t = t.now
+let metrics t = t.metrics
+
+let finalize t req disposition =
+  Hashtbl.replace t.finalized req.Request.id (req, disposition)
+
+let transit_ms t ~bytes = Timing.network_ms t.cfg.timing ~bytes
+
+let submit t ?client ?home ?deadline_ms ?sent_ms payload =
+  (match home with
+  | Some h when h < 0 || h >= t.cfg.platforms ->
+      invalid_arg
+        (Printf.sprintf "Fleet.submit: home platform %d outside fleet of %d" h
+           t.cfg.platforms)
+  | _ -> ());
+  (match deadline_ms with
+  | Some d when d <= 0.0 -> invalid_arg "Fleet.submit: deadline must be positive"
+  | _ -> ());
+  let sent = max t.now (Option.value sent_ms ~default:t.now) in
+  let arrival = sent +. transit_ms t ~bytes:(String.length payload) in
+  let req =
+    {
+      Request.id = t.next_id;
+      payload;
+      client;
+      home;
+      sent_ms = sent;
+      arrival_ms = arrival;
+      deadline_ms = Option.map (fun d -> sent +. d) deadline_ms;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.submitted <- t.submitted + 1;
+  Event_queue.push t.events ~at_ms:arrival (Arrival req);
+  req.Request.id
+
+let submit_open_loop t ~clients ~per_client ~mean_gap_ms ?deadline_ms ~payload () =
+  if clients < 1 || per_client < 1 then
+    invalid_arg "Fleet.submit_open_loop: need at least one client and request";
+  if mean_gap_ms < 0.0 then invalid_arg "Fleet.submit_open_loop: negative gap";
+  let exponential () =
+    (* inverse-CDF draw from the fleet's deterministic generator *)
+    let u = float_of_int (1 + Prng.int_below t.arrival_rng 1_000_000) /. 1_000_001. in
+    -.mean_gap_ms *. log u
+  in
+  for c = 0 to clients - 1 do
+    let at = ref t.now in
+    for seq = 0 to per_client - 1 do
+      at := !at +. exponential ();
+      ignore
+        (submit t
+           ~client:(Printf.sprintf "client-%d" c)
+           ?deadline_ms ~sent_ms:!at
+           (payload ~client:c ~seq))
+    done
+  done
+
+let loads t =
+  Array.map
+    (fun m -> { Dispatch.queued = Queue.length m.queue; busy = m.busy })
+    t.members
+
+(* dispatch up to a batch on platform [i] if it is idle and has work *)
+let pump t i =
+  let m = t.members.(i) in
+  if not m.busy then begin
+    (* requests whose deadline passed while queued never reach a session *)
+    let rec drop_expired () =
+      match Queue.peek_opt m.queue with
+      | Some r
+        when match r.Request.deadline_ms with
+             | Some d -> d < t.now
+             | None -> false ->
+          ignore (Queue.pop m.queue);
+          Metrics.incr t.metrics "fleet.expired";
+          finalize t r (Request.Expired { at_ms = t.now });
+          drop_expired ()
+      | _ -> ()
+    in
+    drop_expired ();
+    let rec take n acc =
+      if n = 0 then List.rev acc
+      else
+        match Queue.take_opt m.queue with
+        | None -> List.rev acc
+        | Some r -> take (n - 1) (r :: acc)
+    in
+    match take t.cfg.batch_size [] with
+    | [] -> ()
+    | batch ->
+        let k = List.length batch in
+        (* clock coherence: bring this platform's idle clock up to the
+           global virtual time before it serves anything *)
+        let pnow = Platform.now_ms m.platform in
+        if pnow < t.now then
+          Clock.advance m.platform.Platform.machine.Machine.clock (t.now -. pnow);
+        let dispatched = Platform.now_ms m.platform in
+        m.busy <- true;
+        Metrics.incr t.metrics "fleet.batches";
+        Metrics.observe t.metrics "fleet.batch_fill" (float_of_int k);
+        let results = t.workload.Workload.run_batch m.platform batch in
+        let finished = Platform.now_ms m.platform in
+        Metrics.observe t.metrics "fleet.service_ms" (finished -. dispatched);
+        let results =
+          if List.length results = k then results
+          else
+            List.map
+              (fun _ -> Error "workload returned wrong number of results")
+              batch
+        in
+        List.iter2
+          (fun r result ->
+            match result with
+            | Ok output ->
+                let latency =
+                  finished
+                  +. transit_ms t ~bytes:(String.length output)
+                  -. r.Request.sent_ms
+                in
+                let missed =
+                  match r.Request.deadline_ms with
+                  | Some d -> finished > d
+                  | None -> false
+                in
+                Metrics.incr t.metrics "fleet.completed";
+                if missed then Metrics.incr t.metrics "fleet.deadline_misses";
+                Metrics.observe t.metrics "fleet.latency_ms" latency;
+                m.completed <- m.completed + 1;
+                finalize t r
+                  (Request.Completed
+                     {
+                       output;
+                       platform = i;
+                       batch = k;
+                       dispatched_ms = dispatched;
+                       finished_ms = finished;
+                       latency_ms = latency;
+                       missed_deadline = missed;
+                     })
+            | Error reason ->
+                Metrics.incr t.metrics "fleet.failed";
+                finalize t r (Request.Failed { at_ms = finished; reason }))
+          batch results;
+        (* the machine is monopolized until [finished]; the Wake frees it
+           and pulls the next batch *)
+        Event_queue.push t.events ~at_ms:finished (Wake i)
+  end
+
+let admit t req =
+  let target = Dispatch.select t.cfg.policy ~cursor:t.rr_cursor ~request:req (loads t) in
+  let m = t.members.(target) in
+  let depth = Queue.length m.queue in
+  if depth >= t.cfg.queue_depth then begin
+    Metrics.incr t.metrics "fleet.rejected";
+    finalize t req
+      (Request.Rejected { at_ms = t.now; platform = target; queue_depth = depth })
+  end
+  else begin
+    Metrics.incr t.metrics "fleet.admitted";
+    Queue.add req m.queue;
+    Metrics.observe t.metrics "fleet.queue_depth" (float_of_int (depth + 1));
+    pump t target
+  end
+
+let run ?until_ms t =
+  let within at =
+    match until_ms with None -> true | Some limit -> at <= limit
+  in
+  let rec loop () =
+    match Event_queue.peek_ms t.events with
+    | None -> ()
+    | Some at when not (within at) -> ()
+    | Some _ ->
+        (match Event_queue.pop t.events with
+        | None -> ()
+        | Some (at, ev) -> (
+            t.now <- max t.now at;
+            match ev with
+            | Arrival req -> admit t req
+            | Wake i ->
+                t.members.(i).busy <- false;
+                pump t i));
+        loop ()
+  in
+  loop ()
+
+let dispositions t =
+  Hashtbl.fold (fun id entry acc -> (id, entry) :: acc) t.finalized []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let disposition_of t id =
+  Option.map snd (Hashtbl.find_opt t.finalized id)
+
+type summary = {
+  submitted : int;
+  completed : int;
+  rejected : int;
+  expired : int;
+  failed : int;
+  deadline_misses : int;
+  makespan_ms : float;
+  throughput_rps : float;
+  latency_mean_ms : float;
+  latency_p50_ms : float;
+  latency_p95_ms : float;
+  latency_max_ms : float;
+  sessions : int;
+  busy_retries : int;
+  per_platform : int array;
+}
+
+(* nearest-rank percentile over an already-sorted array *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let summary t =
+  let all = dispositions t in
+  let completions =
+    List.filter_map
+      (fun (_, d) -> match d with Request.Completed c -> Some c | _ -> None)
+      all
+  in
+  let count f = List.length (List.filter f all) in
+  let latencies =
+    Array.of_list (List.map (fun c -> c.Request.latency_ms) completions)
+  in
+  Array.sort compare latencies;
+  let first_sent =
+    List.fold_left (fun acc (r, _) -> min acc r.Request.sent_ms) infinity all
+  in
+  let last_finish =
+    List.fold_left
+      (fun acc c -> max acc c.Request.finished_ms)
+      neg_infinity completions
+  in
+  let makespan =
+    if completions = [] then 0.0 else max 0.0 (last_finish -. first_sent)
+  in
+  let n_completed = List.length completions in
+  let sum = Array.fold_left ( +. ) 0.0 latencies in
+  {
+    submitted = t.submitted;
+    completed = n_completed;
+    rejected = count (fun (_, d) -> match d with Request.Rejected _ -> true | _ -> false);
+    expired = count (fun (_, d) -> match d with Request.Expired _ -> true | _ -> false);
+    failed = count (fun (_, d) -> match d with Request.Failed _ -> true | _ -> false);
+    deadline_misses =
+      List.length (List.filter (fun c -> c.Request.missed_deadline) completions);
+    makespan_ms = makespan;
+    throughput_rps =
+      (if makespan > 0.0 then float_of_int n_completed /. (makespan /. 1000.0)
+       else 0.0);
+    latency_mean_ms = (if n_completed = 0 then 0.0 else sum /. float_of_int n_completed);
+    latency_p50_ms = percentile latencies 50.0;
+    latency_p95_ms = percentile latencies 95.0;
+    latency_max_ms = (if n_completed = 0 then 0.0 else latencies.(n_completed - 1));
+    sessions =
+      Array.fold_left
+        (fun acc m -> acc + m.platform.Platform.sessions_run)
+        0 t.members;
+    busy_retries =
+      Array.fold_left
+        (fun acc m ->
+          acc
+          + Metrics.counter m.platform.Platform.machine.Machine.metrics
+              "session.busy_retries")
+        0 t.members;
+    per_platform = Array.map (fun (m : pstate) -> m.completed) t.members;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>submitted %d: %d completed (%d past deadline), %d rejected, %d \
+     expired, %d failed@,\
+     makespan %.1f ms, throughput %.2f req/s over %d sessions (%d busy \
+     retries)@,\
+     latency ms: mean %.1f / p50 %.1f / p95 %.1f / max %.1f@,\
+     per-platform completions: %s@]"
+    s.submitted s.completed s.deadline_misses s.rejected s.expired s.failed
+    s.makespan_ms s.throughput_rps s.sessions s.busy_retries s.latency_mean_ms
+    s.latency_p50_ms s.latency_p95_ms s.latency_max_ms
+    (String.concat " "
+       (Array.to_list (Array.map string_of_int s.per_platform)))

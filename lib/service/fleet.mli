@@ -1,0 +1,127 @@
+(** A multi-machine Flicker fleet serving PAL requests from many clients.
+
+    The paper's applications are services whose every request monopolizes
+    a whole machine for hundreds of milliseconds (a CA signature costs
+    ~900 ms, dominated by TPM operations — Section 7). One platform
+    therefore saturates at a handful of requests per second, and scale
+    has to come from the layer the paper left implicit: a fleet.
+
+    This module is that layer, as a discrete-event simulation on virtual
+    time: [N] independent {!Flicker_core.Platform} instances — each with
+    its own clock, TPM, and untrusted OS — coordinated by one event loop
+    that interleaves client arrivals, network transit, queueing, batched
+    session execution, and completions. Each platform's clock is advanced
+    to the global virtual time before it runs work, so the [N] timelines
+    stay coherent while still only ever moving forward.
+
+    Requests are admitted into bounded per-platform queues (full queue:
+    reject — admission control), routed by a pluggable {!Dispatch.policy}
+    (with sealed-state homes always honored), optionally carry deadlines
+    (enforced at dispatch: an expired request never wastes a session),
+    and are served in batches of up to [batch_size] so the per-session
+    SKINIT + TPM overhead is amortized. Everything is exported through a
+    {!Flicker_obs.Metrics} registry and an exact {!summary}. *)
+
+type config = {
+  platforms : int;
+  queue_depth : int;  (** per-platform admission bound *)
+  batch_size : int;  (** max requests per dispatched batch *)
+  policy : Dispatch.policy;
+  seed : string;
+  key_bits : int;  (** TPM key hierarchy size for each platform *)
+  timing : Flicker_hw.Timing.t;
+}
+
+val default_config : config
+(** 2 platforms, queue depth 32, batch size 4, least-loaded routing,
+    seed ["fleet"], 512-bit keys, the paper's Broadcom timing profile. *)
+
+type t
+
+val create : ?config:config -> Workload.t -> t
+(** Build the platforms (deterministically from [config.seed], all AIKs
+    certified by one fleet privacy CA) and run the workload's [prepare]
+    on each. @raise Invalid_argument on a non-positive [platforms],
+    [queue_depth], or [batch_size]. *)
+
+val config : t -> config
+val workload_name : t -> string
+val platform : t -> int -> Flicker_core.Platform.t
+val verifier_key : t -> Flicker_crypto.Rsa.public
+(** Public key of the fleet's privacy CA, for verifying attestations
+    produced on any platform. *)
+
+val now_ms : t -> float
+(** Global virtual time: the timestamp of the latest processed event. *)
+
+val submit :
+  t ->
+  ?client:string ->
+  ?home:int ->
+  ?deadline_ms:float ->
+  ?sent_ms:float ->
+  string ->
+  int
+(** Queue a client send of [payload]; returns the request id. The request
+    arrives at the dispatcher one network transit after [sent_ms]
+    (default: now; a [sent_ms] in the virtual past is clamped to now).
+    [deadline_ms] is relative to [sent_ms]. [home] pins the request to
+    one platform (sealed-state affinity, all policies honor it);
+    [client] feeds the {!Dispatch.Sealed_affinity} hash.
+    @raise Invalid_argument if [home] is outside the fleet. *)
+
+val submit_open_loop :
+  t ->
+  clients:int ->
+  per_client:int ->
+  mean_gap_ms:float ->
+  ?deadline_ms:float ->
+  payload:(client:int -> seq:int -> string) ->
+  unit ->
+  unit
+(** Open-loop load: [clients] independent clients each send [per_client]
+    requests with exponentially distributed gaps of mean [mean_gap_ms],
+    drawn from the fleet's seeded generator (fully deterministic).
+    Client [c]'s identity is ["client-c"]. *)
+
+val run : ?until_ms:float -> t -> unit
+(** Drive the event loop until the queue is drained (or past
+    [until_ms]). Re-entrant: more work can be submitted and run again,
+    virtual time keeps accumulating. *)
+
+val dispositions : t -> (Request.t * Request.disposition) list
+(** Every finalized request, in id order. Requests still queued or in
+    flight (after a bounded [run ~until_ms]) are absent. *)
+
+val disposition_of : t -> int -> Request.disposition option
+val metrics : t -> Flicker_obs.Metrics.t
+(** The fleet-level registry: [fleet.admitted], [fleet.rejected],
+    [fleet.expired], [fleet.completed], [fleet.failed],
+    [fleet.deadline_misses], [fleet.batches] counters; [fleet.latency_ms],
+    [fleet.service_ms], [fleet.batch_fill], [fleet.queue_depth]
+    histograms. Per-machine series (TPM commands, sessions, busy
+    retries) live on each platform's own registry. *)
+
+type summary = {
+  submitted : int;
+  completed : int;
+  rejected : int;
+  expired : int;
+  failed : int;
+  deadline_misses : int;  (** completed, but late *)
+  makespan_ms : float;  (** first send to last completion *)
+  throughput_rps : float;  (** completed per wall second of makespan *)
+  latency_mean_ms : float;
+  latency_p50_ms : float;
+  latency_p95_ms : float;
+  latency_max_ms : float;
+  sessions : int;  (** Flicker sessions actually run, fleet-wide *)
+  busy_retries : int;
+  per_platform : int array;  (** requests completed by each platform *)
+}
+
+val summary : t -> summary
+(** Exact (not bucketed) percentiles over the completed requests'
+    client-perceived latencies. *)
+
+val pp_summary : Format.formatter -> summary -> unit

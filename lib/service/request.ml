@@ -1,0 +1,42 @@
+type t = {
+  id : int;
+  payload : string;
+  client : string option;
+  home : int option;
+  sent_ms : float;
+  arrival_ms : float;
+  deadline_ms : float option;
+}
+
+type completion = {
+  output : string;
+  platform : int;
+  batch : int;
+  dispatched_ms : float;
+  finished_ms : float;
+  latency_ms : float;
+  missed_deadline : bool;
+}
+
+type disposition =
+  | Completed of completion
+  | Rejected of { at_ms : float; platform : int; queue_depth : int }
+  | Expired of { at_ms : float }
+  | Failed of { at_ms : float; reason : string }
+
+let disposition_name = function
+  | Completed _ -> "completed"
+  | Rejected _ -> "rejected"
+  | Expired _ -> "expired"
+  | Failed _ -> "failed"
+
+let pp_disposition fmt = function
+  | Completed c ->
+      Format.fprintf fmt "completed on platform %d at %.1f ms (%.1f ms latency%s)"
+        c.platform c.finished_ms c.latency_ms
+        (if c.missed_deadline then ", past deadline" else "")
+  | Rejected r ->
+      Format.fprintf fmt "rejected at %.1f ms (platform %d queue full at %d)"
+        r.at_ms r.platform r.queue_depth
+  | Expired e -> Format.fprintf fmt "expired in queue at %.1f ms" e.at_ms
+  | Failed f -> Format.fprintf fmt "failed at %.1f ms: %s" f.at_ms f.reason

@@ -1,0 +1,44 @@
+(** One client request against the fleet, and what became of it.
+
+    Times are virtual milliseconds on the fleet's shared timeline. A
+    request is *sent* by a client, spends a one-way network transit in
+    flight, *arrives* at the dispatcher, waits in a platform queue, runs
+    inside a (possibly batched) Flicker session, and its response spends
+    another transit on the way back — the recorded latency is the
+    client-perceived one, sent to response-received. *)
+
+type t = {
+  id : int;
+  payload : string;
+  client : string option;
+      (** client identity, used by the sealed-affinity policy to keep one
+          client's sealed state on one machine *)
+  home : int option;
+      (** hard placement: sealed blobs and replay counters are bound to
+          one TPM, so a request touching them can only run there *)
+  sent_ms : float;
+  arrival_ms : float;  (** [sent_ms] plus the request's network transit *)
+  deadline_ms : float option;  (** absolute; enforced at dispatch time *)
+}
+
+type completion = {
+  output : string;
+  platform : int;
+  batch : int;  (** how many requests shared the session(s) *)
+  dispatched_ms : float;
+  finished_ms : float;
+  latency_ms : float;  (** client-perceived: sent to response received *)
+  missed_deadline : bool;
+      (** completed, but after its deadline had passed *)
+}
+
+type disposition =
+  | Completed of completion
+  | Rejected of { at_ms : float; platform : int; queue_depth : int }
+      (** admission control: the routed platform's queue was full *)
+  | Expired of { at_ms : float }
+      (** deadline passed while still queued; never dispatched *)
+  | Failed of { at_ms : float; reason : string }
+
+val disposition_name : disposition -> string
+val pp_disposition : Format.formatter -> disposition -> unit
