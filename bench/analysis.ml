@@ -1,0 +1,34 @@
+(* Static-analysis bench artifact: per-PAL analysis wall time and
+   finding counts for the five shipped PALs, emitted like every other
+   table row so `--json` keeps the bench trajectory populated. *)
+
+module Rules = Flicker_analysis.Rules
+module Models = Flicker_analysis.Models
+module J = Flicker_obs.Json
+
+let run () =
+  Printf.printf "\n=== Static analysis: flicker analyze over the shipped PALs ===\n";
+  Printf.printf "%-10s %12s %10s %10s %10s\n" "PAL" "wall (ms)" "findings" "errors" "warnings";
+  List.iter
+    (fun (key, target) ->
+      let t0 = Unix.gettimeofday () in
+      let findings =
+        match Rules.run target with
+        | Ok fs -> fs
+        | Error msg -> failwith (Printf.sprintf "analyze %s: %s" key msg)
+      in
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let errors = Rules.errors findings in
+      let warnings = Rules.count Rules.Warning findings in
+      Printf.printf "%-10s %12.3f %10d %10d %10d\n" key wall_ms (List.length findings)
+        errors warnings;
+      Paper.emit ~artifact:"analyze" ~label:key
+        [
+          ("wall_ms", J.Float wall_ms);
+          ("findings", J.Int (List.length findings));
+          ("errors", J.Int errors);
+          ("warnings", J.Int warnings);
+          ("tcb_loc", J.Int (Flicker_slb.Pal.total_loc target.Rules.pal));
+          ("budget_loc", J.Int target.Rules.budget_loc);
+        ])
+    (Models.all ())

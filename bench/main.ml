@@ -35,12 +35,14 @@ let known =
         Paper.table4 ~timing ();
         Paper.figure9 ~timing () );
     ("fleet", Fleet.run);
+    ("analyze", Analysis.run);
     ("micro", Micro.run);
   ]
 
 let all_in_order =
   [ "table1"; "table2"; "table3"; "table4"; "figure6"; "figure8"; "figure9";
-    "ca"; "impact"; "ablation"; "keygen"; "burden"; "txt"; "fleet"; "micro" ]
+    "ca"; "impact"; "ablation"; "keygen"; "burden"; "txt"; "fleet"; "analyze";
+    "micro" ]
 
 let rec extract_json = function
   | [] -> (None, [])

@@ -367,6 +367,89 @@ let out_arg =
   Arg.(value & opt (some string) None
        & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the output there instead of stdout.")
 
+(* --- analyze --- *)
+
+let analyze_run pals as_json out =
+  let module Rules = Flicker_analysis.Rules in
+  let module Models = Flicker_analysis.Models in
+  let module Report = Flicker_analysis.Report in
+  let selected =
+    match pals with
+    | [] -> Ok (Models.all ())
+    | keys ->
+        List.fold_left
+          (fun acc key ->
+            match (acc, Models.find key) with
+            | Error _, _ -> acc
+            | Ok sel, Some t -> Ok (sel @ [ (key, t) ])
+            | Ok _, None ->
+                Error
+                  (Printf.sprintf "unknown PAL %s; known: %s" key
+                     (String.concat ", " (Models.keys ()))))
+          (Ok []) keys
+  in
+  match selected with
+  | Error msg -> prerr_endline msg; 1
+  | Ok targets -> (
+      let results =
+        List.map
+          (fun (key, target) ->
+            match Rules.run target with
+            | Ok findings -> (key, target, findings)
+            | Error msg ->
+                ( key,
+                  target,
+                  [
+                    {
+                      Rules.rule = "driver";
+                      severity = Rules.Error;
+                      subject = target.Rules.entry;
+                      message = msg;
+                    };
+                  ] ))
+          targets
+      in
+      let text =
+        if as_json then
+          Flicker_obs.Json.to_string (Report.sarif results) ^ "\n"
+        else
+          String.concat "\n"
+            (List.map (fun (key, t, fs) -> Report.to_text ~key t fs) results)
+      in
+      (match out with
+      | None -> print_string text
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Printf.printf "analysis written to %s\n" path);
+      let errors =
+        List.fold_left (fun acc (_, _, fs) -> acc + Rules.errors fs) 0 results
+      in
+      if errors > 0 then begin
+        Printf.eprintf "%d error-severity finding(s)\n" errors;
+        1
+      end
+      else 0)
+
+let analyze_pals_arg =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"PAL"
+           ~doc:"PALs to analyze: $(b,hello), $(b,rootkit), $(b,boinc), $(b,ssh), \
+                 $(b,ca). All five when omitted.")
+
+let analyze_json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Emit a SARIF-style JSON document (one run per PAL; the property \
+                 bag carries the Figure 6 TCB accounting).")
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Statically verify PALs: call-graph, secret-flow and TCB-budget rules")
+    Term.(const analyze_run $ analyze_pals_arg $ analyze_json_arg $ out_arg)
+
 let trace seed tpm workload out verbose =
   setup_logging verbose;
   let p, ca_key = make_platform ~seed ~tpm () in
@@ -575,6 +658,7 @@ let () =
   let doc = "Flicker: an execution infrastructure for TCB minimization (simulated)" in
   let main = Cmd.group (Cmd.info "flicker" ~version:"1.0.0" ~doc)
       [ hello_cmd; scan_cmd; ssh_cmd; ca_cmd; factor_cmd; tcb_cmd; extract_cmd;
+        analyze_cmd;
         trace_cmd; stats_cmd; fleet_cmd; info_cmd ]
   in
   exit (Cmd.eval' main)

@@ -1,0 +1,159 @@
+module Pal = Flicker_slb.Pal
+module Pal_env = Flicker_slb.Pal_env
+module Extract = Flicker_extract.Extract
+
+(* Extraction-IR models of the code each shipped PAL runs, paired with
+   the registered Pal.t. The paper's extraction tool works on C via CIL;
+   the simulator has no C parser, so these are the structured programs
+   CIL would have produced — entry function, ordered calls, types, LOC.
+   The analyzer verifies the invariants over them: module lists match
+   what the calls imply, secrets are sealed before the output page, and
+   every secret-handling entry ends by zeroizing. *)
+
+let f fname calls uses_types loc =
+  { Extract.fname; calls; uses_types; body = Printf.sprintf "/* %s: %d LOC */" fname loc; loc }
+
+let ty tname type_depends =
+  { Extract.tname; type_depends; definition = Printf.sprintf "struct %s {...};" tname }
+
+let hello_pal =
+  lazy (Pal.define ~name:"hello-world" (fun env -> Pal_env.set_output env "Hello, world"))
+
+let hello () =
+  {
+    Rules.pal = Lazy.force hello_pal;
+    program =
+      {
+        Extract.functions =
+          [
+            f "pal_main" [ "format_greeting"; "pal_output_write" ] [ "greeting" ] 10;
+            f "format_greeting" [ "strncpy" ] [ "greeting" ] 6;
+          ];
+        types = [ ty "greeting" [] ];
+      };
+    entry = "pal_main";
+    budget_loc = 250;
+    effects = [];
+  }
+
+let rootkit_detector () =
+  {
+    Rules.pal = Flicker_apps.Rootkit_detector.detector_pal ();
+    program =
+      {
+        Extract.functions =
+          [
+            f "detector_main"
+              [ "read_kernel_text"; "sha1_region"; "pcr_extend_hash"; "pal_output_write" ]
+              [ "scan_state" ] 35;
+            f "read_kernel_text" [ "memcpy" ] [ "scan_state" ] 14;
+            f "sha1_region" [ "sha1_compress" ] [ "hash_ctx" ] 48;
+            f "sha1_compress" [] [ "hash_ctx" ] 90;
+            f "pcr_extend_hash" [ "tpm_transmit" ] [ "hash_ctx" ] 22;
+          ];
+        types = [ ty "scan_state" []; ty "hash_ctx" [] ];
+      };
+    entry = "detector_main";
+    budget_loc = 350;
+    effects = [];
+  }
+
+let distcomp () =
+  {
+    Rules.pal = Flicker_apps.Distcomp.pal ();
+    program =
+      {
+        Extract.functions =
+          [
+            f "boinc_main"
+              [
+                "rsa_verify_workunit";
+                "TPM_Unseal";
+                "trial_division";
+                "TPM_Seal";
+                "pal_output_write";
+                "zeroize_secrets";
+              ]
+              [ "work_unit"; "factor_state" ] 42;
+            f "trial_division" [ "mod_reduce" ] [ "factor_state" ] 30;
+            f "mod_reduce" [] [] 12;
+          ];
+        types = [ ty "work_unit" []; ty "factor_state" [ "work_unit" ] ];
+      };
+    entry = "boinc_main";
+    budget_loc = 3500;
+    effects = [];
+  }
+
+let ssh_auth () =
+  {
+    Rules.pal = Flicker_apps.Ssh_auth.ssh_pal ~key_bits:1024;
+    program =
+      {
+        Extract.functions =
+          [
+            f "ssh_main"
+              [
+                "sc_decrypt_password";
+                "TPM_Unseal";
+                "md5crypt";
+                "constant_time_eq";
+                "pal_output_write";
+                "zeroize_secrets";
+              ]
+              [ "auth_ctxt" ] 38;
+            f "md5crypt" [ "md5_init"; "md5_update"; "md5_final" ] [ "md5_ctx" ] 120;
+            f "md5_init" [] [ "md5_ctx" ] 10;
+            f "md5_update" [ "memcpy" ] [ "md5_ctx" ] 35;
+            f "md5_final" [] [ "md5_ctx" ] 18;
+            f "constant_time_eq" [] [] 8;
+          ];
+        types = [ ty "auth_ctxt" [ "passwd_entry" ]; ty "passwd_entry" []; ty "md5_ctx" [] ];
+      };
+    entry = "ssh_main";
+    budget_loc = 3800;
+    (* the comparison's boolean verdict is the protocol's public result:
+       a deliberate declassification point *)
+    effects = [ ("constant_time_eq", Effects.Sanitizer) ];
+  }
+
+let cert_authority () =
+  {
+    Rules.pal = Flicker_apps.Cert_authority.ca_pal ~key_bits:1024;
+    program =
+      {
+        Extract.functions =
+          [
+            f "ca_main"
+              [
+                "TPM_Unseal";
+                "parse_csr";
+                "check_policy";
+                "sign_certificate";
+                "pal_output_write";
+                "zeroize_secrets";
+              ]
+              [ "csr"; "ca_policy" ] 44;
+            f "parse_csr" [ "memcpy" ] [ "csr" ] 26;
+            f "check_policy" [ "strcmp" ] [ "ca_policy" ] 18;
+            f "sign_certificate" [ "sha1_digest"; "rsa_sign" ] [ "csr" ] 33;
+          ];
+        types = [ ty "csr" [ "subject_key" ]; ty "subject_key" []; ty "ca_policy" [] ];
+      };
+    entry = "ca_main";
+    budget_loc = 3500;
+    effects = [];
+  }
+
+let all () =
+  [
+    ("hello", hello ());
+    ("rootkit", rootkit_detector ());
+    ("boinc", distcomp ());
+    ("ssh", ssh_auth ());
+    ("ca", cert_authority ());
+  ]
+
+let keys () = List.map fst (all ())
+
+let find key = List.assoc_opt key (all ())

@@ -1,0 +1,18 @@
+(** Analysis targets for the five shipped paper PALs: rootkit detector,
+    distributed computing (BOINC factoring), SSH password auth,
+    certificate authority, and the hello-world quickstart. Each pairs
+    the registered {!Flicker_slb.Pal.t} with the extraction-IR program
+    modeling its code (entry, ordered calls, types, LOC) and a declared
+    TCB budget. *)
+
+val hello : unit -> Rules.target
+val rootkit_detector : unit -> Rules.target
+val distcomp : unit -> Rules.target
+val ssh_auth : unit -> Rules.target
+val cert_authority : unit -> Rules.target
+
+val all : unit -> (string * Rules.target) list
+(** Key/target pairs, keys: hello, rootkit, boinc, ssh, ca. *)
+
+val keys : unit -> string list
+val find : string -> Rules.target option

@@ -1,0 +1,129 @@
+module J = Flicker_obs.Json
+module Pal = Flicker_slb.Pal
+module Layout = Flicker_slb.Layout
+module Slb_core = Flicker_slb.Slb_core
+module Extract = Flicker_extract.Extract
+
+let slb_limit () = Layout.max_pal_code ~slb_core_size:Slb_core.core_size
+
+let module_names pal =
+  match pal.Pal.modules with
+  | [] -> "(none)"
+  | ms -> String.concat ", " (List.map (fun m -> (Pal.info m).Pal.module_name) ms)
+
+(* Deterministic per-PAL text report; the golden regression fixtures
+   under test/golden/ are exactly this output. *)
+let to_text ~key (target : Rules.target) findings =
+  let buf = Buffer.create 512 in
+  let pal = target.Rules.pal in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "== %s (%s) ==\n" key pal.Pal.name;
+  add "entry:    %s\n" target.Rules.entry;
+  add "modules:  %s\n" (module_names pal);
+  add "tcb:      %d LOC of %d budget; linked code %d of %d bytes\n" (Pal.total_loc pal)
+    target.Rules.budget_loc
+    (String.length (Pal.linked_code pal))
+    (slb_limit ());
+  (match Extract.extract target.Rules.program ~target:target.Rules.entry with
+  | Ok e ->
+      add "slice:    %d functions, %d LOC, %d types\n"
+        (List.length e.Extract.required_functions)
+        e.Extract.extracted_loc
+        (List.length e.Extract.required_types)
+  | Error _ -> add "slice:    (entry not defined)\n");
+  add "findings: %d error(s), %d warning(s), %d info\n" (Rules.count Rules.Error findings)
+    (Rules.count Rules.Warning findings)
+    (Rules.count Rules.Info findings);
+  if findings = [] then add "  clean\n"
+  else
+    List.iter
+      (fun (fi : Rules.finding) ->
+        add "  [%s] %s %s: %s\n"
+          (Rules.severity_name fi.Rules.severity)
+          fi.Rules.rule fi.Rules.subject fi.Rules.message)
+      findings;
+  Buffer.contents buf
+
+let level = function
+  | Rules.Error -> "error"
+  | Rules.Warning -> "warning"
+  | Rules.Info -> "note"
+
+let rule_descriptors () =
+  J.List
+    (List.map
+       (fun (r : Rules.rule) ->
+         J.Obj
+           [
+             ("id", J.String r.Rules.id);
+             ("shortDescription", J.Obj [ ("text", J.String r.Rules.title) ]);
+             ("defaultConfiguration",
+              J.Obj [ ("level", J.String (level r.Rules.severity)) ]);
+           ])
+       Rules.rules)
+
+let result_json ~key (fi : Rules.finding) =
+  J.Obj
+    [
+      ("ruleId", J.String fi.Rules.rule);
+      ("level", J.String (level fi.Rules.severity));
+      ("message", J.Obj [ ("text", J.String fi.Rules.message) ]);
+      ( "locations",
+        J.List
+          [
+            J.Obj
+              [
+                ( "logicalLocations",
+                  J.List
+                    [
+                      J.Obj
+                        [
+                          ( "fullyQualifiedName",
+                            J.String (key ^ "/" ^ fi.Rules.subject) );
+                        ];
+                    ] );
+              ];
+          ] );
+    ]
+
+(* SARIF-style document: one run per analyzed PAL. The per-run property
+   bag carries the Figure 6-style TCB accounting (LOC and SLB bytes) so
+   `flicker analyze --json` doubles as the paper's TCB table. *)
+let sarif results =
+  J.Obj
+    [
+      ("version", J.String "2.1.0");
+      ( "runs",
+        J.List
+          (List.map
+             (fun (key, (target : Rules.target), findings) ->
+               let pal = target.Rules.pal in
+               J.Obj
+                 [
+                   ( "tool",
+                     J.Obj
+                       [
+                         ( "driver",
+                           J.Obj
+                             [
+                               ("name", J.String "flicker-analyze");
+                               ("rules", rule_descriptors ());
+                             ] );
+                       ] );
+                   ("results", J.List (List.map (result_json ~key) findings));
+                   ( "properties",
+                     J.Obj
+                       [
+                         ("pal", J.String pal.Pal.name);
+                         ("key", J.String key);
+                         ("entry", J.String target.Rules.entry);
+                         ("tcb_loc", J.Int (Pal.total_loc pal));
+                         ("budget_loc", J.Int target.Rules.budget_loc);
+                         ("slb_bytes", J.Int (String.length (Pal.linked_code pal)));
+                         ("slb_limit_bytes", J.Int (slb_limit ()));
+                         ("errors", J.Int (Rules.errors findings));
+                         ("warnings", J.Int (Rules.count Rules.Warning findings));
+                       ] );
+                 ])
+             results) );
+    ]

@@ -1,0 +1,10 @@
+(** Finding exporters: the deterministic text report (the golden-test
+    format) and a SARIF-style JSON document with one run per PAL whose
+    property bag carries the Figure 6 TCB accounting. *)
+
+val to_text : key:string -> Rules.target -> Rules.finding list -> string
+
+val sarif : (string * Rules.target * Rules.finding list) list -> Flicker_obs.Json.t
+
+val slb_limit : unit -> int
+(** Bytes available to linked PAL code inside the 64 KB SLB region. *)

@@ -1,0 +1,396 @@
+module Pal = Flicker_slb.Pal
+module Layout = Flicker_slb.Layout
+module Slb_core = Flicker_slb.Slb_core
+module Extract = Flicker_extract.Extract
+
+type severity = Info | Warning | Error
+
+let severity_name = function Info -> "info" | Warning -> "warning" | Error -> "error"
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type finding = { rule : string; severity : severity; subject : string; message : string }
+
+type target = {
+  pal : Pal.t;
+  program : Extract.program;
+  entry : string;
+  budget_loc : int;
+  effects : (string * Effects.effect_class) list;
+}
+
+type ctx = {
+  target : target;
+  graph : Callgraph.t;
+  extraction : Extract.extraction;
+  table : Effects.table;
+}
+
+type rule = { id : string; title : string; severity : severity; check : ctx -> finding list }
+
+(* estimated worst-case frame: saved registers + a small locals window,
+   conservative for the freestanding C a PAL is built from *)
+let frame_bytes = 128
+
+(* Which optional modules a module itself depends on: the utilities sit
+   on the driver; the secure channel generates, seals, and uses keys. *)
+let module_requires = function
+  | Pal.Tpm_utilities -> [ Pal.Tpm_driver ]
+  | Pal.Secure_channel -> [ Pal.Tpm_utilities; Pal.Crypto ]
+  | Pal.Os_protection | Pal.Tpm_driver | Pal.Crypto | Pal.Memory_management -> []
+
+let implied_modules extraction =
+  let rec close acc = function
+    | [] -> acc
+    | m :: rest ->
+        if List.mem m acc then close acc rest
+        else close (m :: acc) (module_requires m @ rest)
+  in
+  List.sort_uniq compare (close [] (Extract.suggested_modules extraction))
+
+let module_name m = (Pal.info m).Pal.module_name
+
+let recursion_rule =
+  {
+    id = "recursion";
+    title = "recursive call cycle on the fixed PAL stack";
+    severity = Error;
+    check =
+      (fun ctx ->
+        let reach = Callgraph.reachable ctx.graph ~root:ctx.target.entry in
+        List.filter_map
+          (fun group ->
+            if List.exists (fun n -> List.mem n reach) group then
+              Some
+                {
+                  rule = "recursion";
+                  severity = Error;
+                  subject = String.concat " -> " group;
+                  message =
+                    Printf.sprintf
+                      "call cycle {%s} can recurse; the PAL stack is a fixed %d bytes \
+                       and cannot grow"
+                      (String.concat ", " group) Layout.stack_size;
+                }
+            else None)
+          (Callgraph.recursive_groups ctx.graph));
+  }
+
+let stack_depth_rule =
+  {
+    id = "stack-depth";
+    title = "worst-case call depth approaches the PAL stack";
+    severity = Warning;
+    check =
+      (fun ctx ->
+        match Callgraph.max_depth ctx.graph ~root:ctx.target.entry with
+        | None -> [] (* unbounded: the recursion rule already fired *)
+        | Some depth ->
+            let worst = depth * frame_bytes in
+            if worst > Layout.stack_size then
+              [
+                {
+                  rule = "stack-depth";
+                  severity = Warning;
+                  subject = ctx.target.entry;
+                  message =
+                    Printf.sprintf
+                      "worst-case call depth %d (~%d bytes at %d bytes/frame) exceeds \
+                       the %d-byte PAL stack"
+                      depth worst frame_bytes Layout.stack_size;
+                };
+              ]
+            else []);
+  }
+
+let secret_leak_rule =
+  {
+    id = "secret-leak";
+    title = "secret reaches a sink without sealing/encryption";
+    severity = Error;
+    check =
+      (fun ctx ->
+        List.map
+          (fun l ->
+            {
+              rule = "secret-leak";
+              severity = Error;
+              subject = l.Taint.in_function;
+              message =
+                Printf.sprintf
+                  "secret from %s can reach sink %s in %s with no sanitizer on the \
+                   path; seal or encrypt before it leaves the SLB (Section 4.3)"
+                  l.Taint.source l.Taint.sink l.Taint.in_function;
+            })
+          (Taint.analyze ~table:ctx.table ctx.graph ~entry:ctx.target.entry));
+  }
+
+let missing_zeroize_rule =
+  {
+    id = "missing-zeroize";
+    title = "secrets produced but not zeroized before exit";
+    severity = Error;
+    check =
+      (fun ctx ->
+        let table = ctx.table in
+        if
+          Taint.has_secret_source ~table ctx.graph ~entry:ctx.target.entry
+          && not (Taint.ends_with_zeroize ~table ctx.graph ~entry:ctx.target.entry)
+        then
+          [
+            {
+              rule = "missing-zeroize";
+              severity = Error;
+              subject = ctx.target.entry;
+              message =
+                "the slice handles secrets but the entry does not end by zeroizing \
+                 them; Flicker requires erasing all secrets before session teardown \
+                 (Section 5.1)";
+            };
+          ]
+        else []);
+  }
+
+let tcb_budget_rule =
+  {
+    id = "tcb-budget";
+    title = "TCB lines of code over the declared budget";
+    severity = Error;
+    check =
+      (fun ctx ->
+        let loc = Pal.total_loc ctx.target.pal in
+        if loc > ctx.target.budget_loc then
+          [
+            {
+              rule = "tcb-budget";
+              severity = Error;
+              subject = ctx.target.pal.Pal.name;
+              message =
+                Printf.sprintf
+                  "TCB is %d LOC against a declared budget of %d; drop a module or \
+                   raise the budget deliberately"
+                  loc ctx.target.budget_loc;
+            };
+          ]
+        else []);
+  }
+
+let slb_region_rule =
+  {
+    id = "slb-region";
+    title = "linked code against the 64 KB SLB region";
+    severity = Error;
+    check =
+      (fun ctx ->
+        let size = String.length (Pal.linked_code ctx.target.pal) in
+        let limit = Layout.max_pal_code ~slb_core_size:Slb_core.core_size in
+        if size > limit then
+          [
+            {
+              rule = "slb-region";
+              severity = Error;
+              subject = ctx.target.pal.Pal.name;
+              message =
+                Printf.sprintf
+                  "linked code is %d bytes but only %d fit in the SLB's PAL region \
+                   (SKINIT measures at most 64 KB)"
+                  size limit;
+            };
+          ]
+        else if size * 10 > limit * 9 then
+          [
+            {
+              rule = "slb-region";
+              severity = Warning;
+              subject = ctx.target.pal.Pal.name;
+              message =
+                Printf.sprintf "linked code is %d of %d bytes (over 90%% of the PAL region)"
+                  size limit;
+            };
+          ]
+        else []);
+  }
+
+let unnecessary_module_rule =
+  {
+    id = "unnecessary-module";
+    title = "linked module not implied by the slice";
+    severity = Warning;
+    check =
+      (fun ctx ->
+        let implied = implied_modules ctx.extraction in
+        List.filter_map
+          (fun m ->
+            (* ring-3 confinement is a policy choice, never call-implied *)
+            if m = Pal.Os_protection || List.mem m implied then None
+            else
+              Some
+                {
+                  rule = "unnecessary-module";
+                  severity = Warning;
+                  subject = module_name m;
+                  message =
+                    Printf.sprintf
+                      "module %s (%d LOC) is linked but nothing in the slice needs it: \
+                       unnecessary TCB"
+                      (module_name m) (Pal.info m).Pal.loc;
+                })
+          ctx.target.pal.Pal.modules);
+  }
+
+let missing_module_rule =
+  {
+    id = "missing-module";
+    title = "slice needs a module that is not linked";
+    severity = Error;
+    check =
+      (fun ctx ->
+        let linked = ctx.target.pal.Pal.modules in
+        List.filter_map
+          (fun m ->
+            if List.mem m linked then None
+            else
+              Some
+                {
+                  rule = "missing-module";
+                  severity = Error;
+                  subject = module_name m;
+                  message =
+                    Printf.sprintf
+                      "the slice calls into %s but the PAL does not link it; the call \
+                       would land in unmeasured memory"
+                      (module_name m);
+                })
+          (implied_modules ctx.extraction));
+  }
+
+let forbidden_call_rule =
+  {
+    id = "forbidden-call";
+    title = "call that cannot exist inside a PAL";
+    severity = Error;
+    check =
+      (fun ctx ->
+        List.filter_map
+          (fun (name, advice) ->
+            match advice with
+            | Extract.Forbidden why ->
+                Some
+                  { rule = "forbidden-call"; severity = Error; subject = name; message = why }
+            | _ -> None)
+          ctx.extraction.Extract.stdlib_calls);
+  }
+
+let eliminate_call_rule =
+  {
+    id = "eliminate-call";
+    title = "call that should be eliminated";
+    severity = Warning;
+    check =
+      (fun ctx ->
+        List.filter_map
+          (fun (name, advice) ->
+            match advice with
+            | Extract.Eliminate ->
+                Some
+                  {
+                    rule = "eliminate-call";
+                    severity = Warning;
+                    subject = name;
+                    message =
+                      name ^ " makes no sense inside a PAL; eliminate the call \
+                              (Section 5.2)";
+                  }
+            | _ -> None)
+          ctx.extraction.Extract.stdlib_calls);
+  }
+
+let unresolved_callee_rule =
+  {
+    id = "unresolved-callee";
+    title = "callee neither defined nor known stdlib";
+    severity = Warning;
+    check =
+      (fun ctx ->
+        List.map
+          (fun name ->
+            {
+              rule = "unresolved-callee";
+              severity = Warning;
+              subject = name;
+              message =
+                name
+                ^ " is called but neither defined nor a recognized library function; \
+                   supply an implementation or the PAL will not link";
+            })
+          ctx.extraction.Extract.unresolved);
+  }
+
+let dead_function_rule =
+  {
+    id = "dead-function";
+    title = "defined function unreachable from the entry";
+    severity = Info;
+    check =
+      (fun ctx ->
+        List.map
+          (fun name ->
+            {
+              rule = "dead-function";
+              severity = Info;
+              subject = name;
+              message =
+                name
+                ^ " is defined in the program but unreachable from the entry; it \
+                   would ride along as dead TCB if carried into the PAL";
+            })
+          (Callgraph.unreachable ctx.graph ~root:ctx.target.entry));
+  }
+
+let rules =
+  [
+    recursion_rule;
+    stack_depth_rule;
+    secret_leak_rule;
+    missing_zeroize_rule;
+    tcb_budget_rule;
+    slb_region_rule;
+    unnecessary_module_rule;
+    missing_module_rule;
+    forbidden_call_rule;
+    eliminate_call_rule;
+    unresolved_callee_rule;
+    dead_function_rule;
+  ]
+
+let find_rule id = List.find_opt (fun r -> r.id = id) rules
+
+let make_ctx target =
+  let index = Extract.index target.program in
+  match Extract.extract ~index target.program ~target:target.entry with
+  | Result.Error msg -> Result.Error msg
+  | Result.Ok extraction ->
+      Result.Ok
+        {
+          target;
+          graph = Callgraph.build target.program;
+          extraction;
+          table = Effects.make target.effects;
+        }
+
+let run target =
+  match make_ctx target with
+  | Result.Error msg -> Result.Error msg
+  | Result.Ok ctx ->
+      let findings = List.concat_map (fun r -> r.check ctx) rules in
+      (* stable: by severity, then rule id, then subject *)
+      Result.Ok
+        (List.stable_sort
+           (fun (a : finding) (b : finding) ->
+             match compare (severity_rank a.severity) (severity_rank b.severity) with
+             | 0 -> ( match compare a.rule b.rule with 0 -> compare a.subject b.subject | c -> c)
+             | c -> c)
+           findings)
+
+let count sev findings =
+  List.length (List.filter (fun (f : finding) -> f.severity = sev) findings)
+let errors findings = count Error findings

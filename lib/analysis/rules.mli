@@ -1,0 +1,66 @@
+(** The PAL verifier's rule registry and driver.
+
+    A [target] pairs a registered {!Flicker_slb.Pal.t} with the
+    extraction-IR program modeling its code, the entry function, a
+    declared TCB budget, and per-PAL effects annotations. [run] slices
+    the program, builds the call graph, and evaluates every rule,
+    returning findings ordered by severity.
+
+    Rule classes (the ISSUE's six, plus supporting ones):
+    - [recursion] (error): call cycles on the fixed 4 KB PAL stack
+    - [stack-depth] (warning): deep acyclic chains nearing the stack
+    - [secret-leak] (error): source->sink flow with no sanitizer
+    - [missing-zeroize] (error): secrets not erased before teardown
+    - [tcb-budget] (error): [Pal.total_loc] over the declared budget
+    - [slb-region] (error/warning): linked code vs the 64 KB region
+    - [unnecessary-module] (warning): linked but not implied by the slice
+    - [missing-module] (error): implied by the slice but not linked
+    - [forbidden-call] (error): needs the OS (sockets, fork, time-of-day)
+    - [eliminate-call] (warning): printf-family calls
+    - [unresolved-callee] (warning): undefined, unrecognized callees
+    - [dead-function] (info): defined but unreachable from the entry *)
+
+module Pal = Flicker_slb.Pal
+module Extract = Flicker_extract.Extract
+
+type severity = Info | Warning | Error
+
+val severity_name : severity -> string
+val severity_rank : severity -> int
+(** 0 = most severe; used for ordering. *)
+
+type finding = { rule : string; severity : severity; subject : string; message : string }
+
+type target = {
+  pal : Pal.t;
+  program : Extract.program;  (** extraction-IR model of the PAL's code *)
+  entry : string;  (** the PAL's entry function in [program] *)
+  budget_loc : int;  (** declared TCB budget ([Pal.total_loc] must fit) *)
+  effects : (string * Effects.effect_class) list;  (** per-PAL annotations *)
+}
+
+type ctx = {
+  target : target;
+  graph : Callgraph.t;
+  extraction : Extract.extraction;
+  table : Effects.table;
+}
+
+type rule = { id : string; title : string; severity : severity; check : ctx -> finding list }
+
+val rules : rule list
+val find_rule : string -> rule option
+
+val module_requires : Pal.module_kind -> Pal.module_kind list
+(** Inter-module dependencies used when deciding whether a linked module
+    is implied by the slice. *)
+
+val implied_modules : Extract.extraction -> Pal.module_kind list
+(** [suggested_modules] closed under {!module_requires}. *)
+
+val run : target -> (finding list, string) result
+(** Evaluate every rule. [Error] only when the entry function is not
+    defined in the program. *)
+
+val count : severity -> finding list -> int
+val errors : finding list -> int

@@ -1,0 +1,131 @@
+(* Summary-based secret-flow pass over the call graph.
+
+   The abstract state is whether execution currently holds an
+   unsanitized secret; bodies are the ordered call sequences the IR
+   records. Each function gets a summary — how it transforms the
+   caller's state, and whether a secret handed to it can reach a sink
+   before being sanitized — computed to a fixpoint, then a reporting
+   pass over the functions reachable from the entry records every sink
+   reached while tainted. *)
+
+type state = Clean | Tainted of string
+
+type transfer = Identity | Clears | Taints of string
+
+type summary = { transfer : transfer; leaks_if_tainted : bool }
+
+type leak = { in_function : string; sink : string; source : string }
+
+let sentinel = "<secret held by caller>"
+
+(* Run one body under [entry] with the current summaries; [on_leak]
+   fires for every sink reached while tainted. Returns the exit state.
+   Effects-table classifications win over summaries, so per-PAL
+   annotations can declassify a defined function (e.g. a constant-time
+   comparison whose boolean result is not secret). *)
+let simulate table g summaries i ~entry ~on_leak =
+  let fname = Callgraph.name g i in
+  let state = ref entry in
+  Array.iter
+    (fun callee ->
+      let cname =
+        match callee with
+        | Callgraph.Defined j -> Callgraph.name g j
+        | Callgraph.External n -> n
+      in
+      match Effects.classify table cname with
+      | Some Effects.Sink -> (
+          match !state with
+          | Tainted src -> on_leak { in_function = fname; sink = cname; source = src }
+          | Clean -> ())
+      | Some Effects.Sanitizer | Some Effects.Zeroizer -> state := Clean
+      | Some Effects.Source -> state := Tainted cname
+      | None -> (
+          match callee with
+          | Callgraph.External _ -> ()
+          | Callgraph.Defined j ->
+              let sm = summaries.(j) in
+              (match !state with
+              | Tainted src when sm.leaks_if_tainted ->
+                  on_leak { in_function = fname; sink = cname; source = src }
+              | _ -> ());
+              (match sm.transfer with
+              | Identity -> ()
+              | Clears -> state := Clean
+              | Taints s -> state := Tainted s)))
+    (Callgraph.calls g i);
+  !state
+
+let compute_summaries table g =
+  let n = Callgraph.node_count g in
+  let summaries = Array.make n { transfer = Identity; leaks_if_tainted = false } in
+  let changed = ref true in
+  let rounds = ref 0 in
+  (* summaries depend only on callees, so any order converges within
+     [n] rounds on an acyclic graph; the cap bounds cyclic ones (those
+     are reported as recursion errors separately) *)
+  while !changed && !rounds <= n + 1 do
+    changed := false;
+    incr rounds;
+    for i = 0 to n - 1 do
+      let leaks = ref false in
+      let out =
+        simulate table g summaries i ~entry:(Tainted sentinel) ~on_leak:(fun l ->
+            if l.source = sentinel then leaks := true)
+      in
+      let transfer =
+        match out with
+        | Tainted s when s = sentinel -> Identity
+        | Tainted s -> Taints s
+        | Clean -> Clears
+      in
+      let sm = { transfer; leaks_if_tainted = !leaks } in
+      if sm <> summaries.(i) then begin
+        summaries.(i) <- sm;
+        changed := true
+      end
+    done
+  done;
+  summaries
+
+let analyze ~table g ~entry =
+  let summaries = compute_summaries table g in
+  let leaks = ref [] in
+  List.iter
+    (fun fname ->
+      match Callgraph.id g fname with
+      | None -> ()
+      | Some i ->
+          ignore
+            (simulate table g summaries i ~entry:Clean ~on_leak:(fun l ->
+                 leaks := l :: !leaks)))
+    (Callgraph.reachable g ~root:entry);
+  List.sort_uniq compare !leaks
+
+let has_secret_source ~table g ~entry =
+  let is_source n = Effects.classify table n = Some Effects.Source in
+  List.exists
+    (fun fname ->
+      is_source fname
+      ||
+      match Callgraph.id g fname with
+      | None -> false
+      | Some i -> List.exists is_source (Callgraph.external_callees g i))
+    (Callgraph.reachable g ~root:entry)
+
+(* Does the entry's execution end in a zeroizer? The last call of the
+   entry must be a zeroizer, or a defined function that itself ends in
+   one (transitively) — the static shape of "erase secrets, then exit". *)
+let ends_with_zeroize ~table g ~entry =
+  let rec ends visited i =
+    let cs = Callgraph.calls g i in
+    let len = Array.length cs in
+    len > 0
+    &&
+    match cs.(len - 1) with
+    | Callgraph.External n -> Effects.classify table n = Some Effects.Zeroizer
+    | Callgraph.Defined j ->
+        Effects.classify table (Callgraph.name g j) = Some Effects.Zeroizer
+        || ((not (List.mem j visited)) && ends (j :: visited) j)
+  in
+  match Callgraph.id g entry with None -> false | Some i -> ends [ i ] i

@@ -1,0 +1,24 @@
+(** Secret-flow (taint) analysis over the call graph.
+
+    Flags every path on which a secret source's output can reach a sink
+    with no sanitizer in between — the static form of the paper's rule
+    that secrets must be sealed or encrypted before they leave the SLB.
+    Bodies are ordered call sequences, so "sanitize, then output" and
+    "output, then sanitize" are distinguished. *)
+
+type leak = {
+  in_function : string;  (** where the tainted sink call happens *)
+  sink : string;  (** the sink (or leaking callee) reached *)
+  source : string;  (** the source whose secret reaches it *)
+}
+
+val analyze : table:Effects.table -> Callgraph.t -> entry:string -> leak list
+(** All source->sink-without-sanitizer flows reachable from [entry],
+    deduplicated and deterministically ordered. *)
+
+val has_secret_source : table:Effects.table -> Callgraph.t -> entry:string -> bool
+(** Does the slice rooted at [entry] produce any secret at all? *)
+
+val ends_with_zeroize : table:Effects.table -> Callgraph.t -> entry:string -> bool
+(** True when [entry]'s last call is (transitively) a zeroizer — the
+    teardown discipline of Section 5.1. *)

@@ -20,19 +20,35 @@ type advice =
 let stdlib_advice name =
   let crypto_prefixes = [ "rsa_"; "sha1"; "sha512"; "md5"; "aes_"; "rc4_"; "hmac" ] in
   let tpm_prefixes = [ "TPM_"; "Tspi_" ] in
+  let driver_prefixes = [ "tpm_transmit"; "tis_" ] in
+  let channel_prefixes = [ "sc_"; "secure_channel_" ] in
   let has_prefix p = String.length name >= String.length p
                      && String.sub name 0 (String.length p) = p in
   match name with
-  | "printf" | "fprintf" | "puts" | "putchar" | "perror" -> Some Eliminate
+  | "printf" | "fprintf" | "sprintf" | "snprintf" | "puts" | "putchar" | "perror" ->
+      Some Eliminate
   | "malloc" | "free" | "realloc" | "calloc" -> Some (Link_module Pal.Memory_management)
-  | "memcpy" | "memset" | "memcmp" | "strlen" | "strcmp" | "strncpy" ->
+  | "sbrk" | "mmap" -> Some (Link_module Pal.Memory_management)
+  | "memcpy" | "memset" | "memcmp" | "strlen" | "strcmp" | "strncpy"
+  | "strcpy" | "strcat" | "strncat" ->
       Some (Inline_replacement ("freestanding " ^ name ^ " from the SLB Core support code"))
+  | "pal_output_write" ->
+      Some (Inline_replacement "SLB Core write to the well-known output page (PAL_OUT)")
+  | "pal_read_sealed_input" ->
+      Some (Inline_replacement "SLB Core read of sealed state from the input page")
+  | "zeroize_secrets" ->
+      Some (Inline_replacement "SLB Core teardown memset-to-zero (Section 5.1)")
   | "socket" | "connect" | "send" | "recv" | "read" | "write" | "open" | "close" ->
       Some
         (Forbidden
            (name
           ^ " needs the OS; restructure into multiple Flicker sessions with sealed state \
              (Section 4.3)"))
+  | "time" | "gettimeofday" ->
+      Some
+        (Forbidden
+           (name
+          ^ " needs the OS clock; use TPM tick counters (TPM_GetTicks) for trusted time"))
   | "fork" | "exec" | "pthread_create" ->
       Some (Forbidden (name ^ ": no processes or threads inside a PAL"))
   | "rand" | "srand" | "random" ->
@@ -40,6 +56,8 @@ let stdlib_advice name =
   | _ ->
       if List.exists has_prefix crypto_prefixes then Some (Link_module Pal.Crypto)
       else if List.exists has_prefix tpm_prefixes then Some (Link_module Pal.Tpm_utilities)
+      else if List.exists has_prefix driver_prefixes then Some (Link_module Pal.Tpm_driver)
+      else if List.exists has_prefix channel_prefixes then Some (Link_module Pal.Secure_channel)
       else None
 
 type extraction = {
@@ -51,8 +69,33 @@ type extraction = {
   extracted_loc : int;
 }
 
-let extract program ~target =
-  let lookup name = List.find_opt (fun f -> f.fname = name) program.functions in
+(* Name->definition indices, built once per program. The original slicer
+   ran a [List.find_opt] scan per visited callee (O(V·E) on dense
+   programs); both the slicer and the analysis call-graph layer share
+   these tables instead. First definition wins, matching the old
+   first-match scan on programs with duplicate names. *)
+type index = {
+  ifuncs : (string, func) Hashtbl.t;
+  itypes : (string, typedef) Hashtbl.t;
+}
+
+let index program =
+  let ifuncs = Hashtbl.create (max 16 (2 * List.length program.functions)) in
+  List.iter
+    (fun f -> if not (Hashtbl.mem ifuncs f.fname) then Hashtbl.add ifuncs f.fname f)
+    program.functions;
+  let itypes = Hashtbl.create (max 16 (2 * List.length program.types)) in
+  List.iter
+    (fun t -> if not (Hashtbl.mem itypes t.tname) then Hashtbl.add itypes t.tname t)
+    program.types;
+  { ifuncs; itypes }
+
+let find_func idx name = Hashtbl.find_opt idx.ifuncs name
+let find_type idx name = Hashtbl.find_opt idx.itypes name
+
+let extract ?index:idx program ~target =
+  let idx = match idx with Some i -> i | None -> index program in
+  let lookup = find_func idx in
   match lookup target with
   | None -> Error (Printf.sprintf "target function %s is not defined in the program" target)
   | Some _ ->
@@ -77,7 +120,7 @@ let extract program ~target =
       visit target;
       let required_functions = List.rev !ordered in
       (* type closure over everything the slice touches *)
-      let type_lookup name = List.find_opt (fun t -> t.tname = name) program.types in
+      let type_lookup = find_type idx in
       let tvisited = Hashtbl.create 16 in
       let ttypes = ref [] in
       let rec tvisit name =

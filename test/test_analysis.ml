@@ -1,0 +1,354 @@
+(* The PAL verifier: call-graph layer, effects/taint pass, TCB-budget
+   rules, golden reports for the five shipped PALs, and property tests
+   tying the analysis back to the extraction slicer. *)
+
+open Flicker_analysis
+module Extract = Flicker_extract.Extract
+module Pal = Flicker_slb.Pal
+module Layout = Flicker_slb.Layout
+
+let f fname calls loc =
+  { Extract.fname; calls; uses_types = []; body = "/* " ^ fname ^ " */"; loc }
+
+let program functions = { Extract.functions; types = [] }
+
+(* a Pal.t built directly (not via Pal.define) so tests can express
+   configurations define would reject, e.g. oversized code *)
+let raw_pal ?(app_code = String.make 256 'a') ?(modules = []) name =
+  { Pal.name; app_code; modules; behavior = (fun _ -> ()) }
+
+let target ?(budget = 10_000) ?(effects = []) ?pal ~entry functions =
+  {
+    Rules.pal = (match pal with Some p -> p | None -> raw_pal ("test-" ^ entry));
+    program = program functions;
+    entry;
+    budget_loc = budget;
+    effects;
+  }
+
+let run_ok t = match Rules.run t with Ok fs -> fs | Error e -> Alcotest.fail e
+
+let rules_fired findings = List.sort_uniq compare (List.map (fun fi -> fi.Rules.rule) findings)
+let fired rule findings = List.exists (fun fi -> fi.Rules.rule = rule) findings
+
+(* --- call-graph layer --- *)
+
+let diamond =
+  [ f "a" [ "b"; "c" ] 1; f "b" [ "d" ] 1; f "c" [ "d" ] 1; f "d" [] 1; f "dead" [ "b" ] 1 ]
+
+let test_reachable () =
+  let g = Callgraph.build (program diamond) in
+  Alcotest.(check (list string)) "preorder" [ "a"; "b"; "d"; "c" ] (Callgraph.reachable g ~root:"a");
+  Alcotest.(check (list string)) "dead" [ "dead" ] (Callgraph.unreachable g ~root:"a");
+  Alcotest.(check (list string)) "unknown root" [] (Callgraph.reachable g ~root:"nope")
+
+let test_depth () =
+  let g = Callgraph.build (program diamond) in
+  Alcotest.(check (option int)) "diamond depth" (Some 3) (Callgraph.max_depth g ~root:"a");
+  Alcotest.(check (option int)) "leaf depth" (Some 1) (Callgraph.max_depth g ~root:"d")
+
+let test_recursion_detection () =
+  let g =
+    Callgraph.build
+      (program [ f "top" [ "even"; "lone" ] 1; f "even" [ "odd" ] 1; f "odd" [ "even" ] 1;
+                 f "lone" [ "lone" ] 1 ])
+  in
+  let groups = List.map (List.sort compare) (Callgraph.recursive_groups g) in
+  Alcotest.(check bool) "mutual cycle" true (List.mem [ "even"; "odd" ] groups);
+  Alcotest.(check bool) "self loop" true (List.mem [ "lone" ] groups);
+  Alcotest.(check bool) "recursion from top" true (Callgraph.has_recursion_from g ~root:"top");
+  Alcotest.(check (option int)) "depth unbounded" None (Callgraph.max_depth g ~root:"top")
+
+(* --- taint pass --- *)
+
+let table = Effects.default ()
+
+let leaks functions ~entry =
+  Taint.analyze ~table (Callgraph.build (program functions)) ~entry
+
+let test_direct_leak () =
+  let ls = leaks [ f "main" [ "TPM_Unseal"; "pal_output_write" ] 1 ] ~entry:"main" in
+  Alcotest.(check int) "one leak" 1 (List.length ls);
+  let l = List.hd ls in
+  Alcotest.(check string) "source" "TPM_Unseal" l.Taint.source;
+  Alcotest.(check string) "sink" "pal_output_write" l.Taint.sink
+
+let test_sanitized_flow () =
+  let ls =
+    leaks [ f "main" [ "TPM_Unseal"; "TPM_Seal"; "pal_output_write" ] 1 ] ~entry:"main"
+  in
+  Alcotest.(check int) "sealed before output" 0 (List.length ls)
+
+let test_order_matters () =
+  (* output first, THEN seal: still a leak *)
+  let ls =
+    leaks [ f "main" [ "TPM_Unseal"; "pal_output_write"; "TPM_Seal" ] 1 ] ~entry:"main"
+  in
+  Alcotest.(check int) "sink before sanitizer leaks" 1 (List.length ls)
+
+let test_interprocedural_leak () =
+  (* main gets the secret, helper writes the output page *)
+  let ls =
+    leaks
+      [ f "main" [ "TPM_Unseal"; "helper" ] 1; f "helper" [ "pal_output_write" ] 1 ]
+      ~entry:"main"
+  in
+  Alcotest.(check bool) "leak through callee" true (ls <> [])
+
+let test_callee_sanitizes () =
+  let ls =
+    leaks
+      [ f "main" [ "TPM_Unseal"; "protect"; "pal_output_write" ] 1;
+        f "protect" [ "TPM_Seal" ] 1 ]
+      ~entry:"main"
+  in
+  Alcotest.(check int) "callee's seal clears the caller" 0 (List.length ls)
+
+let test_zeroize_shapes () =
+  let ends functions entry =
+    Taint.ends_with_zeroize ~table (Callgraph.build (program functions)) ~entry
+  in
+  Alcotest.(check bool) "direct" true (ends [ f "m" [ "TPM_Unseal"; "zeroize_secrets" ] 1 ] "m");
+  Alcotest.(check bool) "via wrapper" true
+    (ends [ f "m" [ "TPM_Unseal"; "cleanup" ] 1; f "cleanup" [ "zeroize_secrets" ] 1 ] "m");
+  Alcotest.(check bool) "not last" false
+    (ends [ f "m" [ "zeroize_secrets"; "pal_output_write" ] 1 ] "m");
+  Alcotest.(check bool) "absent" false (ends [ f "m" [ "TPM_Unseal" ] 1 ] "m")
+
+(* --- each rule class fires on a deliberately bad PAL/program --- *)
+
+let test_rule_recursion () =
+  let fs = run_ok (target ~entry:"m" [ f "m" [ "r" ] 1; f "r" [ "r" ] 1 ]) in
+  Alcotest.(check bool) "recursion error" true (fired "recursion" fs);
+  Alcotest.(check bool) "is error severity" true
+    (List.exists (fun fi -> fi.Rules.rule = "recursion" && fi.Rules.severity = Rules.Error) fs)
+
+let test_rule_secret_leak () =
+  let fs = run_ok (target ~entry:"m" [ f "m" [ "TPM_Unseal"; "pal_output_write"; "zeroize_secrets" ] 1 ]) in
+  Alcotest.(check bool) "secret-leak error" true (fired "secret-leak" fs)
+
+let test_rule_tcb_budget () =
+  let pal = raw_pal ~modules:[ Pal.Crypto; Pal.Tpm_driver; Pal.Tpm_utilities ] "fat" in
+  let fs =
+    run_ok
+      (target ~budget:100 ~pal ~entry:"m"
+         [ f "m" [ "rsa_sign"; "TPM_Seal"; "tpm_transmit" ] 1 ])
+  in
+  Alcotest.(check bool) "over budget" true (fired "tcb-budget" fs)
+
+let test_rule_slb_region () =
+  let limit = Report.slb_limit () in
+  let pal = raw_pal ~app_code:(String.make (limit + 1) 'x') "huge" in
+  let fs = run_ok (target ~pal ~entry:"m" [ f "m" [] 1 ]) in
+  Alcotest.(check bool) "oversized SLB" true
+    (List.exists (fun fi -> fi.Rules.rule = "slb-region" && fi.Rules.severity = Rules.Error) fs);
+  let near = raw_pal ~app_code:(String.make (limit - 100) 'x') "near" in
+  let fs = run_ok (target ~pal:near ~entry:"m" [ f "m" [] 1 ]) in
+  Alcotest.(check bool) "90% warning" true
+    (List.exists (fun fi -> fi.Rules.rule = "slb-region" && fi.Rules.severity = Rules.Warning) fs)
+
+let test_rule_unnecessary_module () =
+  let pal = raw_pal ~modules:[ Pal.Memory_management ] "padded" in
+  let fs = run_ok (target ~pal ~entry:"m" [ f "m" [ "memcpy" ] 1 ]) in
+  Alcotest.(check bool) "unnecessary module warning" true (fired "unnecessary-module" fs)
+
+let test_rule_missing_module () =
+  let fs = run_ok (target ~entry:"m" [ f "m" [ "malloc" ] 1 ]) in
+  Alcotest.(check bool) "missing module error" true (fired "missing-module" fs);
+  (* linking it clears the finding *)
+  let pal = raw_pal ~modules:[ Pal.Memory_management ] "heap" in
+  let fs = run_ok (target ~pal ~entry:"m" [ f "m" [ "malloc" ] 1 ]) in
+  Alcotest.(check bool) "linked clears it" false (fired "missing-module" fs)
+
+let test_rule_forbidden_call () =
+  let fs = run_ok (target ~entry:"m" [ f "m" [ "socket" ] 1 ]) in
+  Alcotest.(check bool) "socket forbidden" true (fired "forbidden-call" fs);
+  let fs = run_ok (target ~entry:"m" [ f "m" [ "gettimeofday" ] 1 ]) in
+  Alcotest.(check bool) "time-of-day forbidden" true (fired "forbidden-call" fs)
+
+let test_rule_missing_zeroize () =
+  let fs =
+    run_ok (target ~entry:"m" [ f "m" [ "TPM_Unseal"; "TPM_Seal"; "pal_output_write" ] 1 ])
+  in
+  Alcotest.(check bool) "missing zeroize" true (fired "missing-zeroize" fs);
+  let fs =
+    run_ok
+      (target ~entry:"m"
+         [ f "m" [ "TPM_Unseal"; "TPM_Seal"; "pal_output_write"; "zeroize_secrets" ] 1 ])
+  in
+  Alcotest.(check bool) "zeroize satisfies" false (fired "missing-zeroize" fs)
+
+let test_rule_stack_depth () =
+  let n = (Layout.stack_size / 128) + 5 in
+  let chain =
+    List.init n (fun i ->
+        f (Printf.sprintf "f%d" i)
+          (if i = n - 1 then [] else [ Printf.sprintf "f%d" (i + 1) ])
+          1)
+  in
+  let fs = run_ok (target ~entry:"f0" chain) in
+  Alcotest.(check bool) "deep chain warns" true (fired "stack-depth" fs)
+
+let test_rule_dead_function () =
+  let fs = run_ok (target ~entry:"m" [ f "m" [] 1; f "orphan" [] 1 ]) in
+  Alcotest.(check bool) "dead function info" true (fired "dead-function" fs)
+
+let test_rule_unresolved () =
+  let fs = run_ok (target ~entry:"m" [ f "m" [ "mystery_helper" ] 1 ]) in
+  Alcotest.(check bool) "unresolved warning" true (fired "unresolved-callee" fs)
+
+let test_unknown_entry () =
+  Alcotest.(check bool) "driver refuses" true
+    (Result.is_error (Rules.run (target ~entry:"nope" [ f "m" [] 1 ])))
+
+(* --- the five shipped PALs are clean --- *)
+
+let test_shipped_pals_clean () =
+  List.iter
+    (fun (key, t) ->
+      let fs = run_ok t in
+      Alcotest.(check int) (key ^ " error findings") 0 (Rules.errors fs);
+      Alcotest.(check (list string)) (key ^ " all findings") [] (rules_fired fs))
+    (Models.all ())
+
+(* --- golden reports --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden key () =
+  match Models.find key with
+  | None -> Alcotest.fail ("unknown model " ^ key)
+  | Some t ->
+      let fs = run_ok t in
+      let expected = read_file (Filename.concat "golden" (key ^ ".txt")) in
+      Alcotest.(check string) (key ^ " report") expected (Report.to_text ~key t fs)
+
+(* --- SARIF export --- *)
+
+let test_sarif_roundtrip () =
+  let results =
+    List.map (fun (key, t) -> (key, t, run_ok t)) (Models.all ())
+  in
+  let doc = Flicker_obs.Json.to_string (Report.sarif results) in
+  match Flicker_obs.Json.of_string doc with
+  | Error e -> Alcotest.fail e
+  | Ok (Flicker_obs.Json.Obj fields) ->
+      Alcotest.(check bool) "has runs" true (List.mem_assoc "runs" fields);
+      (match List.assoc "runs" fields with
+      | Flicker_obs.Json.List runs -> Alcotest.(check int) "five runs" 5 (List.length runs)
+      | _ -> Alcotest.fail "runs not a list")
+  | Ok _ -> Alcotest.fail "not an object"
+
+(* --- properties --- *)
+
+(* random programs: n functions f0..f(n-1), each calling a random mix of
+   defined names (cycles allowed) and stdlib/external names *)
+let gen_program externals =
+  QCheck.Gen.(
+    int_range 1 10 >>= fun n ->
+    let fname i = Printf.sprintf "f%d" i in
+    let callee =
+      frequency
+        [ (3, map fname (int_range 0 (n - 1))); (1, oneofl externals) ]
+    in
+    let body = list_size (int_range 0 4) callee in
+    map
+      (fun bodies ->
+        { Extract.functions = List.mapi (fun i calls -> f (fname i) calls 1) bodies;
+          types = [] })
+      (list_repeat n body))
+
+let print_program p =
+  String.concat "; "
+    (List.map
+       (fun fn -> fn.Extract.fname ^ "->[" ^ String.concat "," fn.Extract.calls ^ "]")
+       p.Extract.functions)
+
+let arb_program externals = QCheck.make ~print:print_program (gen_program externals)
+
+let prop_slice_equals_reachable =
+  QCheck.Test.make ~name:"extraction slice = call-graph reachable set" ~count:200
+    (arb_program [ "printf"; "malloc"; "mystery_helper" ])
+    (fun p ->
+      match Extract.extract p ~target:"f0" with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok e ->
+          let slice =
+            List.sort compare (List.map (fun fn -> fn.Extract.fname) e.Extract.required_functions)
+          in
+          let reach = List.sort compare (Callgraph.reachable (Callgraph.build p) ~root:"f0") in
+          slice = reach)
+
+let add_sanitizers p =
+  {
+    p with
+    Extract.functions =
+      List.map
+        (fun fn ->
+          {
+            fn with
+            Extract.calls =
+              List.concat_map
+                (fun c -> if c = "pal_output_write" then [ "TPM_Seal"; c ] else [ c ])
+                fn.Extract.calls;
+          })
+        p.Extract.functions;
+  }
+
+let prop_taint_monotone =
+  QCheck.Test.make ~name:"taint verdicts are monotone under adding sanitizers" ~count:200
+    (arb_program [ "TPM_Unseal"; "TPM_Seal"; "pal_output_write"; "memcpy" ])
+    (fun p ->
+      let count prog =
+        List.length (Taint.analyze ~table (Callgraph.build prog) ~entry:"f0")
+      in
+      count (add_sanitizers p) <= count p)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "callgraph",
+        [
+          Alcotest.test_case "reachable + dead" `Quick test_reachable;
+          Alcotest.test_case "max depth" `Quick test_depth;
+          Alcotest.test_case "recursion detection" `Quick test_recursion_detection;
+        ] );
+      ( "taint",
+        [
+          Alcotest.test_case "direct leak" `Quick test_direct_leak;
+          Alcotest.test_case "sanitized flow" `Quick test_sanitized_flow;
+          Alcotest.test_case "order matters" `Quick test_order_matters;
+          Alcotest.test_case "interprocedural leak" `Quick test_interprocedural_leak;
+          Alcotest.test_case "callee sanitizes" `Quick test_callee_sanitizes;
+          Alcotest.test_case "zeroize shapes" `Quick test_zeroize_shapes;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "recursion" `Quick test_rule_recursion;
+          Alcotest.test_case "secret leak" `Quick test_rule_secret_leak;
+          Alcotest.test_case "tcb budget" `Quick test_rule_tcb_budget;
+          Alcotest.test_case "slb region" `Quick test_rule_slb_region;
+          Alcotest.test_case "unnecessary module" `Quick test_rule_unnecessary_module;
+          Alcotest.test_case "missing module" `Quick test_rule_missing_module;
+          Alcotest.test_case "forbidden call" `Quick test_rule_forbidden_call;
+          Alcotest.test_case "missing zeroize" `Quick test_rule_missing_zeroize;
+          Alcotest.test_case "stack depth" `Quick test_rule_stack_depth;
+          Alcotest.test_case "dead function" `Quick test_rule_dead_function;
+          Alcotest.test_case "unresolved callee" `Quick test_rule_unresolved;
+          Alcotest.test_case "unknown entry" `Quick test_unknown_entry;
+        ] );
+      ( "shipped PALs",
+        Alcotest.test_case "all five clean" `Quick test_shipped_pals_clean
+        :: List.map
+             (fun key -> Alcotest.test_case ("golden " ^ key) `Quick (test_golden key))
+             (Models.keys ()) );
+      ("export", [ Alcotest.test_case "sarif" `Quick test_sarif_roundtrip ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_slice_equals_reachable; prop_taint_monotone ] );
+    ]

@@ -171,6 +171,37 @@ let test_cycles () =
       Alcotest.(check bool) "both cycle members once" true
         (List.sort compare (names e) = [ "even"; "odd" ])
 
+let test_advice_table_gaps () =
+  let check_advice name expected_kind =
+    match (Extract.stdlib_advice name, expected_kind) with
+    | Some Extract.Eliminate, `Eliminate -> ()
+    | Some (Extract.Inline_replacement _), `Inline -> ()
+    | Some (Extract.Link_module m), `Link m' when m = m' -> ()
+    | Some (Extract.Forbidden _), `Forbidden -> ()
+    | _ -> Alcotest.fail (name ^ ": wrong advice")
+  in
+  List.iter (fun n -> check_advice n `Eliminate) [ "sprintf"; "snprintf" ];
+  List.iter (fun n -> check_advice n `Inline) [ "strcpy"; "strcat"; "strncat" ];
+  List.iter (fun n -> check_advice n (`Link Pal.Memory_management)) [ "sbrk"; "mmap" ];
+  List.iter (fun n -> check_advice n `Forbidden) [ "time"; "gettimeofday" ];
+  check_advice "tpm_transmit" (`Link Pal.Tpm_driver);
+  check_advice "sc_keygen" (`Link Pal.Secure_channel)
+
+let test_index_lookup () =
+  let idx = Extract.index sshd in
+  (match Extract.find_func idx "md5crypt" with
+  | Some fn -> Alcotest.(check int) "md5crypt loc" 120 fn.Extract.loc
+  | None -> Alcotest.fail "md5crypt not indexed");
+  Alcotest.(check bool) "missing func" true (Extract.find_func idx "nope" = None);
+  (match Extract.find_type idx "auth_ctxt" with
+  | Some t -> Alcotest.(check (list string)) "deps" [ "passwd_entry" ] t.Extract.type_depends
+  | None -> Alcotest.fail "auth_ctxt not indexed");
+  (* a prebuilt index gives the same slice as the per-call one *)
+  match (Extract.extract ~index:idx sshd ~target:"check_password",
+         Extract.extract sshd ~target:"check_password") with
+  | Ok a, Ok b -> Alcotest.(check (list string)) "same slice" (names b) (names a)
+  | _ -> Alcotest.fail "extraction failed"
+
 let test_unknown_target () =
   Alcotest.(check bool) "missing target" true
     (Result.is_error (Extract.extract sshd ~target:"nonexistent"))
@@ -228,8 +259,10 @@ let () =
       ( "advice",
         [
           Alcotest.test_case "stdlib advice" `Quick test_stdlib_advice;
+          Alcotest.test_case "advice table gaps" `Quick test_advice_table_gaps;
           Alcotest.test_case "suggested modules" `Quick test_suggested_modules;
           Alcotest.test_case "blockers" `Quick test_blockers;
         ] );
+      ("indexing", [ Alcotest.test_case "hashtbl index" `Quick test_index_lookup ]);
       ("rendering", [ Alcotest.test_case "standalone program" `Quick test_render ]);
     ]
