@@ -12,8 +12,9 @@ let run () =
   List.iter
     (fun (key, target) ->
       let t0 = Unix.gettimeofday () in
+      let index = Flicker_extract.Extract.index target.Rules.program in
       let findings =
-        match Rules.run target with
+        match Rules.run ~index target with
         | Ok fs -> fs
         | Error msg -> failwith (Printf.sprintf "analyze %s: %s" key msg)
       in

@@ -36,13 +36,14 @@ let known =
         Paper.figure9 ~timing () );
     ("fleet", Fleet.run);
     ("analyze", Analysis.run);
+    ("verify", Verify.run);
     ("micro", Micro.run);
   ]
 
 let all_in_order =
   [ "table1"; "table2"; "table3"; "table4"; "figure6"; "figure8"; "figure9";
     "ca"; "impact"; "ablation"; "keygen"; "burden"; "txt"; "fleet"; "analyze";
-    "micro" ]
+    "verify"; "micro" ]
 
 let rec extract_json = function
   | [] -> (None, [])

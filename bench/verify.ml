@@ -1,0 +1,67 @@
+(* Temporal-verifier bench artifact: model-checker search size per
+   session variant (states, transitions, wall time, counterexample
+   length) plus the cost of trace conformance over a real session, so
+   the verification gate's overhead is tracked like every other table. *)
+
+module V = Flicker_verify
+module J = Flicker_obs.Json
+module Session = Flicker_core.Session
+module Platform = Flicker_core.Platform
+module Pal = Flicker_slb.Pal
+
+let run () =
+  Printf.printf "\n=== Protocol verification: model checker + trace conformance ===\n";
+  Printf.printf "%-22s %-10s %8s %12s %6s %10s %5s\n" "variant" "outcome"
+    "states" "transitions" "depth" "wall (ms)" "cex";
+  List.iter
+    (fun variant ->
+      let t0 = Unix.gettimeofday () in
+      let r = V.Mc.run variant in
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let outcome, cex_len =
+        match r.V.Mc.outcome with
+        | V.Mc.Verified -> ("verified", 0)
+        | V.Mc.Violation cex -> ("violation", List.length cex.V.Mc.steps)
+      in
+      let s = r.V.Mc.stats in
+      Printf.printf "%-22s %-10s %8d %12d %6d %10.3f %5d\n"
+        (V.Model.variant_name variant)
+        outcome s.V.Mc.states s.V.Mc.transitions s.V.Mc.depth wall_ms cex_len;
+      Paper.emit ~artifact:"verify"
+        ~label:(V.Model.variant_name variant)
+        [
+          ("mode", J.String "model-check");
+          ("outcome", J.String outcome);
+          ("states", J.Int s.V.Mc.states);
+          ("transitions", J.Int s.V.Mc.transitions);
+          ("depth", J.Int s.V.Mc.depth);
+          ("truncated", J.Bool s.V.Mc.truncated);
+          ("counterexample_steps", J.Int cex_len);
+          ("wall_ms", J.Float wall_ms);
+        ])
+    V.Model.all_variants;
+  (* conformance over a real session's trace *)
+  let p = Platform.create ~seed:"bench-verify" () in
+  let pal =
+    Pal.define ~name:"bench-verify"
+      (fun env -> Flicker_slb.Pal_env.set_output env "ok")
+  in
+  (match Session.execute p ~pal ~nonce:(Platform.fresh_nonce p) () with
+  | Error e ->
+      Format.printf "conformance session failed: %a@." Session.pp_error e
+  | Ok _ ->
+      let tracer = p.Platform.machine.Flicker_hw.Machine.tracer in
+      let t0 = Unix.gettimeofday () in
+      let report = V.Checker.check_tracer tracer in
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let violations = List.length report.V.Checker.violations in
+      Printf.printf "%-22s %-10s %8d %12s %6s %10.3f %5s\n" "conformance"
+        (if violations = 0 then "clean" else "violated")
+        report.V.Checker.events_checked "-" "-" wall_ms "-";
+      Paper.emit ~artifact:"verify" ~label:"conformance"
+        [
+          ("mode", J.String "conformance");
+          ("events_checked", J.Int report.V.Checker.events_checked);
+          ("violations", J.Int violations);
+          ("wall_ms", J.Float wall_ms);
+        ])

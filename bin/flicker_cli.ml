@@ -6,6 +6,7 @@
      flicker ca --subjects a.x,b.x      certificate authority service
      flicker factor --number N          distributed factoring
      flicker tcb [--modules m1,m2]      TCB accounting for a PAL
+     flicker check [WORKLOAD..] [--mc]  temporal protocol verification
      flicker trace WORKLOAD [-o FILE]   Chrome trace JSON of a workload
      flicker stats WORKLOAD [--json]    counters + latency histograms
      flicker fleet [--platforms N]      multi-machine fleet serving PAL requests
@@ -391,14 +392,18 @@ let analyze_run pals as_json out =
   match selected with
   | Error msg -> prerr_endline msg; 1
   | Ok targets -> (
+      (* one extraction index per PAL, shared by the rule run and the
+         text report instead of each re-indexing the program *)
       let results =
         List.map
           (fun (key, target) ->
-            match Rules.run target with
-            | Ok findings -> (key, target, findings)
+            let index = Flicker_extract.Extract.index target.Rules.program in
+            match Rules.run ~index target with
+            | Ok findings -> (key, target, index, findings)
             | Error msg ->
                 ( key,
                   target,
+                  index,
                   [
                     {
                       Rules.rule = "driver";
@@ -409,12 +414,15 @@ let analyze_run pals as_json out =
                   ] ))
           targets
       in
+      let sarif_rows = List.map (fun (key, t, _, fs) -> (key, t, fs)) results in
       let text =
         if as_json then
-          Flicker_obs.Json.to_string (Report.sarif results) ^ "\n"
+          Flicker_obs.Json.to_string (Report.sarif sarif_rows) ^ "\n"
         else
           String.concat "\n"
-            (List.map (fun (key, t, fs) -> Report.to_text ~key t fs) results)
+            (List.map
+               (fun (key, t, index, fs) -> Report.to_text ~index ~key t fs)
+               results)
       in
       (match out with
       | None -> print_string text
@@ -424,7 +432,7 @@ let analyze_run pals as_json out =
           close_out oc;
           Printf.printf "analysis written to %s\n" path);
       let errors =
-        List.fold_left (fun acc (_, _, fs) -> acc + Rules.errors fs) 0 results
+        List.fold_left (fun acc (_, _, _, fs) -> acc + Rules.errors fs) 0 results
       in
       if errors > 0 then begin
         Printf.eprintf "%d error-severity finding(s)\n" errors;
@@ -449,6 +457,153 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Statically verify PALs: call-graph, secret-flow and TCB-budget rules")
     Term.(const analyze_run $ analyze_pals_arg $ analyze_json_arg $ out_arg)
+
+(* --- check: temporal protocol verification --- *)
+
+let check_run seed tpm workloads with_mc as_json out verbose =
+  setup_logging verbose;
+  let module V = Flicker_verify in
+  let wname = function
+    | `Hello -> "hello" | `Rootkit -> "rootkit" | `Ssh -> "ssh" | `Ca -> "ca"
+  in
+  let workloads =
+    match workloads with [] -> [ `Hello; `Rootkit; `Ssh; `Ca ] | ws -> ws
+  in
+  (* conformance: run each workload on a fresh platform and replay its
+     recorded protocol events through the automata *)
+  let failed_workloads = ref [] in
+  let conformance =
+    List.filter_map
+      (fun w ->
+        let name = wname w in
+        let p, ca_key = make_platform ~seed:(seed ^ "/" ^ name) ~tpm () in
+        match run_workload p ca_key ~seed w with
+        | Error e ->
+            failed_workloads := (name, e) :: !failed_workloads;
+            None
+        | Ok _ ->
+            let tracer = p.Platform.machine.Flicker_hw.Machine.tracer in
+            Some (name, V.Checker.check_tracer tracer))
+      workloads
+  in
+  (* model checking: the good variant must verify; every planted bug
+     must be caught with a counterexample *)
+  let mc_results =
+    if with_mc then
+      List.map
+        (fun variant ->
+          (variant, V.Model.Good <> variant, V.Mc.run variant))
+        V.Model.all_variants
+    else []
+  in
+  let conf_violations =
+    List.fold_left
+      (fun acc (_, r) -> acc + List.length r.V.Checker.violations)
+      0 conformance
+  in
+  let mc_missed =
+    List.filter
+      (fun (_, expected, r) -> V.Vreport.mc_missed_violation r ~expected_violation:expected)
+      mc_results
+  in
+  let text =
+    if as_json then
+      let runs =
+        List.map (fun (name, r) -> V.Vreport.conformance_run ~subject:name r) conformance
+        @ List.map
+            (fun (v, expected, r) -> V.Vreport.mc_run v ~expected_violation:expected r)
+            mc_results
+      in
+      Flicker_obs.Json.to_string (V.Vreport.document runs) ^ "\n"
+    else begin
+      let buf = Buffer.create 1024 in
+      let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      add "trace conformance:\n";
+      List.iter
+        (fun (name, r) ->
+          add "  %-8s %4d protocol events   %d violation(s)\n" name
+            r.V.Checker.events_checked
+            (List.length r.V.Checker.violations);
+          List.iter
+            (fun v -> add "    %s\n" (V.Checker.violation_to_string v))
+            r.V.Checker.violations)
+        conformance;
+      if with_mc then begin
+        add "model checking (states explored / transitions / depth):\n";
+        List.iter
+          (fun (variant, expected, r) ->
+            let s = r.V.Mc.stats in
+            match r.V.Mc.outcome with
+            | V.Mc.Verified ->
+                add "  %-22s %s  (%d states, %d transitions, depth %d%s)\n"
+                  (V.Model.variant_name variant)
+                  (if expected then "MISSED PLANTED BUG" else "verified")
+                  s.V.Mc.states s.V.Mc.transitions s.V.Mc.depth
+                  (if s.V.Mc.truncated then ", TRUNCATED" else "")
+            | V.Mc.Violation cex ->
+                add "  %-22s %s %s in %d steps  (%d states)\n"
+                  (V.Model.variant_name variant)
+                  (if expected then "caught" else "FALSE ALARM:")
+                  cex.V.Mc.automaton
+                  (List.length cex.V.Mc.steps)
+                  s.V.Mc.states;
+                if verbose || not expected then
+                  add "%s\n"
+                    (Format.asprintf "    %a" V.Mc.pp_counterexample cex))
+          mc_results
+      end;
+      Buffer.contents buf
+    end
+  in
+  (match out with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "verification report written to %s\n" path);
+  List.iter
+    (fun (name, e) -> Printf.eprintf "workload %s failed: %s\n" name e)
+    (List.rev !failed_workloads);
+  if conf_violations > 0 then
+    Printf.eprintf "%d trace-conformance violation(s)\n" conf_violations;
+  List.iter
+    (fun (v, expected, _) ->
+      Printf.eprintf
+        (if expected then "model checker missed the planted bug in %s\n"
+         else "model checker flagged the correct session %s\n")
+        (V.Model.variant_name v))
+    mc_missed;
+  if conf_violations > 0 || mc_missed <> [] || !failed_workloads <> [] then 1
+  else 0
+
+let check_workloads_arg =
+  Arg.(value
+       & pos_all (enum [ ("hello", `Hello); ("rootkit", `Rootkit); ("ssh", `Ssh); ("ca", `Ca) ]) []
+       & info [] ~docv:"WORKLOAD"
+           ~doc:"Workloads whose traces to check: $(b,hello), $(b,rootkit), \
+                 $(b,ssh), $(b,ca). All four when omitted.")
+
+let check_mc_arg =
+  Arg.(value & flag
+       & info [ "mc" ]
+           ~doc:"Also model-check the session protocol: exhaustively explore \
+                 OS/adversary interleavings of the good session (must verify) \
+                 and of deliberately broken variants (each planted bug must \
+                 be caught with a counterexample).")
+
+let check_json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Emit a SARIF-style JSON document (one run per workload \
+                 conformance check and per model-checked variant).")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Verify session traces against the temporal protocol automata")
+    Term.(const check_run $ seed_arg $ tpm_arg $ check_workloads_arg
+          $ check_mc_arg $ check_json_arg $ out_arg $ verbose_arg)
 
 let trace seed tpm workload out verbose =
   setup_logging verbose;
@@ -658,7 +813,7 @@ let () =
   let doc = "Flicker: an execution infrastructure for TCB minimization (simulated)" in
   let main = Cmd.group (Cmd.info "flicker" ~version:"1.0.0" ~doc)
       [ hello_cmd; scan_cmd; ssh_cmd; ca_cmd; factor_cmd; tcb_cmd; extract_cmd;
-        analyze_cmd;
+        analyze_cmd; check_cmd;
         trace_cmd; stats_cmd; fleet_cmd; info_cmd ]
   in
   exit (Cmd.eval' main)

@@ -13,7 +13,7 @@ let module_names pal =
 
 (* Deterministic per-PAL text report; the golden regression fixtures
    under test/golden/ are exactly this output. *)
-let to_text ~key (target : Rules.target) findings =
+let to_text ?index ~key (target : Rules.target) findings =
   let buf = Buffer.create 512 in
   let pal = target.Rules.pal in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -24,7 +24,7 @@ let to_text ~key (target : Rules.target) findings =
     target.Rules.budget_loc
     (String.length (Pal.linked_code pal))
     (slb_limit ());
-  (match Extract.extract target.Rules.program ~target:target.Rules.entry with
+  (match Extract.extract ?index target.Rules.program ~target:target.Rules.entry with
   | Ok e ->
       add "slice:    %d functions, %d LOC, %d types\n"
         (List.length e.Extract.required_functions)

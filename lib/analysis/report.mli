@@ -2,7 +2,15 @@
     format) and a SARIF-style JSON document with one run per PAL whose
     property bag carries the Figure 6 TCB accounting. *)
 
-val to_text : key:string -> Rules.target -> Rules.finding list -> string
+val to_text :
+  ?index:Flicker_extract.Extract.index ->
+  key:string ->
+  Rules.target ->
+  Rules.finding list ->
+  string
+(** [index] is a prebuilt index over [target.program], shared with the
+    {!Rules.run} call that produced [findings]; without it the slice
+    line re-indexes the program from scratch. *)
 
 val sarif : (string * Rules.target * Rules.finding list) list -> Flicker_obs.Json.t
 

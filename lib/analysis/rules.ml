@@ -364,8 +364,10 @@ let rules =
 
 let find_rule id = List.find_opt (fun r -> r.id = id) rules
 
-let make_ctx target =
-  let index = Extract.index target.program in
+let make_ctx ?index target =
+  let index =
+    match index with Some i -> i | None -> Extract.index target.program
+  in
   match Extract.extract ~index target.program ~target:target.entry with
   | Result.Error msg -> Result.Error msg
   | Result.Ok extraction ->
@@ -377,8 +379,8 @@ let make_ctx target =
           table = Effects.make target.effects;
         }
 
-let run target =
-  match make_ctx target with
+let run ?index target =
+  match make_ctx ?index target with
   | Result.Error msg -> Result.Error msg
   | Result.Ok ctx ->
       let findings = List.concat_map (fun r -> r.check ctx) rules in

@@ -58,9 +58,12 @@ val module_requires : Pal.module_kind -> Pal.module_kind list
 val implied_modules : Extract.extraction -> Pal.module_kind list
 (** [suggested_modules] closed under {!module_requires}. *)
 
-val run : target -> (finding list, string) result
+val run : ?index:Extract.index -> target -> (finding list, string) result
 (** Evaluate every rule. [Error] only when the entry function is not
-    defined in the program. *)
+    defined in the program. [index] is a prebuilt {!Extract.index} over
+    [target.program]; pass it when analyzing several PALs that share one
+    program so the per-run slice reuses the index instead of rebuilding
+    it (the CLI's [analyze] and the analysis bench do this). *)
 
 val count : severity -> finding list -> int
 val errors : finding list -> int

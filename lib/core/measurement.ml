@@ -33,6 +33,10 @@ let io_extends ~inputs ~outputs ~nonce =
   let base = [ Sha1.digest inputs; Sha1.digest outputs ] in
   match nonce with None -> base | Some n -> base @ [ n ]
 
+let labeled_io_extends ~inputs ~outputs ~nonce =
+  let base = [ ("input", Sha1.digest inputs); ("output", Sha1.digest outputs) ] in
+  match nonce with None -> base | Some n -> base @ [ ("nonce", n) ]
+
 let final ?acm ?(pal_extends = []) image ~slb_base ~inputs ~outputs ~nonce =
   extend_chain
     (after_launch ?acm image ~slb_base)

@@ -35,6 +35,12 @@ val io_extends :
   inputs:string -> outputs:string -> nonce:string option -> digest list
 (** The values the SLB Core extends after the PAL exits. *)
 
+val labeled_io_extends :
+  inputs:string -> outputs:string -> nonce:string option -> (string * digest) list
+(** {!io_extends} with each value's protocol-event kind label
+    (["input"]/["output"]/["nonce"]) so the session can tag the extends
+    for the temporal verifier's extend-order automaton. *)
+
 val final :
   ?acm:string ->
   ?pal_extends:digest list ->

@@ -77,11 +77,64 @@ let pcr17_of platform =
   | [ (17, v) ] -> v
   | _ -> assert false
 
-let extend_pcr17 platform value =
-  match Tpm.pcr_extend platform.Platform.tpm 17 value with
+let extend_pcr17 ?kind platform value =
+  match Tpm.pcr_extend ?kind platform.Platform.tpm 17 value with
   | Ok _ -> ()
   | Error e ->
       failwith ("session: PCR 17 extend rejected: " ^ Flicker_tpm.Tpm_types.error_to_string e)
+
+(* --- trace conformance -------------------------------------------------
+
+   With checking on, every session replays the protocol events it
+   recorded through the temporal automata on exit and raises if any
+   invariant was broken — turning each run into a self-checking test of
+   the Section 4 discipline. Off by default: the automata cost a pass
+   over the trace slice per session, and long-running services generate
+   unbounded sessions. *)
+
+exception
+  Protocol_violation of {
+    pal : string;
+    violations : Flicker_verify.Checker.violation list;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_violation { pal; violations } ->
+        Some
+          (Printf.sprintf "Session.Protocol_violation(%s): %s" pal
+             (String.concat "; "
+                (List.map Flicker_verify.Checker.violation_to_string violations)))
+    | _ -> None)
+
+let conformance_enabled =
+  ref
+    (match Sys.getenv_opt "FLICKER_VERIFY" with
+    | Some ("" | "0" | "false" | "off") | None -> false
+    | Some _ -> true)
+
+let set_conformance_checking on = conformance_enabled := on
+let conformance_checking () = !conformance_enabled
+
+(* Absolute index of the next tracer event: immune to ring eviction. *)
+let tracer_mark tracer = Tracer.length tracer + Tracer.dropped tracer
+
+let check_conformance ~pal tracer mark =
+  if !conformance_enabled then begin
+    let start = mark - Tracer.dropped tracer in
+    (* if the ring evicted events from inside this session, the slice
+       would start mid-protocol and the automata would report nonsense;
+       skip rather than cry wolf *)
+    if start >= 0 then begin
+      let events = Tracer.events tracer in
+      let slice = List.filteri (fun i _ -> i >= start) events in
+      let report = Flicker_verify.Checker.check_trace slice in
+      if report.Flicker_verify.Checker.violations <> [] then
+        raise
+          (Protocol_violation
+             { pal; violations = report.Flicker_verify.Checker.violations })
+    end
+  end
 
 type launch_tech = Svm | Txt of { acm : string }
 
@@ -113,6 +166,9 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
         ~args:[ ("pal", Tracer.Str pal.Flicker_slb.Pal.name) ]
         "Flicker session"
     in
+    let mark = tracer_mark tracer in
+    Machine.protocol_event machine "session.begin"
+      ~args:[ ("pal", Tracer.Str pal.Flicker_slb.Pal.name) ];
     let session_rng =
       Platform.fork_rng platform
         ~label:(Printf.sprintf "session-%d" platform.Platform.sessions_run)
@@ -129,12 +185,14 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
     (* close the session span and roll the outcome into the counters at
        every exit *)
     let finish result =
+      Machine.protocol_event machine "session.end";
       Tracer.end_span tracer session_span;
       (match result with
       | Error (Skinit_failed _) -> Metrics.incr metrics "session.skinit_failures"
       | Error Unknown_pal -> Metrics.incr metrics "session.unknown_pal"
       | Error (Os_busy _) -> ()
       | Ok o -> if o.pal_fault <> None then Metrics.incr metrics "session.pal_faults");
+      check_conformance ~pal:pal.Flicker_slb.Pal.name tracer mark;
       result
     in
 
@@ -213,7 +271,7 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
                    CPU and extends PCR 17 before running any of it *)
                 let window = Memory.read memory ~addr:slb_base ~len:Layout.slb_size in
                 Machine.charge_sha1 machine ~bytes:Layout.slb_size;
-                extend_pcr17 platform (Sha1.digest window));
+                extend_pcr17 ~kind:"stub" platform (Sha1.digest window));
 
         (* --- Execute PAL: dispatch on the measured bytes --- *)
         let window = Memory.read memory ~addr:slb_base ~len:Layout.slb_size in
@@ -285,16 +343,21 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
            window and the input page (the output page goes back to the
            OS) --- *)
         timed Cleanup (fun () ->
-            Memory.zero memory ~addr:slb_base ~len:Layout.slb_size;
-            Memory.zero memory ~addr:(slb_base + Layout.inputs_page_offset)
-              ~len:Layout.io_page_size;
+            let wipe addr len =
+              Memory.zero memory ~addr ~len;
+              Machine.protocol_event machine "zeroize"
+                ~args:[ ("addr", Tracer.Count addr); ("len", Tracer.Count len) ]
+            in
+            wipe slb_base Layout.slb_size;
+            wipe (slb_base + Layout.inputs_page_offset) Layout.io_page_size;
             Machine.charge machine Slb_core.cleanup_overhead_ms);
 
         (* --- Extend PCR 17 with the I/O measurements and the cap --- *)
         timed Pcr_extends (fun () ->
-            List.iter (extend_pcr17 platform)
-              (Measurement.io_extends ~inputs ~outputs:env_outputs ~nonce);
-            extend_pcr17 platform Slb_core.cap_value);
+            List.iter
+              (fun (kind, v) -> extend_pcr17 ~kind platform v)
+              (Measurement.labeled_io_extends ~inputs ~outputs:env_outputs ~nonce);
+            extend_pcr17 ~kind:"cap" platform Slb_core.cap_value);
         let pcr17_final = pcr17_of platform in
 
         (* --- Resume OS --- *)

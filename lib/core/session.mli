@@ -48,6 +48,27 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+(** {1 Trace conformance} *)
+
+exception
+  Protocol_violation of {
+    pal : string;
+    violations : Flicker_verify.Checker.violation list;
+  }
+(** Raised at the end of a session (with conformance checking on) whose
+    recorded protocol events break a temporal automaton. *)
+
+val set_conformance_checking : bool -> unit
+(** Turn per-session conformance checking on or off. Defaults to off, or
+    to the [FLICKER_VERIFY] environment variable (any value other than
+    ["0"], ["false"], ["off"], or empty enables it). When on, every
+    {!execute} replays the protocol events it traced through
+    {!Flicker_verify.Automata.all} and raises {!Protocol_violation} on
+    any violation. Sessions whose events were evicted from the tracer
+    ring mid-run are skipped rather than misreported. *)
+
+val conformance_checking : unit -> bool
+
 val busy_is_transient : error -> bool
 (** [true] exactly for the mid-session flavour of [Os_busy]: waiting (and
     retrying) can succeed. A missing or short SLB image is not transient. *)

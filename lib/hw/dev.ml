@@ -1,8 +1,16 @@
-type t = { bits : Bytes.t; pages : int }
+type change =
+  | Protected of { addr : int; len : int }
+  | Unprotected of { addr : int; len : int }
+  | Cleared
+
+type t = { bits : Bytes.t; pages : int; mutable notify : (change -> unit) option }
 
 let create ~pages =
   if pages <= 0 then invalid_arg "Dev.create: need at least one page";
-  { bits = Bytes.make ((pages + 7) / 8) '\000'; pages }
+  { bits = Bytes.make ((pages + 7) / 8) '\000'; pages; notify = None }
+
+let set_notify t f = t.notify <- Some f
+let notice t c = match t.notify with Some f -> f c | None -> ()
 
 let check t page =
   if page < 0 || page >= t.pages then invalid_arg "Dev: page out of range"
@@ -26,9 +34,17 @@ let iter_range t ~addr ~len f =
     done
   end
 
-let protect_range t ~addr ~len = iter_range t ~addr ~len (fun p -> set t p true)
-let unprotect_range t ~addr ~len = iter_range t ~addr ~len (fun p -> set t p false)
-let clear t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+let protect_range t ~addr ~len =
+  iter_range t ~addr ~len (fun p -> set t p true);
+  if len > 0 then notice t (Protected { addr; len })
+
+let unprotect_range t ~addr ~len =
+  iter_range t ~addr ~len (fun p -> set t p false);
+  if len > 0 then notice t (Unprotected { addr; len })
+
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  notice t Cleared
 
 let allows t ~addr ~len =
   if len <= 0 then true

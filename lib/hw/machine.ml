@@ -19,26 +19,45 @@ type t = {
   mutable tpm_hooks : tpm_hooks option;
 }
 
+(* Category for the instants the temporal verifier consumes; see
+   [Flicker_verify.Event] for the alphabet built from them. *)
+let protocol_cat = "protocol"
+
 let create ?(memory_size = 16 * 1024 * 1024) ?(cores = 2) ?(trace_capacity = 4096)
     timing =
   let memory = Memory.create ~size:memory_size in
   let clock = Clock.create () in
-  {
-    memory;
-    dev = Dev.create ~pages:(memory_size / Memory.page_size);
-    cpus = Cpu.create ~cores;
-    clock;
-    timing;
-    tracer = Tracer.create ~capacity:trace_capacity ~now:(fun () -> Clock.now clock) ();
-    metrics = Metrics.create ();
-    tpm_hooks = None;
-  }
+  let t =
+    {
+      memory;
+      dev = Dev.create ~pages:(memory_size / Memory.page_size);
+      cpus = Cpu.create ~cores;
+      clock;
+      timing;
+      tracer = Tracer.create ~capacity:trace_capacity ~now:(fun () -> Clock.now clock) ();
+      metrics = Metrics.create ();
+      tpm_hooks = None;
+    }
+  in
+  Dev.set_notify t.dev (fun change ->
+      let range name addr len =
+        Tracer.instant t.tracer ~cat:protocol_cat name
+          ~args:[ ("addr", Tracer.Count addr); ("len", Tracer.Count len) ]
+      in
+      match change with
+      | Dev.Protected { addr; len } -> range "dev.protect" addr len
+      | Dev.Unprotected { addr; len } -> range "dev.unprotect" addr len
+      | Dev.Cleared -> Tracer.instant t.tracer ~cat:protocol_cat "dev.clear");
+  t
 
 let set_tpm_hooks t hooks = t.tpm_hooks <- Some hooks
 
 let log_event t detail =
   Tracer.instant t.tracer ~cat:"machine" detail;
   Logs.debug (fun m -> m "[%.3f ms] %s" (Clock.now t.clock) detail)
+
+let protocol_event t ?(args = []) name =
+  Tracer.instant t.tracer ~cat:protocol_cat ~args name
 
 let events_between t ~since =
   List.filter_map

@@ -39,6 +39,16 @@ val set_tpm_hooks : t -> tpm_hooks -> unit
 val log_event : t -> string -> unit
 (** Record an instant event on the tracer (and the debug log). *)
 
+val protocol_cat : string
+(** Tracer category ("protocol") for the session-lifecycle instants the
+    temporal verifier consumes. *)
+
+val protocol_event : t -> ?args:(string * Flicker_obs.Tracer.arg) list -> string -> unit
+(** Record an instant under {!protocol_cat}. Hardware and OS layers emit
+    these at protocol-relevant state changes (SKINIT begin/end, DEV
+    range changes, suspend/resume, PCR extends, DMA attempts) so every
+    execution's trace can be checked against the protocol automata. *)
+
 val events_between : t -> since:float -> event list
 (** Instant events at or after [since] still retained in the ring
     buffer, oldest first. The buffer is bounded: a long-running platform

@@ -42,7 +42,10 @@ let execute (m : Machine.t) ~slb_base ~acm =
   let entry_offset = Memory.read_u16_le m.memory (slb_base + 2) in
   if mle_length < 4 then fail "MLE header: length %d too small" mle_length;
   if entry_offset >= mle_length then fail "MLE header: entry point beyond length";
-  (* protections first (TXT: NoDMA / protected memory ranges) *)
+  (* protections first (TXT: NoDMA / protected memory ranges); same
+     protocol role as SKINIT, so the same event names *)
+  Machine.protocol_event m "skinit.begin"
+    ~args:[ ("tech", Flicker_obs.Tracer.Str "txt") ];
   Dev.protect_range m.dev ~addr:slb_base ~len:Skinit.slb_window;
   bsp.Cpu.interrupts_enabled <- false;
   bsp.Cpu.debug_enabled <- false;
@@ -64,6 +67,7 @@ let execute (m : Machine.t) ~slb_base ~acm =
     (Printf.sprintf "senter: launched MLE at %#x (len=%d) under ACM %s" slb_base
        mle_length
        (Util.to_hex (String.sub (Sha1.digest acm) 0 6)));
+  Machine.protocol_event m "skinit.end";
   {
     mle_base = slb_base;
     mle_length;

@@ -31,7 +31,10 @@ let execute (m : Machine.t) ~slb_base =
   if entry_offset >= slb_length then
     fail "SLB header: entry point %#x beyond length %#x" entry_offset slb_length;
   (* Hardware protections, in architectural order: DMA exclusion first so
-     no device can race the measurement, then interrupts and debug. *)
+     no device can race the measurement, then interrupts and debug. All
+     validation is done, so from here the launch always completes. *)
+  Machine.protocol_event m "skinit.begin"
+    ~args:[ ("tech", Flicker_obs.Tracer.Str "svm") ];
   Dev.protect_range m.dev ~addr:slb_base ~len:slb_window;
   bsp.interrupts_enabled <- false;
   bsp.debug_enabled <- false;
@@ -52,6 +55,7 @@ let execute (m : Machine.t) ~slb_base =
   Machine.log_event m
     (Printf.sprintf "skinit: launched SLB at %#x (len=%d, entry=+%#x)" slb_base
        slb_length entry_offset);
+  Machine.protocol_event m "skinit.end";
   {
     slb_base;
     slb_length;

@@ -37,9 +37,20 @@ let transfer machine ~scheduler ~src ~dst ~file ?(chunk_kb = 64)
       (try
          List.iter
            (fun chunk ->
-             (* A suspended OS cannot issue the next request; the device
-                buffers and the transfer stalls rather than dropping data. *)
-             if Scheduler.is_suspended scheduler then Scheduler.resume scheduler;
+             (* A suspended OS cannot issue the next request. This used to
+                forcibly resume the scheduler — resuming the OS mid-session,
+                before the running session had capped PCR 17 or zeroized the
+                SLB, which the cap-before-resume automaton flags. The driver
+                must instead fail the request: only the session that owns
+                the machine may resume the OS. *)
+             if Scheduler.is_suspended scheduler then
+               raise
+                 (Io_timeout
+                    (Printf.sprintf
+                       "%s: request issued while the OS is suspended; a Flicker \
+                        session owns the machine and must cap PCR 17 and resume \
+                        the OS before drivers can run"
+                       dst.device_name));
              let ms = float_of_int (String.length chunk) /. 1024.0 /. rate in
              Clock.advance machine.Machine.clock ms;
              Buffer.add_string out chunk;

@@ -46,4 +46,10 @@ val transfer :
     the risk Section 7.5 identifies for very long sessions. A
     [Flicker_aware] driver quiesces the device first and never times
     out. The paper's 8.3 s sessions are safely below the default
-    timeout either way, matching its observation of zero errors. *)
+    timeout either way, matching its observation of zero errors.
+
+    Issuing a chunk while the OS is suspended fails the copy with an I/O
+    error: the driver cannot run mid-session, and the device must never
+    resume the OS itself (the running session caps PCR 17, zeroizes, and
+    resumes in that order — a device-initiated resume would violate the
+    cap-before-resume invariant the protocol verifier checks). *)

@@ -3,7 +3,15 @@ open Flicker_crypto
 let count = 24
 let first_dynamic = 17
 
-type t = { values : Tpm_types.digest array }
+type change =
+  | Extended of { index : int; kind : string; value : Tpm_types.digest }
+  | Dynamic_reset
+  | Rebooted
+
+type t = { values : Tpm_types.digest array; mutable notify : (change -> unit) option }
+
+let set_notify t f = t.notify <- Some f
+let notice t c = match t.notify with Some f -> f c | None -> ()
 
 let reboot t =
   for i = 0 to first_dynamic - 1 do
@@ -11,29 +19,32 @@ let reboot t =
   done;
   for i = first_dynamic to count - 1 do
     t.values.(i) <- Tpm_types.reboot_digest
-  done
+  done;
+  notice t Rebooted
 
 let create () =
-  let t = { values = Array.make count Tpm_types.zero_digest } in
+  let t = { values = Array.make count Tpm_types.zero_digest; notify = None } in
   reboot t;
   t
 
 let dynamic_reset t =
   for i = first_dynamic to count - 1 do
     t.values.(i) <- Tpm_types.zero_digest
-  done
+  done;
+  notice t Dynamic_reset
 
 let read t i =
   if i < 0 || i >= count then Error Tpm_types.Bad_index else Ok t.values.(i)
 
 let expected_extend ~current m = Sha1.digest (current ^ m)
 
-let extend t i m =
+let extend ?(kind = "software") t i m =
   if i < 0 || i >= count then Error Tpm_types.Bad_index
   else if String.length m <> Tpm_types.digest_size then
     Error (Tpm_types.Bad_parameter "extend value must be a 20-byte digest")
   else begin
     t.values.(i) <- expected_extend ~current:t.values.(i) m;
+    notice t (Extended { index = i; kind; value = m });
     Ok t.values.(i)
   end
 

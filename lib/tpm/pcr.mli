@@ -7,7 +7,22 @@
     one; that asymmetry is what makes PCR 17 attest to a genuine late
     launch. *)
 
+type change =
+  | Extended of { index : int; kind : string; value : Tpm_types.digest }
+      (** [kind] labels who extended and why: "measure" (SKINIT's SLB
+          transmission), "stub" (the optimized stub's window hash),
+          "input"/"output"/"nonce" (session I/O extends), "cap" (the
+          session-close cap), or "software" (any unlabeled command-path
+          extend). The protocol verifier's extend-order automaton keys
+          on these labels. *)
+  | Dynamic_reset
+  | Rebooted
+
 type t
+
+val set_notify : t -> (change -> unit) -> unit
+(** Observe every mutation of the bank (the TPM wires this to the
+    machine tracer so extends/resets become protocol trace events). *)
 
 val count : int
 (** 24 (TPM v1.2). *)
@@ -26,9 +41,12 @@ val dynamic_reset : t -> unit
     from the software-facing command interface. *)
 
 val read : t -> int -> (Tpm_types.digest, Tpm_types.error) result
-val extend : t -> int -> Tpm_types.digest -> (Tpm_types.digest, Tpm_types.error) result
+
+val extend :
+  ?kind:string -> t -> int -> Tpm_types.digest -> (Tpm_types.digest, Tpm_types.error) result
 (** [extend t i m] sets [PCR_i <- SHA1(PCR_i || m)] and returns the new
-    value. [m] must be exactly 20 bytes. *)
+    value. [m] must be exactly 20 bytes. [kind] (default ["software"])
+    labels the change notice; see {!change}. *)
 
 val composite : t -> Tpm_types.pcr_selection -> Tpm_types.pcr_composite
 (** Snapshot the selected PCRs. *)

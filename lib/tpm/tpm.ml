@@ -49,10 +49,25 @@ let create ?owner_auth ?srk_auth machine rng ~key_bits =
     invalid_arg "Tpm.create: owner auth must be 20 bytes";
   let keys = Keys.generate ?srk_auth rng ~key_bits in
   let seal_enc_key, seal_mac_key = derive_seal_keys keys.Keys.srk in
+  let pcrs = Pcr.create () in
+  (* PCR mutations were previously silent state changes; surface them as
+     protocol instants so the temporal verifier can check extend order *)
+  Pcr.set_notify pcrs (fun change ->
+      match change with
+      | Pcr.Extended { index; kind; value } ->
+          Machine.protocol_event machine "pcr.extend"
+            ~args:
+              [
+                ("index", Flicker_obs.Tracer.Count index);
+                ("kind", Flicker_obs.Tracer.Str kind);
+                ("value", Flicker_obs.Tracer.Str (Flicker_crypto.Util.to_hex (String.sub value 0 4)));
+              ]
+      | Pcr.Dynamic_reset -> Machine.protocol_event machine "pcr.reset"
+      | Pcr.Rebooted -> Machine.protocol_event machine "pcr.reboot");
   {
     machine;
     rng;
-    pcrs = Pcr.create ();
+    pcrs;
     keys;
     nvram = Nvram.create ();
     counters = Counter.create ();
@@ -68,7 +83,7 @@ let skinit_hooks t =
     measure_into_pcr17 =
       (fun slb_contents ->
         let measurement = Sha1.digest slb_contents in
-        match Pcr.extend t.pcrs 17 measurement with
+        match Pcr.extend ~kind:"measure" t.pcrs 17 measurement with
         | Ok _ -> ()
         | Error e -> failwith ("TPM: PCR 17 extend failed: " ^ Tpm_types.error_to_string e));
   }
@@ -86,9 +101,9 @@ let pcr_read t i =
   charge_op t "pcr_read" (profile t).Timing.pcr_read_ms;
   Pcr.read t.pcrs i
 
-let pcr_extend t i m =
+let pcr_extend ?kind t i m =
   charge_op t "pcr_extend" (profile t).Timing.pcr_extend_ms;
-  Pcr.extend t.pcrs i m
+  Pcr.extend ?kind t.pcrs i m
 
 let pcr_composite t sel = Pcr.composite t.pcrs sel
 
@@ -218,11 +233,27 @@ let current_pcrs t sel = Pcr.composite t.pcrs sel
 
 let nv_read t ~index =
   charge_op t "nv_read" (profile t).Timing.nv_read_ms;
-  Nvram.read t.nvram ~index ~current_pcrs:(current_pcrs t)
+  let r = Nvram.read t.nvram ~index ~current_pcrs:(current_pcrs t) in
+  if Result.is_ok r then
+    Machine.protocol_event t.machine "nv.read"
+      ~args:[ ("index", Flicker_obs.Tracer.Count index) ];
+  r
 
 let nv_write t ~index data =
   charge_op t "nv_write" (profile t).Timing.nv_write_ms;
-  Nvram.write t.nvram ~index ~current_pcrs:(current_pcrs t) data
+  let r = Nvram.write t.nvram ~index ~current_pcrs:(current_pcrs t) data in
+  if Result.is_ok r then begin
+    (* 4-byte spaces are the replay-counter convention; carry the decoded
+       value so the NV-monotonicity automaton can watch it advance *)
+    let args = [ ("index", Flicker_obs.Tracer.Count index) ] in
+    let args =
+      if String.length data = 4 then
+        args @ [ ("counter", Flicker_obs.Tracer.Count (Flicker_crypto.Util.int_of_be32 data 0)) ]
+      else args
+    in
+    Machine.protocol_event t.machine "nv.write" ~args
+  end;
+  r
 
 (* --- monotonic counters --- *)
 
@@ -237,7 +268,17 @@ let create_counter t ~auth ~label =
 
 let increment_counter t ~handle =
   charge_op t "counter_increment" (profile t).Timing.counter_increment_ms;
-  Counter.increment t.counters ~handle
+  let r = Counter.increment t.counters ~handle in
+  (match r with
+  | Ok value ->
+      Machine.protocol_event t.machine "counter.increment"
+        ~args:
+          [
+            ("handle", Flicker_obs.Tracer.Count handle);
+            ("value", Flicker_obs.Tracer.Count value);
+          ]
+  | Error _ -> ());
+  r
 
 let read_counter t ~handle =
   charge_op t "counter_read" (profile t).Timing.nv_read_ms;

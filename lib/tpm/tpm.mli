@@ -49,7 +49,13 @@ val srk_auth : t -> string
 (** {1 PCR commands} *)
 
 val pcr_read : t -> int -> (Tpm_types.digest, Tpm_types.error) result
-val pcr_extend : t -> int -> Tpm_types.digest -> (Tpm_types.digest, Tpm_types.error) result
+
+val pcr_extend :
+  ?kind:string -> t -> int -> Tpm_types.digest -> (Tpm_types.digest, Tpm_types.error) result
+(** [kind] (default ["software"]) labels the protocol trace event; the
+    session layer passes "stub"/"input"/"output"/"nonce"/"cap" so the
+    extend-order automaton can check the Section 4–5 discipline. *)
+
 val pcr_composite : t -> Tpm_types.pcr_selection -> Tpm_types.pcr_composite
 
 (** {1 Random numbers} *)

@@ -1,0 +1,334 @@
+type 's spec = {
+  spec_name : string;
+  spec_property : string;
+  spec_paper : string;
+  init : 's;
+  step : 's -> Event.t -> ('s, string) result;
+  encode : 's -> string;
+}
+
+type t = Auto : 's spec -> t
+type instance = Inst : { spec : 's spec; state : 's } -> instance
+
+let name (Auto s) = s.spec_name
+let property (Auto s) = s.spec_property
+let paper (Auto s) = s.spec_paper
+let start (Auto s) = Inst { spec = s; state = s.init }
+let instance_name (Inst i) = i.spec.spec_name
+
+let feed (Inst i) ev =
+  match i.spec.step i.state ev with
+  | Ok state -> Ok (Inst { i with state })
+  | Error _ as e -> e
+
+let encode_state (Inst i) = i.spec.encode i.state
+
+(* [a1, a1+l1) and [a2, a2+l2) share at least one byte *)
+let overlaps a1 l1 a2 l2 = l1 > 0 && l2 > 0 && a1 < a2 + l2 && a2 < a1 + l1
+let covers ~outer:(a1, l1) ~inner:(a2, l2) = a1 <= a2 && a2 + l2 <= a1 + l1
+
+(* --- cap-before-resume ------------------------------------------------ *)
+
+type cap_state = C_idle | C_armed | C_capped
+
+let cap_before_resume =
+  Auto
+    {
+      spec_name = "cap-before-resume";
+      spec_property =
+        "PCR 17 is extended with the session cap value before the OS resumes";
+      spec_paper = "§4.3";
+      init = C_idle;
+      encode =
+        (function C_idle -> "i" | C_armed -> "a" | C_capped -> "c");
+      step =
+        (fun st ev ->
+          match (st, ev) with
+          | _, Event.Skinit_begin _ -> Ok C_armed
+          | C_armed, Event.Pcr_extend { index = 17; kind = Event.Cap } ->
+              Ok C_capped
+          | C_armed, Event.Os_resume ->
+              Error "OS resumed after a late launch before PCR 17 was capped"
+          | C_capped, Event.Os_resume -> Ok C_idle
+          | _, Event.Pcr_reboot -> Ok C_idle
+          | st, _ -> Ok st);
+    }
+
+(* --- dev-covers-slb --------------------------------------------------- *)
+
+type dev_state =
+  | D_idle
+  | D_pending  (* launch begun, DEV not yet set *)
+  | D_covered of { addr : int; len : int; zeroized : bool }
+
+let dev_covers_slb =
+  Auto
+    {
+      spec_name = "dev-covers-slb";
+      spec_property =
+        "the DEV protects the SLB window from before the SKINIT measurement \
+         until the window is zeroized";
+      spec_paper = "§2.2, §5.1";
+      init = D_idle;
+      encode =
+        (function
+        | D_idle -> "i"
+        | D_pending -> "p"
+        | D_covered { addr; len; zeroized } ->
+            Printf.sprintf "c%x:%x:%b" addr len zeroized);
+      step =
+        (fun st ev ->
+          match (st, ev) with
+          | (D_idle | D_pending), Event.Skinit_begin _ -> Ok D_pending
+          | D_pending, Event.Dev_protect { addr; len } ->
+              Ok (D_covered { addr; len; zeroized = false })
+          | D_pending, Event.Pcr_extend { index = 17; kind = Event.Measure } ->
+              Error
+                "SKINIT measured the SLB into PCR 17 with no DEV protection \
+                 over the window"
+          | (D_covered c as st), Event.Zeroize { addr; len } ->
+              if covers ~outer:(addr, len) ~inner:(c.addr, c.len) then
+                Ok (D_covered { c with zeroized = true })
+              else Ok st
+          | (D_covered c as st), Event.Dev_unprotect { addr; len } ->
+              if overlaps addr len c.addr c.len then
+                if c.zeroized then Ok D_idle
+                else
+                  Error
+                    "DEV protection over the SLB dropped before the window \
+                     was zeroized"
+              else Ok st
+          | D_covered c, Event.Dev_clear ->
+              if c.zeroized then Ok D_idle
+              else
+                Error
+                  "DEV cleared while an un-zeroized SLB window was protected"
+          | _, Event.Pcr_reboot -> Ok D_idle
+          | st, _ -> Ok st);
+    }
+
+(* --- zeroize-before-exit ---------------------------------------------- *)
+
+type zero_state =
+  | Z_idle
+  | Z_armed of { window : (int * int) option; zeroized : bool }
+
+let zeroize_before_exit =
+  Auto
+    {
+      spec_name = "zeroize-before-exit";
+      spec_property = "the SLB window is zeroized before the OS resumes";
+      spec_paper = "§4.3";
+      init = Z_idle;
+      encode =
+        (function
+        | Z_idle -> "i"
+        | Z_armed { window; zeroized } ->
+            Printf.sprintf "a%s:%b"
+              (match window with
+              | Some (a, l) -> Printf.sprintf "%x+%x" a l
+              | None -> "?")
+              zeroized);
+      step =
+        (fun st ev ->
+          match (st, ev) with
+          | _, Event.Skinit_begin _ ->
+              Ok (Z_armed { window = None; zeroized = false })
+          | Z_armed ({ window = None; _ } as a), Event.Dev_protect { addr; len }
+            ->
+              Ok (Z_armed { a with window = Some (addr, len) })
+          | (Z_armed a as st), Event.Zeroize { addr; len } -> (
+              match a.window with
+              | Some w when not (covers ~outer:(addr, len) ~inner:w) -> Ok st
+              | _ -> Ok (Z_armed { a with zeroized = true }))
+          | Z_armed { zeroized = true; _ }, Event.Os_resume -> Ok Z_idle
+          | Z_armed { zeroized = false; _ }, Event.Os_resume ->
+              Error "OS resumed before the SLB window was zeroized"
+          | _, Event.Pcr_reboot -> Ok Z_idle
+          | st, _ -> Ok st);
+    }
+
+(* --- extend-order ------------------------------------------------------ *)
+
+(* Rank of the last session-labeled PCR 17 extend:
+   -1 inactive, 0 after dynamic reset, 1 measured, 2 stub,
+   3 inputs, 4 outputs, 5 nonce, 6 capped. *)
+let rank_name = function
+  | -1 -> "outside a launch"
+  | 0 -> "after dynamic reset"
+  | 1 -> "after the SKINIT measurement"
+  | 2 -> "after the stub extend"
+  | 3 -> "after the inputs extend"
+  | 4 -> "after the outputs extend"
+  | 5 -> "after the nonce extend"
+  | 6 -> "after the cap"
+  | _ -> "?"
+
+let extend_order =
+  Auto
+    {
+      spec_name = "extend-order";
+      spec_property =
+        "PCR 17 extends follow reset, measure+, stub?, inputs, outputs, \
+         nonce?, cap";
+      spec_paper = "§4.2–4.3, §5.2";
+      init = -1;
+      encode = string_of_int;
+      step =
+        (fun rank ev ->
+          match ev with
+          | Event.Pcr_reset -> Ok 0
+          | Event.Pcr_reboot -> Ok (-1)
+          | Event.Pcr_extend { index = 17; kind } -> (
+              let allowed kind_rank froms =
+                if List.mem rank froms then Ok kind_rank
+                else
+                  Error
+                    (Printf.sprintf "%s extend of PCR 17 %s"
+                       (Event.pcr_kind_to_string kind)
+                       (rank_name rank))
+              in
+              match kind with
+              | Event.Software | Event.Other _ -> Ok rank
+              | Event.Measure -> allowed 1 [ 0; 1 ]
+              | Event.Stub -> allowed 2 [ 1 ]
+              | Event.Input -> allowed 3 [ 1; 2 ]
+              | Event.Output -> allowed 4 [ 3 ]
+              | Event.Nonce -> allowed 5 [ 4 ]
+              | Event.Cap -> allowed 6 [ 1; 2; 4; 5 ])
+          | _ -> Ok rank);
+    }
+
+(* --- nv-monotonic ------------------------------------------------------ *)
+
+type nv_state = {
+  counters : (int * int) list;  (* monotonic-counter handle -> last value *)
+  nv : (int * int) list;  (* NV index -> last 4-byte counter value *)
+  dead : int list;  (* NV indices that stopped holding counters *)
+}
+
+let assoc_set k v l =
+  List.sort_uniq compare ((k, v) :: List.remove_assoc k l)
+
+let nv_monotonic =
+  Auto
+    {
+      spec_name = "nv-monotonic";
+      spec_property =
+        "monotonic counters strictly increase and NV counter values never \
+         roll back";
+      spec_paper = "§4.4";
+      init = { counters = []; nv = []; dead = [] };
+      encode =
+        (fun s ->
+          Printf.sprintf "%s|%s|%s"
+            (String.concat ","
+               (List.map (fun (k, v) -> Printf.sprintf "%d:%d" k v) s.counters))
+            (String.concat ","
+               (List.map (fun (k, v) -> Printf.sprintf "%d:%d" k v) s.nv))
+            (String.concat "," (List.map string_of_int (List.sort compare s.dead))));
+      step =
+        (fun st ev ->
+          match ev with
+          | Event.Counter_increment { handle; value } -> (
+              match List.assoc_opt handle st.counters with
+              | Some prev when value <= prev ->
+                  Error
+                    (Printf.sprintf
+                       "monotonic counter %d went from %d to %d (must \
+                        strictly increase)"
+                       handle prev value)
+              | _ -> Ok { st with counters = assoc_set handle value st.counters })
+          | Event.Nv_write { index; counter = Some c } ->
+              if List.mem index st.dead then Ok st
+              else (
+                match List.assoc_opt index st.nv with
+                | Some prev when c < prev ->
+                    Error
+                      (Printf.sprintf
+                         "NV counter at index %#x rolled back from %d to %d"
+                         index prev c)
+                | _ -> Ok { st with nv = assoc_set index c st.nv })
+          | Event.Nv_write { index; counter = None } ->
+              (* the index no longer holds a counter; stop tracking it *)
+              Ok
+                {
+                  st with
+                  nv = List.remove_assoc index st.nv;
+                  dead = List.sort_uniq compare (index :: st.dead);
+                }
+          | _ -> Ok st);
+    }
+
+(* --- no-unchecked-dma --------------------------------------------------- *)
+
+type dma_state = N_idle | N_armed of { window : (int * int) option }
+
+let no_unchecked_dma =
+  Auto
+    {
+      spec_name = "no-unchecked-dma";
+      spec_property =
+        "no DMA reaches the SLB window un-denied while a PAL session is live";
+      spec_paper = "§2.2";
+      init = N_idle;
+      encode =
+        (function
+        | N_idle -> "i"
+        | N_armed { window = None } -> "a?"
+        | N_armed { window = Some (a, l) } -> Printf.sprintf "a%x+%x" a l);
+      step =
+        (fun st ev ->
+          match (st, ev) with
+          | _, Event.Skinit_begin _ -> Ok (N_armed { window = None })
+          | N_armed { window = None }, Event.Dev_protect { addr; len } ->
+              Ok (N_armed { window = Some (addr, len) })
+          | ( (N_armed { window = Some (wa, wl) } as st),
+              Event.Dma_attempt { addr; len; denied; _ } ) ->
+              if (not denied) && overlaps addr len wa wl then
+                Error
+                  (Printf.sprintf
+                     "DMA at %#x (+%d) reached the SLB window during a PAL \
+                      session without being denied"
+                     addr len)
+              else Ok st
+          | (N_armed { window = Some w } as st), Event.Zeroize { addr; len } ->
+              (* once the window is wiped there is nothing left to read *)
+              if covers ~outer:(addr, len) ~inner:w then Ok N_idle else Ok st
+          | N_armed _, Event.Os_resume -> Ok N_idle
+          | _, Event.Pcr_reboot -> Ok N_idle
+          | st, _ -> Ok st);
+    }
+
+(* --- suspend-before-launch ---------------------------------------------- *)
+
+let suspend_before_launch =
+  Auto
+    {
+      spec_name = "suspend-before-launch";
+      spec_property = "a late launch only happens while the OS is suspended";
+      spec_paper = "§4.1";
+      init = false (* suspended? *);
+      encode = string_of_bool;
+      step =
+        (fun suspended ev ->
+          match ev with
+          | Event.Os_suspend -> Ok true
+          | Event.Os_resume -> Ok false
+          | Event.Skinit_begin _ when not suspended ->
+              Error "late launch invoked while the OS was still running"
+          | _ -> Ok suspended);
+    }
+
+let all =
+  [
+    cap_before_resume;
+    dev_covers_slb;
+    zeroize_before_exit;
+    extend_order;
+    nv_monotonic;
+    no_unchecked_dma;
+    suspend_before_launch;
+  ]
+
+let find n = List.find_opt (fun a -> name a = n) all

@@ -1,0 +1,81 @@
+(** Temporal safety automata over the protocol alphabet.
+
+    Each automaton is a small labeled transition system encoding one
+    invariant of the Flicker session protocol (paper Sections 4–6). The
+    same automata serve two backends: the trace-conformance checker runs
+    them over recorded {!Event.t} streams, and the model checker runs
+    them in lockstep with the abstract session model, so a property is
+    written once and checked both dynamically and exhaustively.
+
+    An automaton is a {e safety} property: it either accepts an event
+    (possibly changing state) or rejects it with a message; there are no
+    accepting states to reach. Rejection means the finite prefix seen so
+    far already violates the invariant. *)
+
+type t
+(** An automaton definition (immutable; shared between runs). *)
+
+val name : t -> string
+(** Short kebab-case identifier, e.g. ["cap-before-resume"]. *)
+
+val property : t -> string
+(** One-sentence statement of the invariant. *)
+
+val paper : t -> string
+(** The paper section the invariant comes from, e.g. ["§4.3"]. *)
+
+type instance
+(** A running automaton: definition plus current state. *)
+
+val start : t -> instance
+val instance_name : instance -> string
+
+val feed : instance -> Event.t -> (instance, string) result
+(** Advance by one event. [Error msg] means the event violates the
+    invariant; the instance is consumed either way (restart with
+    {!start} to keep scanning past a violation). *)
+
+val encode_state : instance -> string
+(** Stable encoding of the current state, used by the model checker to
+    hash the product of machine state and monitor states. *)
+
+(** {1 The shipped invariants} *)
+
+val cap_before_resume : t
+(** PCR 17 must be extended with the cap value before the OS resumes
+    after a late launch (§4.3: prevents the resumed OS from extending
+    PCR 17 into a state that attests a PAL still running). *)
+
+val dev_covers_slb : t
+(** The DEV must protect the SLB window before the SKINIT measurement
+    and must not be dropped until the window has been zeroized (§2.2,
+    §5.1: no device may read secrets or patch measured code). *)
+
+val zeroize_before_exit : t
+(** The SLB window must be zeroized before the OS resumes (§4.3:
+    no PAL secrets survive into the untrusted OS). *)
+
+val extend_order : t
+(** Session-labeled PCR 17 extends follow the discipline
+    reset, measure+, stub?, inputs, outputs, nonce?, cap — with
+    application ([software]) extends permitted anywhere before the cap
+    (§4.2–4.3, §5.2). *)
+
+val nv_monotonic : t
+(** Monotonic counters strictly increase and 4-byte NV counter values
+    never roll back (§4.4's replay protection for PAL state). *)
+
+val no_unchecked_dma : t
+(** While a PAL session is live, no DMA may reach the SLB window
+    un-denied (§2.2: the DEV is the only thing standing between devices
+    and PAL secrets). *)
+
+val suspend_before_launch : t
+(** A late launch is only legal while the OS is suspended (§4.1: the
+    kernel module quiesces the OS before invoking SKINIT). *)
+
+val all : t list
+(** The seven automata above, in a stable order. *)
+
+val find : string -> t option
+(** Look up a shipped automaton by {!name}. *)

@@ -1,0 +1,146 @@
+module Tracer = Flicker_obs.Tracer
+
+type pcr_kind =
+  | Measure
+  | Stub
+  | Input
+  | Output
+  | Nonce
+  | Cap
+  | Software
+  | Other of string
+
+let pcr_kind_of_string = function
+  | "measure" -> Measure
+  | "stub" -> Stub
+  | "input" -> Input
+  | "output" -> Output
+  | "nonce" -> Nonce
+  | "cap" -> Cap
+  | "software" -> Software
+  | s -> Other s
+
+let pcr_kind_to_string = function
+  | Measure -> "measure"
+  | Stub -> "stub"
+  | Input -> "input"
+  | Output -> "output"
+  | Nonce -> "nonce"
+  | Cap -> "cap"
+  | Software -> "software"
+  | Other s -> s
+
+type t =
+  | Session_begin of string
+  | Session_end
+  | Os_suspend
+  | Os_resume
+  | Skinit_begin of string
+  | Skinit_end
+  | Dev_protect of { addr : int; len : int }
+  | Dev_unprotect of { addr : int; len : int }
+  | Dev_clear
+  | Pcr_reset
+  | Pcr_reboot
+  | Pcr_extend of { index : int; kind : pcr_kind }
+  | Nv_read of { index : int }
+  | Nv_write of { index : int; counter : int option }
+  | Counter_increment of { handle : int; value : int }
+  | Zeroize of { addr : int; len : int }
+  | Dma_attempt of { addr : int; len : int; write : bool; denied : bool }
+
+let to_string = function
+  | Session_begin pal -> Printf.sprintf "session.begin(%s)" pal
+  | Session_end -> "session.end"
+  | Os_suspend -> "os.suspend"
+  | Os_resume -> "os.resume"
+  | Skinit_begin tech -> Printf.sprintf "skinit.begin(%s)" tech
+  | Skinit_end -> "skinit.end"
+  | Dev_protect { addr; len } -> Printf.sprintf "dev.protect(0x%x,+%d)" addr len
+  | Dev_unprotect { addr; len } ->
+      Printf.sprintf "dev.unprotect(0x%x,+%d)" addr len
+  | Dev_clear -> "dev.clear"
+  | Pcr_reset -> "pcr.reset"
+  | Pcr_reboot -> "pcr.reboot"
+  | Pcr_extend { index; kind } ->
+      Printf.sprintf "pcr.extend(%d,%s)" index (pcr_kind_to_string kind)
+  | Nv_read { index } -> Printf.sprintf "nv.read(0x%x)" index
+  | Nv_write { index; counter = Some c } ->
+      Printf.sprintf "nv.write(0x%x,counter=%d)" index c
+  | Nv_write { index; counter = None } -> Printf.sprintf "nv.write(0x%x)" index
+  | Counter_increment { handle; value } ->
+      Printf.sprintf "counter.increment(%d,=%d)" handle value
+  | Zeroize { addr; len } -> Printf.sprintf "zeroize(0x%x,+%d)" addr len
+  | Dma_attempt { addr; len; write; denied } ->
+      Printf.sprintf "dma.attempt(0x%x,+%d,%s,%s)" addr len
+        (if write then "write" else "read")
+        (if denied then "denied" else "ALLOWED")
+
+let arg name args = List.assoc_opt name args
+
+let count name args =
+  match arg name args with Some (Tracer.Count n) -> Some n | _ -> None
+
+let str name args =
+  match arg name args with Some (Tracer.Str s) -> Some s | _ -> None
+
+let flag name args =
+  match arg name args with Some (Tracer.Flag b) -> Some b | _ -> None
+
+let ( let* ) = Option.bind
+
+let of_tracer_event (e : Tracer.event) =
+  if e.Tracer.cat <> "protocol" then None
+  else
+    let args = e.Tracer.args in
+    match e.Tracer.name with
+    | "session.begin" ->
+        let pal = Option.value ~default:"?" (str "pal" args) in
+        Some (Session_begin pal)
+    | "session.end" -> Some Session_end
+    | "os.suspend" -> Some Os_suspend
+    | "os.resume" -> Some Os_resume
+    | "skinit.begin" ->
+        let tech = Option.value ~default:"?" (str "tech" args) in
+        Some (Skinit_begin tech)
+    | "skinit.end" -> Some Skinit_end
+    | "dev.protect" ->
+        let* addr = count "addr" args in
+        let* len = count "len" args in
+        Some (Dev_protect { addr; len })
+    | "dev.unprotect" ->
+        let* addr = count "addr" args in
+        let* len = count "len" args in
+        Some (Dev_unprotect { addr; len })
+    | "dev.clear" -> Some Dev_clear
+    | "pcr.reset" -> Some Pcr_reset
+    | "pcr.reboot" -> Some Pcr_reboot
+    | "pcr.extend" ->
+        let* index = count "index" args in
+        let kind =
+          pcr_kind_of_string (Option.value ~default:"software" (str "kind" args))
+        in
+        Some (Pcr_extend { index; kind })
+    | "nv.read" ->
+        let* index = count "index" args in
+        Some (Nv_read { index })
+    | "nv.write" ->
+        let* index = count "index" args in
+        Some (Nv_write { index; counter = count "counter" args })
+    | "counter.increment" ->
+        let* handle = count "handle" args in
+        let* value = count "value" args in
+        Some (Counter_increment { handle; value })
+    | "zeroize" ->
+        let* addr = count "addr" args in
+        let* len = count "len" args in
+        Some (Zeroize { addr; len })
+    | "dma.attempt" ->
+        let* addr = count "addr" args in
+        let* len = count "len" args in
+        let write = Option.value ~default:false (flag "write" args) in
+        let denied = Option.value ~default:false (flag "denied" args) in
+        Some (Dma_attempt { addr; len; write; denied })
+    | _ -> None
+
+let of_trace events = List.filter_map of_tracer_event events

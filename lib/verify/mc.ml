@@ -1,0 +1,138 @@
+type step = { action : string; events : Event.t list }
+
+type counterexample = {
+  steps : step list;
+  automaton : string;
+  property : string;
+  paper : string;
+  event : Event.t;
+  message : string;
+}
+
+type stats = { states : int; transitions : int; depth : int; truncated : bool }
+type outcome = Verified | Violation of counterexample
+type result = { outcome : outcome; stats : stats }
+
+(* One frontier node: model state, monitor instances, and the reversed
+   path that reached it (paths are bounded by max_depth, so storing them
+   per node is cheap and spares parent-pointer reconstruction). *)
+type node = {
+  mstate : Model.state;
+  monitors : (Automata.t * Automata.instance) list;
+  rev_path : step list;
+  node_depth : int;
+}
+
+let key node =
+  String.concat ";"
+    (Model.encode node.mstate
+    :: List.map (fun (_, i) -> Automata.encode_state i) node.monitors)
+
+(* Feed a transition's events through every monitor. First rejection
+   wins; the remaining monitors are not consulted for later events. *)
+let feed_monitors monitors events =
+  let rec go monitors = function
+    | [] -> Ok monitors
+    | ev :: rest -> (
+        let violation = ref None in
+        let monitors' =
+          List.map
+            (fun (a, inst) ->
+              match !violation with
+              | Some _ -> (a, inst)
+              | None -> (
+                  match Automata.feed inst ev with
+                  | Ok inst' -> (a, inst')
+                  | Error message ->
+                      violation := Some (a, ev, message);
+                      (a, inst)))
+            monitors
+        in
+        match !violation with
+        | Some (a, ev, message) -> Error (a, ev, message)
+        | None -> go monitors' rest)
+  in
+  go monitors events
+
+let run ?(automata = Automata.all) ?(max_states = 20_000) ?(max_depth = 64)
+    ?dma_probes variant =
+  let visited = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  Queue.add
+    {
+      mstate = Model.initial ?dma_probes variant;
+      monitors = List.map (fun a -> (a, Automata.start a)) automata;
+      rev_path = [];
+      node_depth = 0;
+    }
+    queue;
+  let states = ref 0 in
+  let transitions = ref 0 in
+  let depth = ref 0 in
+  let truncated = ref false in
+  let found = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let node = Queue.pop queue in
+       let k = key node in
+       if not (Hashtbl.mem visited k) then begin
+         Hashtbl.replace visited k ();
+         if !states >= max_states then begin
+           truncated := true;
+           raise Exit
+         end;
+         incr states;
+         if node.node_depth > !depth then depth := node.node_depth;
+         if node.node_depth >= max_depth then truncated := true
+         else
+           List.iter
+             (fun (action, events, mstate') ->
+               incr transitions;
+               let step = { action; events } in
+               match feed_monitors node.monitors events with
+               | Error (a, ev, message) ->
+                   found :=
+                     Some
+                       {
+                         steps = List.rev (step :: node.rev_path);
+                         automaton = Automata.name a;
+                         property = Automata.property a;
+                         paper = Automata.paper a;
+                         event = ev;
+                         message;
+                       };
+                   raise Exit
+               | Ok monitors' ->
+                   Queue.add
+                     {
+                       mstate = mstate';
+                       monitors = monitors';
+                       rev_path = step :: node.rev_path;
+                       node_depth = node.node_depth + 1;
+                     }
+                     queue)
+             (Model.transitions node.mstate)
+       end
+     done
+   with Exit -> ());
+  let stats =
+    {
+      states = !states;
+      transitions = !transitions;
+      depth = !depth;
+      truncated = !truncated;
+    }
+  in
+  match !found with
+  | Some cex -> { outcome = Violation cex; stats }
+  | None -> { outcome = Verified; stats }
+
+let pp_counterexample fmt cex =
+  Format.fprintf fmt "@[<v>violates %s (paper %s): %s@,property: %s@,trace:@,"
+    cex.automaton cex.paper cex.message cex.property;
+  List.iteri
+    (fun i step ->
+      Format.fprintf fmt "  %2d. %-18s %s@," (i + 1) step.action
+        (String.concat ", " (List.map Event.to_string step.events)))
+    cex.steps;
+  Format.fprintf fmt "  !!  %s@]" (Event.to_string cex.event)

@@ -1,0 +1,42 @@
+(** Explicit-state model checker for the session protocol.
+
+    Explores every interleaving of the abstract session program and the
+    adversary ({!Model.transitions}) with the protocol automata running
+    in lockstep, deduplicating on the hash of (model state × monitor
+    states). Breadth-first order means the first violation found has a
+    minimal-length counterexample. *)
+
+type step = { action : string; events : Event.t list }
+
+type counterexample = {
+  steps : step list;  (** from the initial state to the violation *)
+  automaton : string;
+  property : string;
+  paper : string;
+  event : Event.t;  (** the event inside the last step that violated *)
+  message : string;
+}
+
+type stats = {
+  states : int;  (** distinct states expanded *)
+  transitions : int;  (** transitions taken (including into dedup hits) *)
+  depth : int;  (** deepest step count reached *)
+  truncated : bool;  (** a budget was exhausted before the frontier *)
+}
+
+type outcome = Verified | Violation of counterexample
+type result = { outcome : outcome; stats : stats }
+
+val run :
+  ?automata:Automata.t list ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?dma_probes:int ->
+  Model.variant ->
+  result
+(** Check one session variant. Defaults: all automata, 20 000 states,
+    depth 64, two adversary DMA probes. [Verified] with
+    [stats.truncated = false] means the full product space was explored
+    with no automaton rejecting. *)
+
+val pp_counterexample : Format.formatter -> counterexample -> unit

@@ -1,0 +1,195 @@
+type variant =
+  | Good
+  | Resume_before_cap
+  | Clear_dev_early
+  | Skip_zeroize
+  | Nv_rollback
+  | Launch_unsuspended
+  | Out_of_order_extends
+
+let variant_name = function
+  | Good -> "good"
+  | Resume_before_cap -> "resume-before-cap"
+  | Clear_dev_early -> "clear-dev-early"
+  | Skip_zeroize -> "skip-zeroize"
+  | Nv_rollback -> "nv-rollback"
+  | Launch_unsuspended -> "launch-unsuspended"
+  | Out_of_order_extends -> "out-of-order-extends"
+
+let all_variants =
+  [
+    Good;
+    Resume_before_cap;
+    Clear_dev_early;
+    Skip_zeroize;
+    Nv_rollback;
+    Launch_unsuspended;
+    Out_of_order_extends;
+  ]
+
+let broken_variants = List.filter (fun v -> v <> Good) all_variants
+
+let variant_of_name n =
+  List.find_opt (fun v -> variant_name v = n) all_variants
+
+(* The abstract machine: exactly what the automata observe. *)
+type machine = {
+  dev : (int * int) option;
+  suspended : bool;
+  counter : int;  (* monotonic counter's current value *)
+  nv : int;  (* 4-byte counter stored at the NV index *)
+}
+
+type state = { variant : variant; pc : int; probes : int; m : machine }
+
+(* Fixed geometry of the modeled session (values are arbitrary but
+   stable; the automata only care about containment and overlap). *)
+let slb_addr = 0x30000
+let slb_len = 0x10000
+let nv_index = 0x1200
+let counter_handle = 1
+
+let ext kind = Event.Pcr_extend { index = 17; kind }
+
+(* One session as atomic blocks. The SKINIT block bundles protect +
+   reset + measure + end: a single instruction on real hardware. Each
+   block may read the machine to compute event payloads. *)
+let program variant : (string * (machine -> Event.t list)) list =
+  let begin_ = ("session", fun _ -> [ Event.Session_begin "model" ]) in
+  let suspend = ("suspend", fun _ -> [ Event.Os_suspend ]) in
+  let skinit =
+    ( "skinit",
+      fun _ ->
+        [
+          Event.Skinit_begin "svm";
+          Event.Dev_protect { addr = slb_addr; len = slb_len };
+          Event.Pcr_reset;
+          ext Event.Measure;
+          Event.Skinit_end;
+        ] )
+  in
+  let stub = ("stub-extend", fun _ -> [ ext Event.Stub ]) in
+  let pal_read =
+    ("pal-nv-read", fun _ -> [ Event.Nv_read { index = nv_index } ])
+  in
+  let pal_incr =
+    ( "pal-counter-incr",
+      fun m ->
+        [
+          Event.Counter_increment
+            { handle = counter_handle; value = m.counter + 1 };
+        ] )
+  in
+  let pal_write =
+    ( "pal-nv-write",
+      fun m -> [ Event.Nv_write { index = nv_index; counter = Some (m.nv + 1) } ]
+    )
+  in
+  let zeroize =
+    ("zeroize", fun _ -> [ Event.Zeroize { addr = slb_addr; len = slb_len } ])
+  in
+  let inputs = ("extend-inputs", fun _ -> [ ext Event.Input ]) in
+  let outputs = ("extend-outputs", fun _ -> [ ext Event.Output ]) in
+  let nonce = ("extend-nonce", fun _ -> [ ext Event.Nonce ]) in
+  let cap = ("extend-cap", fun _ -> [ ext Event.Cap ]) in
+  let teardown =
+    ( "teardown-dev",
+      fun _ -> [ Event.Dev_unprotect { addr = slb_addr; len = slb_len } ] )
+  in
+  let resume = ("resume", fun _ -> [ Event.Os_resume ]) in
+  let end_ = ("session-end", fun _ -> [ Event.Session_end ]) in
+  let pal = [ pal_read; pal_incr; pal_write ] in
+  match variant with
+  | Good ->
+      [ begin_; suspend; skinit; stub ]
+      @ pal
+      @ [ zeroize; inputs; outputs; nonce; cap; teardown; resume; end_ ]
+  | Resume_before_cap ->
+      (* the bug: teardown + resume jump the queue; the cap lands late *)
+      [ begin_; suspend; skinit; stub ]
+      @ pal
+      @ [ zeroize; inputs; outputs; nonce; teardown; resume; cap; end_ ]
+  | Clear_dev_early ->
+      let clear = ("clear-dev", fun _ -> [ Event.Dev_clear ]) in
+      [ begin_; suspend; skinit; stub; clear ]
+      @ pal
+      @ [ zeroize; inputs; outputs; nonce; cap; resume; end_ ]
+  | Skip_zeroize ->
+      (* the whole cleanup block is skipped: no wipe, no DEV teardown *)
+      [ begin_; suspend; skinit; stub ]
+      @ pal
+      @ [ inputs; outputs; nonce; cap; resume; end_ ]
+  | Nv_rollback ->
+      let stale =
+        ( "restore-stale-nv",
+          fun m ->
+            (* "restore" the pre-session snapshot: one less than current *)
+            [ Event.Nv_write { index = nv_index; counter = Some (m.nv - 1) } ]
+        )
+      in
+      [ begin_; suspend; skinit; stub ]
+      @ pal
+      @ [ stale; zeroize; inputs; outputs; nonce; cap; teardown; resume; end_ ]
+  | Launch_unsuspended ->
+      [ begin_; skinit; stub ]
+      @ pal
+      @ [ zeroize; inputs; outputs; nonce; cap; teardown; resume; end_ ]
+  | Out_of_order_extends ->
+      [ begin_; suspend; skinit; stub ]
+      @ pal
+      @ [ zeroize; outputs; inputs; nonce; cap; teardown; resume; end_ ]
+
+let apply m (ev : Event.t) =
+  match ev with
+  | Event.Dev_protect { addr; len } -> { m with dev = Some (addr, len) }
+  | Event.Dev_unprotect _ | Event.Dev_clear -> { m with dev = None }
+  | Event.Os_suspend -> { m with suspended = true }
+  | Event.Os_resume -> { m with suspended = false }
+  | Event.Counter_increment { value; _ } -> { m with counter = value }
+  | Event.Nv_write { counter = Some c; _ } -> { m with nv = c }
+  | _ -> m
+
+let apply_all m evs = List.fold_left apply m evs
+
+let initial ?(dma_probes = 2) variant =
+  {
+    variant;
+    pc = 0;
+    probes = dma_probes;
+    m = { dev = None; suspended = false; counter = 7; nv = 7 };
+  }
+
+let dev_denies m ~addr ~len =
+  match m.dev with
+  | None -> false
+  | Some (da, dl) -> addr < da + dl && da < addr + len
+
+let transitions st =
+  let prog = program st.variant in
+  let session =
+    match List.nth_opt prog st.pc with
+    | None -> []
+    | Some (label, block) ->
+        let evs = block st.m in
+        [ (label, evs, { st with pc = st.pc + 1; m = apply_all st.m evs }) ]
+  in
+  let adversary =
+    if st.probes <= 0 || st.pc >= List.length prog then []
+    else
+      let probe write name =
+        let addr = slb_addr and len = 4096 in
+        let denied = dev_denies st.m ~addr ~len in
+        ( name,
+          [ Event.Dma_attempt { addr; len; write; denied } ],
+          { st with probes = st.probes - 1 } )
+      in
+      [ probe false "adv-dma-read"; probe true "adv-dma-write" ]
+  in
+  session @ adversary
+
+let encode st =
+  Printf.sprintf "%d|%d|%s|%b|%d|%d" st.pc st.probes
+    (match st.m.dev with
+    | None -> "-"
+    | Some (a, l) -> Printf.sprintf "%x+%x" a l)
+    st.m.suspended st.m.counter st.m.nv

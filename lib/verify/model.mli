@@ -1,0 +1,57 @@
+(** Abstract session model for the model checker.
+
+    A small-step composition of three components, each abstracted to
+    just the state the protocol automata observe:
+
+    - the {e session program}: the fixed sequence of protocol actions a
+      Flicker session performs (suspend, late launch, PAL work, zeroize,
+      extends, resume), as atomic blocks — SKINIT's protect + reset +
+      measure is one hardware instruction and cannot be interleaved;
+    - the {e machine}: DEV coverage, OS suspension, the monotonic
+      counter and NV counter values (enough to compute whether a DMA is
+      denied and what a counter write contains);
+    - the {e adversary}: a budget of DMA probes against the SLB window
+      (and, for replay, stale NV snapshots), schedulable between any two
+      session blocks.
+
+    Variants plant specific protocol bugs so the model checker can be
+    shown to catch real violations, not just bless correct code. *)
+
+type variant =
+  | Good  (** the shipped session discipline; must verify *)
+  | Resume_before_cap
+      (** resumes the OS before extending the cap — breaks
+          [cap-before-resume] *)
+  | Clear_dev_early
+      (** clears the DEV right after PAL work, before zeroize — breaks
+          [dev-covers-slb] and opens a DMA window *)
+  | Skip_zeroize
+      (** skips the cleanup wipe — breaks [zeroize-before-exit] *)
+  | Nv_rollback
+      (** rewrites the NV counter from a stale snapshot — breaks
+          [nv-monotonic] *)
+  | Launch_unsuspended
+      (** invokes SKINIT without suspending the OS — breaks
+          [suspend-before-launch] *)
+  | Out_of_order_extends
+      (** extends outputs before inputs — breaks [extend-order] *)
+
+val variant_name : variant -> string
+val variant_of_name : string -> variant option
+val all_variants : variant list
+val broken_variants : variant list
+(** Every variant except [Good]. *)
+
+type state
+
+val initial : ?dma_probes:int -> variant -> state
+(** [dma_probes] (default 2) is the adversary's interleaving budget. *)
+
+val transitions : state -> (string * Event.t list * state) list
+(** Enabled actions from [state]: an action label (for counterexample
+    traces), the protocol events the action emits, and the successor.
+    The empty list means the run is complete. *)
+
+val encode : state -> string
+(** Stable state hash key (the monitors are hashed separately by the
+    model checker). *)

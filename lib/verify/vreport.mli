@@ -1,0 +1,26 @@
+(** SARIF-style output for the temporal verifier, matching the shape the
+    static analyzer ({!Flicker_analysis.Report}) emits: a top-level
+    [version]/[runs] document where each run carries the tool driver
+    with rule descriptors, the results, and a property bag with the
+    run's headline numbers. Conformance checks and model-checking runs
+    each become one SARIF run. *)
+
+val conformance_run :
+  subject:string -> Checker.report -> Flicker_obs.Json.t
+(** One SARIF run for a trace-conformance check of [subject] (a
+    workload or session name). Properties carry [events_checked] and
+    [violations]. *)
+
+val mc_run : Model.variant -> expected_violation:bool -> Mc.result -> Flicker_obs.Json.t
+(** One SARIF run for a model-checking pass. [expected_violation] marks
+    the deliberately broken variants: for those, a found counterexample
+    is reported at level ["note"] (the check {e passing}) and a missed
+    one as an ["error"]. Properties carry the search statistics and
+    counterexample length. *)
+
+val document : Flicker_obs.Json.t list -> Flicker_obs.Json.t
+(** Wrap runs into the [{version; runs}] document. *)
+
+val mc_missed_violation : Mc.result -> expected_violation:bool -> bool
+(** True when a broken variant was NOT caught (or a good variant was
+    flagged) — the gate condition for CI. *)

@@ -1,0 +1,418 @@
+(* The temporal protocol verifier: automata unit tests over synthetic
+   event sequences, trace conformance over real simulator sessions, the
+   model checker against the good session and every planted bug, and
+   the DMA-during-PAL regression tying the DEV, the event stream, and
+   the automata together. *)
+
+open Flicker_core
+module V = Flicker_verify
+module E = V.Event
+module Pal = Flicker_slb.Pal
+module Pal_env = Flicker_slb.Pal_env
+module Machine = Flicker_hw.Machine
+module Dma = Flicker_hw.Dma
+module Senter = Flicker_hw.Senter
+module Tracer = Flicker_obs.Tracer
+module Adversary = Flicker_os.Adversary
+
+let make_platform ~seed = Platform.create ~seed ~key_bits:512 ()
+
+(* --- shared synthetic event shorthand --- *)
+
+let w_addr = 0x30000
+let w_len = 0x10000
+let skinit = E.Skinit_begin "svm"
+let protect = E.Dev_protect { addr = w_addr; len = w_len }
+let unprotect = E.Dev_unprotect { addr = w_addr; len = w_len }
+let zeroize = E.Zeroize { addr = w_addr; len = w_len }
+let ext kind = E.Pcr_extend { index = 17; kind }
+
+(* a fully disciplined session, as the automata expect to see it *)
+let good_session =
+  [
+    E.Session_begin "t";
+    E.Os_suspend;
+    skinit;
+    protect;
+    E.Pcr_reset;
+    ext E.Measure;
+    E.Skinit_end;
+    ext E.Stub;
+    zeroize;
+    ext E.Input;
+    ext E.Output;
+    ext E.Nonce;
+    ext E.Cap;
+    unprotect;
+    E.Os_resume;
+    E.Session_end;
+  ]
+
+let feed_to_end auto events =
+  let rec go inst = function
+    | [] -> Ok ()
+    | e :: rest -> (
+        match V.Automata.feed inst e with
+        | Ok i -> go i rest
+        | Error m -> Error m)
+  in
+  go (V.Automata.start auto) events
+
+let check_accepts auto events =
+  match feed_to_end auto events with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s rejected: %s" (V.Automata.name auto) m
+
+let check_rejects auto events =
+  match feed_to_end auto events with
+  | Ok () -> Alcotest.failf "%s accepted a bad sequence" (V.Automata.name auto)
+  | Error _ -> ()
+
+(* --- automata unit tests --- *)
+
+let test_good_sequence_accepted () =
+  List.iter (fun a -> check_accepts a good_session) V.Automata.all;
+  (* two sessions back to back: every automaton returns to rest *)
+  List.iter (fun a -> check_accepts a (good_session @ good_session)) V.Automata.all
+
+let test_cap_before_resume () =
+  let a = V.Automata.cap_before_resume in
+  check_rejects a [ E.Os_suspend; skinit; protect; zeroize; E.Os_resume ];
+  (* resume without a launch is fine *)
+  check_accepts a [ E.Os_suspend; E.Os_resume ]
+
+let test_dev_covers_slb () =
+  let a = V.Automata.dev_covers_slb in
+  (* measurement with no DEV over the window *)
+  check_rejects a [ E.Os_suspend; skinit; E.Pcr_reset; ext E.Measure ];
+  (* DEV dropped before zeroize *)
+  check_rejects a [ E.Os_suspend; skinit; protect; ext E.Measure; unprotect ];
+  check_rejects a [ E.Os_suspend; skinit; protect; ext E.Measure; E.Dev_clear ];
+  (* a partial wipe does not count as zeroizing the window *)
+  check_rejects a
+    [ skinit; protect; E.Zeroize { addr = w_addr; len = 16 }; unprotect ];
+  (* after a full wipe the DEV may drop *)
+  check_accepts a [ skinit; protect; zeroize; unprotect ]
+
+let test_zeroize_before_exit () =
+  let a = V.Automata.zeroize_before_exit in
+  check_rejects a [ E.Os_suspend; skinit; protect; ext E.Cap; E.Os_resume ];
+  check_accepts a [ E.Os_suspend; skinit; protect; zeroize; E.Os_resume ]
+
+let test_extend_order () =
+  let a = V.Automata.extend_order in
+  let prefix = [ skinit; protect; E.Pcr_reset; ext E.Measure ] in
+  (* outputs before inputs *)
+  check_rejects a (prefix @ [ ext E.Output; ext E.Input ]);
+  (* cap then more session extends *)
+  check_rejects a (prefix @ [ ext E.Input; ext E.Output; ext E.Cap; ext E.Input ]);
+  (* stub after I/O *)
+  check_rejects a (prefix @ [ ext E.Input; ext E.Stub ]);
+  (* session-labeled extend with no launch *)
+  check_rejects a [ ext E.Cap ];
+  (* SENTER's double measure (ACM then MLE) is legal *)
+  check_accepts a
+    (prefix @ [ ext E.Measure; ext E.Input; ext E.Output; ext E.Cap ]);
+  (* PAL software extends are unconstrained *)
+  check_accepts a
+    (prefix @ [ ext E.Software; ext E.Input; ext E.Output; ext E.Cap; ext E.Software ]);
+  (* other PCRs are not the session's business *)
+  check_accepts a [ E.Pcr_extend { index = 10; kind = E.Cap } ]
+
+let test_nv_monotonic () =
+  let a = V.Automata.nv_monotonic in
+  let incr v = E.Counter_increment { handle = 3; value = v } in
+  let write v = E.Nv_write { index = 0x1200; counter = Some v } in
+  check_accepts a [ incr 1; incr 2; incr 5; write 1; write 1; write 9 ];
+  check_rejects a [ incr 4; incr 4 ];
+  check_rejects a [ incr 4; incr 3 ];
+  check_rejects a [ write 7; write 6 ];
+  (* once the index stops holding a 4-byte counter, it is untracked *)
+  check_accepts a
+    [ write 7; E.Nv_write { index = 0x1200; counter = None }; write 1 ]
+
+let test_no_unchecked_dma () =
+  let a = V.Automata.no_unchecked_dma in
+  let dma denied =
+    E.Dma_attempt { addr = w_addr; len = 4096; write = false; denied }
+  in
+  check_rejects a [ skinit; protect; dma false ];
+  check_accepts a [ skinit; protect; dma true ];
+  (* outside a session the window is fair game *)
+  check_accepts a [ dma false ];
+  (* after the wipe, reads hit zeros: not a violation *)
+  check_accepts a [ skinit; protect; zeroize; dma false ]
+
+let test_suspend_before_launch () =
+  let a = V.Automata.suspend_before_launch in
+  check_rejects a [ skinit ];
+  check_rejects a [ E.Os_suspend; E.Os_resume; skinit ];
+  check_accepts a [ E.Os_suspend; skinit ]
+
+(* --- checker over synthetic traces --- *)
+
+let test_checker_broken_trace () =
+  (* a session that resumes without capping: exactly the cap automaton
+     fires, and the report pinpoints the resume event *)
+  let broken =
+    [
+      E.Session_begin "broken";
+      E.Os_suspend;
+      skinit;
+      protect;
+      E.Pcr_reset;
+      ext E.Measure;
+      E.Skinit_end;
+      zeroize;
+      unprotect;
+      E.Os_resume;
+      E.Session_end;
+    ]
+  in
+  let report = V.Checker.check broken in
+  Alcotest.(check int) "events" (List.length broken) report.V.Checker.events_checked;
+  match report.V.Checker.violations with
+  | [ v ] ->
+      Alcotest.(check string) "automaton" "cap-before-resume" v.V.Checker.automaton;
+      Alcotest.(check bool) "at the resume" true (v.V.Checker.event = E.Os_resume);
+      Alcotest.(check bool) "window nonempty" true (v.V.Checker.window <> [])
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+let test_checker_restarts_after_violation () =
+  (* one broken session then one good one: only one violation *)
+  let broken = [ E.Os_suspend; skinit; protect; zeroize; unprotect; E.Os_resume ] in
+  let report = V.Checker.check (broken @ good_session) in
+  Alcotest.(check int) "one violation" 1
+    (List.length report.V.Checker.violations)
+
+(* --- conformance over real simulator sessions --- *)
+
+let run_session ?tech ?flavor ?inputs ?nonce p name output =
+  let pal = Pal.define ~name (fun env -> Pal_env.set_output env output) in
+  match Session.execute p ~pal ?tech ?flavor ?inputs ?nonce () with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "session %s: %a" name Session.pp_error e
+
+let test_real_sessions_conform () =
+  let p = make_platform ~seed:"verify-conform" in
+  let nonce = Platform.fresh_nonce p in
+  ignore (run_session p "vc-opt" "a" ~inputs:"in" ~nonce);
+  ignore (run_session p "vc-std" "b" ~flavor:Flicker_slb.Builder.Standard);
+  ignore (run_session p "vc-txt" "c" ~tech:(Session.Txt { acm = Senter.default_acm }));
+  let report =
+    V.Checker.check_tracer p.Platform.machine.Machine.tracer
+  in
+  Alcotest.(check int) "no violations" 0 (List.length report.V.Checker.violations);
+  Alcotest.(check bool) "protocol events seen" true
+    (report.V.Checker.events_checked > 30)
+
+let test_session_gate_accepts () =
+  (* the in-session conformance gate: enabled, a clean session returns
+     normally instead of raising *)
+  Session.set_conformance_checking true;
+  Fun.protect
+    ~finally:(fun () -> Session.set_conformance_checking false)
+    (fun () ->
+      let p = make_platform ~seed:"verify-gate" in
+      Alcotest.(check bool) "gate on" true (Session.conformance_checking ());
+      let o = run_session p "vg" "gated" in
+      Alcotest.(check string) "ran" "gated" o.Session.outputs)
+
+let test_replay_guard_conforms () =
+  (* the NV-based replay guard defines a counter space then seals (which
+     increments); the nv-monotonic automaton must accept its real traffic *)
+  let p = make_platform ~seed:"verify-replay" in
+  let pal =
+    Pal.define ~name:"vr-nv" ~modules:[ Pal.Tpm_driver; Pal.Tpm_utilities ]
+      (fun env ->
+        match
+          Replay.Nv.init env ~owner_auth:(String.make 20 '\000') ~nv_index:0x1500
+        with
+        | Error e -> Pal_env.set_output env ("ERROR: " ^ e)
+        | Ok guard -> (
+            match Replay.Nv.seal env guard "counter-bound secret" with
+            | Ok _ -> Pal_env.set_output env "nv"
+            | Error e -> Pal_env.set_output env ("ERROR: " ^ e)))
+  in
+  (match Session.execute p ~pal () with
+  | Ok o -> Alcotest.(check string) "guard ran" "nv" o.Session.outputs
+  | Error e -> Alcotest.failf "session: %a" Session.pp_error e);
+  let report = V.Checker.check_tracer p.Platform.machine.Machine.tracer in
+  Alcotest.(check int) "no violations" 0 (List.length report.V.Checker.violations)
+
+(* --- the planted-bug regression: DMA during a PAL run --- *)
+
+let test_dma_during_pal_denied_and_traced () =
+  let p = make_platform ~seed:"verify-dma" in
+  let nic = Dma.create p.Platform.machine ~name:"verify-nic" in
+  let slb_base = p.Platform.slb_base in
+  let probe = ref None in
+  let pal =
+    Pal.define ~name:"verify-dma-victim" (fun env ->
+        probe :=
+          Some (Adversary.dma_read_probe nic ~addr:slb_base ~len:4096 ~pattern:"\x7f");
+        Pal_env.set_output env "alive")
+  in
+  (match Session.execute p ~pal () with
+  | Ok o -> Alcotest.(check string) "pal ran" "alive" o.Session.outputs
+  | Error e -> Alcotest.failf "session: %a" Session.pp_error e);
+  (* the DEV denied it *)
+  (match !probe with
+  | Some r -> Alcotest.(check bool) "probe failed" false r.Adversary.succeeded
+  | None -> Alcotest.fail "probe never ran");
+  (* ... and the denial is in the protocol event stream *)
+  let events = E.of_trace (Tracer.events p.Platform.machine.Machine.tracer) in
+  let denied_attempts =
+    List.filter
+      (function
+        | E.Dma_attempt { denied = true; addr; _ } -> addr = slb_base
+        | _ -> false)
+      events
+  in
+  Alcotest.(check bool) "denied dma.attempt traced" true (denied_attempts <> []);
+  (* ... and the trace still conforms: denied DMA is the DEV working *)
+  let report = V.Checker.check events in
+  Alcotest.(check int) "no violations" 0 (List.length report.V.Checker.violations)
+
+(* --- model checker --- *)
+
+let test_mc_good_verifies () =
+  let r = V.Mc.run V.Model.Good in
+  (match r.V.Mc.outcome with
+  | V.Mc.Verified -> ()
+  | V.Mc.Violation cex ->
+      Alcotest.failf "good session flagged: %s (%s)" cex.V.Mc.automaton
+        cex.V.Mc.message);
+  Alcotest.(check bool) "full exploration" false r.V.Mc.stats.V.Mc.truncated;
+  Alcotest.(check bool) "explored states" true (r.V.Mc.stats.V.Mc.states > 10)
+
+let test_mc_catches_every_planted_bug () =
+  List.iter
+    (fun variant ->
+      match (V.Mc.run variant).V.Mc.outcome with
+      | V.Mc.Verified ->
+          Alcotest.failf "planted bug in %s not caught" (V.Model.variant_name variant)
+      | V.Mc.Violation cex ->
+          Alcotest.(check bool)
+            (V.Model.variant_name variant ^ " counterexample is minimal")
+            true
+            (List.length cex.V.Mc.steps <= 20))
+    V.Model.broken_variants
+
+let test_mc_expected_automata () =
+  (* each planted bug is caught by the automaton it was planted for *)
+  let expect variant automaton =
+    match (V.Mc.run variant).V.Mc.outcome with
+    | V.Mc.Violation cex ->
+        Alcotest.(check string)
+          (V.Model.variant_name variant)
+          automaton cex.V.Mc.automaton
+    | V.Mc.Verified ->
+        Alcotest.failf "%s not caught" (V.Model.variant_name variant)
+  in
+  expect V.Model.Resume_before_cap "cap-before-resume";
+  expect V.Model.Clear_dev_early "dev-covers-slb";
+  expect V.Model.Skip_zeroize "zeroize-before-exit";
+  expect V.Model.Nv_rollback "nv-monotonic";
+  expect V.Model.Launch_unsuspended "suspend-before-launch";
+  expect V.Model.Out_of_order_extends "extend-order"
+
+let test_mc_budget_truncation () =
+  let r = V.Mc.run ~max_states:5 V.Model.Good in
+  Alcotest.(check bool) "truncated" true r.V.Mc.stats.V.Mc.truncated
+
+(* --- event parsing --- *)
+
+let test_event_parsing () =
+  let raw name args =
+    { Tracer.name; cat = "protocol"; ts = 0.0; kind = Tracer.Instant; args }
+  in
+  let parsed =
+    E.of_trace
+      [
+        raw "dev.protect" [ ("addr", Tracer.Count 5); ("len", Tracer.Count 6) ];
+        raw "pcr.extend"
+          [ ("index", Tracer.Count 17); ("kind", Tracer.Str "cap") ];
+        { Tracer.name = "not-protocol"; cat = "os"; ts = 0.0;
+          kind = Tracer.Instant; args = [] };
+        raw "dev.protect" [] (* malformed: dropped, not crashed *);
+        raw "nv.write" [ ("index", Tracer.Count 9) ];
+      ]
+  in
+  Alcotest.(check int) "parsed" 3 (List.length parsed);
+  Alcotest.(check bool) "protect" true
+    (List.mem (E.Dev_protect { addr = 5; len = 6 }) parsed);
+  Alcotest.(check bool) "cap extend" true
+    (List.mem (E.Pcr_extend { index = 17; kind = E.Cap }) parsed);
+  Alcotest.(check bool) "nv write sans counter" true
+    (List.mem (E.Nv_write { index = 9; counter = None }) parsed)
+
+(* --- property: no false positives on arbitrary clean workloads --- *)
+
+let prop_sessions_conform =
+  QCheck.Test.make ~name:"conformance accepts every clean session" ~count:25
+    QCheck.(
+      triple (string_of_size Gen.(int_range 0 64)) bool small_int)
+    (fun (inputs, optimized, salt) ->
+      let p = make_platform ~seed:(Printf.sprintf "verify-prop-%d" salt) in
+      let flavor =
+        if optimized then Flicker_slb.Builder.Optimized
+        else Flicker_slb.Builder.Standard
+      in
+      let nonce = if salt mod 2 = 0 then Some (Platform.fresh_nonce p) else None in
+      let pal =
+        Pal.define ~name:(Printf.sprintf "vp-%d" salt) (fun env ->
+            Pal_env.set_output env (String.uppercase_ascii env.Pal_env.inputs))
+      in
+      match Session.execute p ~pal ~flavor ~inputs ?nonce () with
+      | Error e -> QCheck.Test.fail_reportf "session: %a" Session.pp_error e
+      | Ok _ ->
+          let report =
+            V.Checker.check_tracer p.Platform.machine.Machine.tracer
+          in
+          report.V.Checker.violations = [])
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "automata",
+        [
+          Alcotest.test_case "good sequence accepted by all" `Quick
+            test_good_sequence_accepted;
+          Alcotest.test_case "cap-before-resume" `Quick test_cap_before_resume;
+          Alcotest.test_case "dev-covers-slb" `Quick test_dev_covers_slb;
+          Alcotest.test_case "zeroize-before-exit" `Quick test_zeroize_before_exit;
+          Alcotest.test_case "extend-order" `Quick test_extend_order;
+          Alcotest.test_case "nv-monotonic" `Quick test_nv_monotonic;
+          Alcotest.test_case "no-unchecked-dma" `Quick test_no_unchecked_dma;
+          Alcotest.test_case "suspend-before-launch" `Quick
+            test_suspend_before_launch;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "broken trace caught" `Quick test_checker_broken_trace;
+          Alcotest.test_case "restarts after violation" `Quick
+            test_checker_restarts_after_violation;
+          Alcotest.test_case "event parsing" `Quick test_event_parsing;
+        ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "real sessions conform" `Quick test_real_sessions_conform;
+          Alcotest.test_case "session gate accepts clean runs" `Quick
+            test_session_gate_accepts;
+          Alcotest.test_case "replay guard conforms" `Quick test_replay_guard_conforms;
+          Alcotest.test_case "dma during PAL: denied + traced + conformant" `Quick
+            test_dma_during_pal_denied_and_traced;
+        ] );
+      ( "model checker",
+        [
+          Alcotest.test_case "good session verifies" `Quick test_mc_good_verifies;
+          Alcotest.test_case "every planted bug caught" `Quick
+            test_mc_catches_every_planted_bug;
+          Alcotest.test_case "caught by the intended automaton" `Quick
+            test_mc_expected_automata;
+          Alcotest.test_case "state budget truncates" `Quick test_mc_budget_truncation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_sessions_conform ] );
+    ]
