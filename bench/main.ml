@@ -35,6 +35,7 @@ let known =
         Paper.table4 ~timing ();
         Paper.figure9 ~timing () );
     ("fleet", Fleet.run);
+    ("chaos", Chaos.run);
     ("analyze", Analysis.run);
     ("verify", Verify.run);
     ("micro", Micro.run);
@@ -42,8 +43,8 @@ let known =
 
 let all_in_order =
   [ "table1"; "table2"; "table3"; "table4"; "figure6"; "figure8"; "figure9";
-    "ca"; "impact"; "ablation"; "keygen"; "burden"; "txt"; "fleet"; "analyze";
-    "verify"; "micro" ]
+    "ca"; "impact"; "ablation"; "keygen"; "burden"; "txt"; "fleet"; "chaos";
+    "analyze"; "verify"; "micro" ]
 
 let rec extract_json = function
   | [] -> (None, [])

@@ -10,6 +10,7 @@
      flicker trace WORKLOAD [-o FILE]   Chrome trace JSON of a workload
      flicker stats WORKLOAD [--json]    counters + latency histograms
      flicker fleet [--platforms N]      multi-machine fleet serving PAL requests
+     flicker chaos [--rate R]           fleet under seeded fault injection
      flicker info                       platform + timing-profile summary *)
 
 open Cmdliner
@@ -788,6 +789,103 @@ let fleet_cmd =
           $ queue_depth_arg $ policy_arg $ fleet_workload_arg $ clients_arg
           $ per_client_arg $ mean_gap_arg $ deadline_arg $ verbose_arg)
 
+(* --- chaos --- *)
+
+let chaos_run seed tpm platforms batch queue_depth policy workload clients
+    per_client mean_gap deadline rate retry_budget breaker_failures
+    breaker_cooldown verbose =
+  setup_logging verbose;
+  let module Fleet = Flicker_service.Fleet in
+  let module Workload = Flicker_service.Workload in
+  let module Injector = Flicker_fault.Injector in
+  let module CA = Flicker_apps.Cert_authority in
+  if rate < 0.0 || rate > 1.0 then begin
+    prerr_endline "--rate must be within [0, 1]";
+    exit 2
+  end;
+  let config =
+    {
+      Fleet.default_config with
+      platforms;
+      batch_size = batch;
+      queue_depth;
+      policy;
+      seed;
+      timing = Timing.with_tpm tpm Timing.default;
+      faults = Some (Injector.scaled rate);
+      retry_budget;
+      breaker_failures;
+      breaker_cooldown_ms = breaker_cooldown;
+    }
+  in
+  let is_ca = workload = `Ca in
+  let wl =
+    if is_ca then
+      Workload.ca
+        { CA.allowed_suffixes = [ ".example.com" ]; denied_subjects = [];
+          max_certificates = 10_000 }
+    else Workload.echo ()
+  in
+  let fleet = Fleet.create ~config wl in
+  let keys =
+    if is_ca then
+      Array.init clients (fun c ->
+          (Rsa.generate (Prng.create ~seed:(Printf.sprintf "%s/client-%d" seed c))
+             ~bits:512)
+            .Rsa.pub)
+    else [||]
+  in
+  Fleet.submit_open_loop fleet ~clients ~per_client ~mean_gap_ms:mean_gap
+    ?deadline_ms:deadline
+    ~payload:(fun ~client ~seq ->
+      if is_ca then
+        Workload.ca_csr_payload
+          ~subject:(Printf.sprintf "host-%d-%d.example.com" client seq)
+          ~subject_key:keys.(client)
+      else Printf.sprintf "chaos-%d-%d" client seq)
+    ();
+  Fleet.run fleet;
+  Format.printf "%a@." Fleet.pp_summary (Fleet.summary fleet);
+  0
+
+let rate_arg =
+  Arg.(value & opt float 0.2
+       & info [ "rate" ] ~docv:"R"
+           ~doc:"Base fault rate in [0,1]: scales the TPM-error, latency-spike, \
+                 crash and DMA-storm probabilities of the deterministic injector.")
+
+let retry_budget_arg =
+  Arg.(value & opt int 2
+       & info [ "retry-budget" ] ~docv:"N"
+           ~doc:"Re-dispatches allowed per request before it is failed.")
+
+let breaker_failures_arg =
+  Arg.(value & opt int 3
+       & info [ "breaker-failures" ] ~docv:"N"
+           ~doc:"Consecutive all-failed batches that open a platform's circuit \
+                 breaker (0 disables it).")
+
+let breaker_cooldown_arg =
+  Arg.(value & opt float 2000.0
+       & info [ "breaker-cooldown" ] ~docv:"MS"
+           ~doc:"How long an open breaker sheds load before the platform \
+                 rejoins (simulated ms).")
+
+let chaos_workload_arg =
+  Arg.(value & opt (enum [ ("ca", `Ca); ("echo", `Echo) ]) `Echo
+       & info [ "workload" ] ~docv:"W"
+           ~doc:"What the fleet serves under fault injection: $(b,echo) or $(b,ca).")
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run the fleet under deterministic seeded fault injection")
+    Term.(const chaos_run $ seed_arg $ tpm_arg $ platforms_arg $ batch_arg
+          $ queue_depth_arg $ policy_arg $ chaos_workload_arg $ clients_arg
+          $ per_client_arg $ mean_gap_arg $ deadline_arg $ rate_arg
+          $ retry_budget_arg $ breaker_failures_arg $ breaker_cooldown_arg
+          $ verbose_arg)
+
 (* --- info --- *)
 
 let info_run tpm =
@@ -814,6 +912,6 @@ let () =
   let main = Cmd.group (Cmd.info "flicker" ~version:"1.0.0" ~doc)
       [ hello_cmd; scan_cmd; ssh_cmd; ca_cmd; factor_cmd; tcb_cmd; extract_cmd;
         analyze_cmd; check_cmd;
-        trace_cmd; stats_cmd; fleet_cmd; info_cmd ]
+        trace_cmd; stats_cmd; fleet_cmd; chaos_cmd; info_cmd ]
   in
   exit (Cmd.eval' main)

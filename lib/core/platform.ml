@@ -61,3 +61,17 @@ let clock t = t.machine.Machine.clock
 let now_ms t = Clock.now (clock t)
 let fork_rng t ~label = Prng.fork t.rng ~label
 let fresh_nonce t = Prng.bytes t.rng 20
+
+(* A mid-session crash and reboot. Volatile state is lost: memory, DEV
+   ranges, CPU modes (Machine.power_cycle), the suspended scheduler, and
+   the flicker-module's sysfs entries. The TPM's PCRs reboot to the
+   0xff reboot digest while NV, counters, and the key hierarchy persist
+   — which is exactly why sealed blobs bound to PCR 17-during-PAL unseal
+   again after the next SKINIT reproduces that value (Section 4.3's
+   recovery story). *)
+let power_cycle t =
+  Machine.power_cycle t.machine;
+  Tpm.reboot t.tpm;
+  if Scheduler.is_suspended t.scheduler then Scheduler.resume t.scheduler;
+  List.iter (fun path -> Sysfs.remove t.sysfs ~path) (Sysfs.paths t.sysfs);
+  t.corrupt_next_slb <- false

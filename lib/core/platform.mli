@@ -40,3 +40,12 @@ val clock : t -> Flicker_hw.Clock.t
 val fork_rng : t -> label:string -> Flicker_crypto.Prng.t
 val fresh_nonce : t -> string
 (** 20 verifier-grade random bytes. *)
+
+val power_cycle : t -> unit
+(** Crash-and-reboot the whole platform mid-whatever: volatile machine
+    state, the suspended-scheduler flag, and all sysfs entries are lost;
+    the TPM reboots (PCRs 17–23 go to the 0xff reboot digest) but keeps
+    its NV storage, monotonic counters, and key hierarchy — so sealed
+    blobs and replay counters survive, and the recovery paths in
+    {!Flicker_core.Replay} and {!Flicker_core.Sealed_storage} can be
+    exercised against a genuine reboot. *)

@@ -6,6 +6,7 @@ module Memory = Flicker_hw.Memory
 module Clock = Flicker_hw.Clock
 module Cpu = Flicker_hw.Cpu
 module Apic = Flicker_hw.Apic
+module Dma = Flicker_hw.Dma
 module Skinit = Flicker_hw.Skinit
 module Tpm = Flicker_tpm.Tpm
 module Scheduler = Flicker_os.Scheduler
@@ -55,18 +56,22 @@ let phase_ms outcome phase =
 type error =
   | Skinit_failed of string
   | Unknown_pal
-  | Os_busy of string
+  | Os_busy of { transient : bool; msg : string }
+
+let os_busy_transient msg = Os_busy { transient = true; msg }
+let os_busy_permanent msg = Os_busy { transient = false; msg }
 
 let pp_error fmt = function
   | Skinit_failed msg -> Format.fprintf fmt "SKINIT failed: %s" msg
   | Unknown_pal -> Format.fprintf fmt "measured SLB matches no registered PAL"
-  | Os_busy msg -> Format.fprintf fmt "OS not ready for a session: %s" msg
+  | Os_busy { msg; _ } -> Format.fprintf fmt "OS not ready for a session: %s" msg
 
-(* "mid-session" busyness clears once the running session resumes the OS;
-   a missing/short SLB image will not fix itself however long we wait *)
+(* Transience is declared where the error is raised, not guessed from the
+   message text: mid-session busyness clears once the running session
+   resumes the OS; a missing/short SLB image will not fix itself however
+   long we wait *)
 let busy_is_transient = function
-  | Os_busy msg ->
-      String.length msg >= 11 && String.sub msg 0 11 = "mid-session"
+  | Os_busy { transient; _ } -> transient
   | Skinit_failed _ | Unknown_pal -> false
 
 (* PCR 17 read for bookkeeping, bypassing the command path so it charges
@@ -155,7 +160,7 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
   let memory = machine.Machine.memory in
   let slb_base = platform.Platform.slb_base in
   if Scheduler.is_suspended platform.Platform.scheduler then
-    Error (Os_busy "mid-session: another Flicker session owns the machine")
+    Error (os_busy_transient "mid-session: another Flicker session owns the machine")
   else begin
     platform.Platform.sessions_run <- platform.Platform.sessions_run + 1;
     let tracer = machine.Machine.tracer in
@@ -284,6 +289,11 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
         let pal_entered = Clock.now clock in
         let env_outputs, pal_fault, known_pal =
           timed Pal_execution (fun () ->
+              (* chaos hook: a rogue device picks the worst moment — the
+                 PAL is running, so the DEV window is armed and must deny
+                 every write aimed at it *)
+              Dma.fire_storm machine
+                ~focus:(slb_base, Layout.total_footprint) ();
               match dispatch with
               | None -> ("", None, false)
               | Some running_pal ->
@@ -389,16 +399,16 @@ let execute_from_sysfs (platform : Platform.t) ?nonce ?time_limit_ms () =
      slb entry may well be absent, and the caller needs to distinguish
      "retry later" from "you never wrote an SLB" *)
   if Scheduler.is_suspended platform.Platform.scheduler then
-    Error (Os_busy "mid-session: another Flicker session owns the machine")
+    Error (os_busy_transient "mid-session: another Flicker session owns the machine")
   else
   match Sysfs.read platform.Platform.sysfs ~path:"slb" with
-  | None -> Error (Os_busy "no SLB written to the sysfs slb entry")
+  | None -> Error (os_busy_permanent "no SLB written to the sysfs slb entry")
   | Some window ->
       if String.length window <> Layout.slb_size then
-        Error (Os_busy "slb entry is not a full 64 KB window image")
+        Error (os_busy_permanent "slb entry is not a full 64 KB window image")
       else begin
         match Builder.pal_code_of_window window with
-        | Error msg -> Error (Os_busy ("corrupt SLB image: " ^ msg))
+        | Error msg -> Error (os_busy_permanent ("corrupt SLB image: " ^ msg))
         | Ok code -> (
             match Pal.find_by_code code with
             | None -> Error Unknown_pal

@@ -39,14 +39,23 @@ val phase_ms : outcome -> phase -> float
 type error =
   | Skinit_failed of string
   | Unknown_pal  (** measured bytes match no registered PAL: nothing ran *)
-  | Os_busy of string
-      (** The message distinguishes the two causes: it starts with
-          ["mid-session"] when another Flicker session currently owns the
-          machine (transient — retry once it resumes the OS), and
-          describes the missing or short SLB image otherwise (permanent — the
-          application never wrote a full window). *)
+  | Os_busy of { transient : bool; msg : string }
+      (** [transient] is [true] when another Flicker session currently
+          owns the machine — waiting for it to resume the OS and retrying
+          can succeed. It is [false] for a missing, short, or corrupt SLB
+          image: the application never wrote a full window, and no amount
+          of waiting fixes that. The classification is structural, set at
+          the raise site — retry logic must not (and no longer does)
+          parse [msg]. *)
 
 val pp_error : Format.formatter -> error -> unit
+
+val os_busy_transient : string -> error
+(** [Os_busy { transient = true; msg }] — another session owns the machine. *)
+
+val os_busy_permanent : string -> error
+(** [Os_busy { transient = false; msg }] — a structural failure (missing,
+    short, or corrupt SLB image) that no amount of waiting fixes. *)
 
 (** {1 Trace conformance} *)
 

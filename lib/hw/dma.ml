@@ -63,3 +63,40 @@ let write t ~addr ~data =
   else Error "DEV: DMA write blocked"
 
 let attempts t = List.rev t.log
+
+(* An injected DMA storm: a burst of adversarial writes from a rogue
+   device, alternating between the caller's focus window (the SLB region
+   a live session cares about — the DEV must deny these) and arbitrary
+   physical addresses. Every attempt goes through the normal [write]
+   path, so it is logged, traced, and checked against the DEV exactly
+   like a real device's traffic. *)
+let fire_storm machine ?focus () =
+  match Machine.injector machine with
+  | None -> ()
+  | Some inj -> (
+      let now = Clock.now machine.Machine.clock in
+      match Flicker_fault.Injector.dma_storm inj ~now_ms:now with
+      | None -> ()
+      | Some writes ->
+          Machine.fault_event machine "fault.dma_storm"
+            ~args:[ ("writes", Flicker_obs.Tracer.Count writes) ];
+          Flicker_obs.Metrics.incr machine.Machine.metrics "fault.dma_storms";
+          let dev = create machine ~name:"chaos-dma" in
+          let mem = Memory.size machine.Machine.memory in
+          for i = 0 to writes - 1 do
+            let len = 64 * (1 + (i mod 4)) in
+            let u =
+              Flicker_fault.Injector.uniform inj
+                ~site:(Printf.sprintf "dma.addr.%d" i)
+                ~now_ms:now
+            in
+            let addr =
+              match focus with
+              | Some (base, span) when i mod 2 = 0 ->
+                  (* aim inside the window under DEV protection *)
+                  base + int_of_float (u *. float_of_int (max 1 (span - len)))
+              | _ -> int_of_float (u *. float_of_int (max 1 (mem - len)))
+            in
+            let addr = max 0 (min (mem - len) addr) in
+            ignore (write dev ~addr ~data:(String.make len '\xff'))
+          done)

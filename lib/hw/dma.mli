@@ -26,3 +26,12 @@ val read : t -> addr:int -> len:int -> (string, string) result
 val write : t -> addr:int -> data:string -> (unit, string) result
 val attempts : t -> attempt list
 (** All accesses this device issued, oldest first. *)
+
+val fire_storm : Machine.t -> ?focus:int * int -> unit -> unit
+(** Consult the machine's fault injector and, if a storm fires, issue a
+    burst of adversarial DMA writes from a ["chaos-dma"] device through
+    the normal checked path (each attempt is logged and traced; the DEV
+    denies any that touch protected pages). Even-numbered writes aim
+    inside [focus] ([base, len] — typically the live SLB window) so every
+    storm exercises the DEV, odd ones hit arbitrary addresses. No-op
+    without an injector. *)

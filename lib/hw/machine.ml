@@ -1,5 +1,6 @@
 module Tracer = Flicker_obs.Tracer
 module Metrics = Flicker_obs.Metrics
+module Injector = Flicker_fault.Injector
 
 type tpm_hooks = {
   dynamic_pcr_reset : unit -> unit;
@@ -17,11 +18,16 @@ type t = {
   tracer : Tracer.t;
   metrics : Metrics.t;
   mutable tpm_hooks : tpm_hooks option;
+  mutable injector : Injector.t option;
 }
 
 (* Category for the instants the temporal verifier consumes; see
    [Flicker_verify.Event] for the alphabet built from them. *)
 let protocol_cat = "protocol"
+
+(* Category for injected-fault instants, so chaos runs can be separated
+   from protocol traffic when reading a trace. *)
+let fault_cat = "fault"
 
 let create ?(memory_size = 16 * 1024 * 1024) ?(cores = 2) ?(trace_capacity = 4096)
     timing =
@@ -37,6 +43,7 @@ let create ?(memory_size = 16 * 1024 * 1024) ?(cores = 2) ?(trace_capacity = 409
       tracer = Tracer.create ~capacity:trace_capacity ~now:(fun () -> Clock.now clock) ();
       metrics = Metrics.create ();
       tpm_hooks = None;
+      injector = None;
     }
   in
   Dev.set_notify t.dev (fun change ->
@@ -51,6 +58,11 @@ let create ?(memory_size = 16 * 1024 * 1024) ?(cores = 2) ?(trace_capacity = 409
   t
 
 let set_tpm_hooks t hooks = t.tpm_hooks <- Some hooks
+let set_injector t inj = t.injector <- Some inj
+let injector t = t.injector
+
+let fault_event t ?(args = []) name =
+  Tracer.instant t.tracer ~cat:fault_cat ~args name
 
 let log_event t detail =
   Tracer.instant t.tracer ~cat:"machine" detail;
@@ -71,5 +83,32 @@ let events_between t ~since =
 let event_count t = Tracer.length t.tracer
 let events_dropped t = Tracer.dropped t.tracer
 
-let charge t ms = Clock.advance t.clock ms
+let charge t ms =
+  let ms =
+    match t.injector with
+    | Some inj -> ms *. Injector.clock_skew inj
+    | None -> ms
+  in
+  Clock.advance t.clock ms
+
 let charge_sha1 t ~bytes = charge t (Timing.sha1_ms t.timing ~bytes)
+
+(* A crash: everything volatile is gone. Memory is zeroed (DRAM does not
+   survive the reset in this model), the DEV forgets its protections, and
+   every core comes back up running the freshly rebooted OS. The caller
+   owns the non-volatile pieces: the TPM's NV/counters/keys persist and
+   must be rebooted separately (see [Flicker_tpm.Tpm.reboot]). *)
+let power_cycle t =
+  fault_event t "machine.power_cycle";
+  Metrics.incr t.metrics "fault.power_cycles";
+  Memory.zero t.memory ~addr:0 ~len:(Memory.size t.memory);
+  Dev.clear t.dev;
+  List.iter
+    (fun (c : Cpu.core) ->
+      c.Cpu.run_state <- Cpu.Running;
+      c.Cpu.ring <- 0;
+      c.Cpu.interrupts_enabled <- true;
+      c.Cpu.mode <- Cpu.Long_mode;
+      c.Cpu.paging_enabled <- true)
+    (Cpu.all t.cpus);
+  log_event t "machine: power cycled (volatile state lost)"

@@ -28,6 +28,9 @@ type t = {
   tracer : Flicker_obs.Tracer.t;  (** bounded audit trail + spans *)
   metrics : Flicker_obs.Metrics.t;
   mutable tpm_hooks : tpm_hooks option;
+  mutable injector : Flicker_fault.Injector.t option;
+      (** fault injector consulted by the charge path, the TPM command
+          layer, and DMA storms; [None] (the default) injects nothing *)
 }
 
 val create : ?memory_size:int -> ?cores:int -> ?trace_capacity:int -> Timing.t -> t
@@ -35,6 +38,16 @@ val create : ?memory_size:int -> ?cores:int -> ?trace_capacity:int -> Timing.t -
     4096-event trace ring buffer. *)
 
 val set_tpm_hooks : t -> tpm_hooks -> unit
+
+val set_injector : t -> Flicker_fault.Injector.t -> unit
+val injector : t -> Flicker_fault.Injector.t option
+
+val fault_cat : string
+(** Tracer category ("fault") for injected-fault instants. *)
+
+val fault_event : t -> ?args:(string * Flicker_obs.Tracer.arg) list -> string -> unit
+(** Record an instant under {!fault_cat}: hook sites emit one per
+    injected fault so a chaos run's trace shows exactly what fired. *)
 
 val log_event : t -> string -> unit
 (** Record an instant event on the tracer (and the debug log). *)
@@ -61,7 +74,14 @@ val events_dropped : t -> int
 (** Events evicted from the ring buffer so far. *)
 
 val charge : t -> float -> unit
-(** Advance the simulated clock by [ms]. *)
+(** Advance the simulated clock by [ms], scaled by the injector's clock
+    skew factor when one is installed. *)
+
+val power_cycle : t -> unit
+(** Crash-and-reboot: zero all memory, clear the DEV, return every core
+    to ring-0 long-mode [Running]. Volatile state is gone; the TPM's
+    non-volatile state survives but its PCRs must be rebooted by the
+    caller ({!Flicker_tpm.Tpm.reboot} via [Platform.power_cycle]). *)
 
 val charge_sha1 : t -> bytes:int -> unit
 (** Charge CPU time for hashing [bytes] on the main processor. *)

@@ -20,7 +20,7 @@ let policy_of_string s =
         (Printf.sprintf "unknown policy %S (expected %s)" s
            (String.concat ", " (List.map fst all_policies)))
 
-type load = { queued : int; busy : bool }
+type load = { queued : int; busy : bool; available : bool }
 
 (* FNV-1a, so affinity routing does not depend on OCaml's Hashtbl.hash
    implementation details *)
@@ -35,12 +35,18 @@ let fnv1a s =
 
 let effective_load l = l.queued + if l.busy then 1 else 0
 
+(* least-loaded among the available platforms; None when every member is
+   down or shedding *)
 let least_loaded loads =
-  let best = ref 0 in
+  let best = ref (-1) in
   Array.iteri
-    (fun i l -> if effective_load l < effective_load loads.(!best) then best := i)
+    (fun i l ->
+      if
+        l.available
+        && (!best < 0 || effective_load l < effective_load loads.(!best))
+      then best := i)
     loads;
-  !best
+  if !best < 0 then None else Some !best
 
 let select policy ~cursor ~request loads =
   let n = Array.length loads in
@@ -50,15 +56,30 @@ let select policy ~cursor ~request loads =
       if h < 0 || h >= n then
         invalid_arg
           (Printf.sprintf "Dispatch.select: home platform %d outside fleet of %d" h n);
-      h
+      (* a home is a hard constraint: when it is unavailable the request
+         must fail explicitly, never silently reroute — its sealed state
+         exists nowhere else *)
+      if loads.(h).available then Some h else None
   | None -> (
       match policy with
       | Round_robin ->
-          let i = !cursor mod n in
-          cursor := (!cursor + 1) mod n;
-          i
+          let rec scan k =
+            if k = n then None
+            else
+              let i = (!cursor + k) mod n in
+              if loads.(i).available then begin
+                cursor := (i + 1) mod n;
+                Some i
+              end
+              else scan (k + 1)
+          in
+          scan 0
       | Least_loaded -> least_loaded loads
       | Sealed_affinity -> (
           match request.Request.client with
-          | Some c -> fnv1a c mod n
+          | Some c ->
+              let i = fnv1a c mod n in
+              (* affinity is soft: a down affinity target falls back to
+                 least-loaded (fresh sealed state will grow there) *)
+              if loads.(i).available then Some i else least_loaded loads
           | None -> least_loaded loads))

@@ -23,9 +23,16 @@ val all_policies : (string * policy) list
 type load = {
   queued : int;  (** requests waiting in the platform's queue *)
   busy : bool;  (** a batch is currently monopolizing the machine *)
+  available : bool;
+      (** up and accepting work: [false] while crashed/rebooting or while
+          its circuit breaker is shedding load *)
 }
 
-val select : policy -> cursor:int ref -> request:Request.t -> load array -> int
-(** Chosen platform index. [cursor] is the round-robin rotation state,
-    advanced only when that policy actually rotates.
+val select : policy -> cursor:int ref -> request:Request.t -> load array -> int option
+(** Chosen platform index among the available members; [None] when no
+    available platform may take the request. A [home]d request only ever
+    returns its home — [None] when the home is down (the caller must fail
+    it explicitly rather than reroute, since its sealed state lives
+    nowhere else). [cursor] is the round-robin rotation state, advanced
+    only when that policy actually picks a platform.
     @raise Invalid_argument on an empty fleet or a [home] out of range. *)

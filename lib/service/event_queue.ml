@@ -3,7 +3,13 @@
    nondeterminism a discrete-event simulation could have, and this kills
    it. *)
 
-type 'a entry = { at : float; seq : int; payload : 'a }
+(* [payload] is an option cleared on pop: [pop] shrinks [size] but the
+   array keeps references to popped entries (the vacated tail slot, and
+   every slot [Array.make] filled with the same dummy), so a plain ['a]
+   field would retain each completed event's payload — closures and all —
+   for the life of the queue. Clearing the field on the way out leaves
+   only a tiny payload-free shell reachable. *)
+type 'a entry = { at : float; seq : int; mutable payload : 'a option }
 
 type 'a t = {
   mutable heap : 'a entry array;
@@ -43,7 +49,7 @@ let rec sift_down t i =
 
 let push t ~at_ms payload =
   if Float.is_nan at_ms then invalid_arg "Event_queue.push: NaN timestamp";
-  let entry = { at = at_ms; seq = t.next_seq; payload } in
+  let entry = { at = at_ms; seq = t.next_seq; payload = Some payload } in
   t.next_seq <- t.next_seq + 1;
   if t.size = Array.length t.heap then begin
     let capacity = max 16 (2 * t.size) in
@@ -66,5 +72,9 @@ let pop t =
       t.heap.(0) <- t.heap.(t.size);
       sift_down t 0
     end;
-    Some (top.at, top.payload)
+    match top.payload with
+    | None -> assert false (* every live entry holds its payload *)
+    | Some payload ->
+        top.payload <- None;
+        Some (top.at, payload)
   end

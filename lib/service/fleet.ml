@@ -2,6 +2,7 @@ module Platform = Flicker_core.Platform
 module Timing = Flicker_hw.Timing
 module Clock = Flicker_hw.Clock
 module Machine = Flicker_hw.Machine
+module Injector = Flicker_fault.Injector
 module Privacy_ca = Flicker_tpm.Privacy_ca
 module Prng = Flicker_crypto.Prng
 module Metrics = Flicker_obs.Metrics
@@ -14,6 +15,10 @@ type config = {
   seed : string;
   key_bits : int;
   timing : Timing.t;
+  faults : Injector.config option;
+  retry_budget : int;
+  breaker_failures : int;
+  breaker_cooldown_ms : float;
 }
 
 let default_config =
@@ -25,6 +30,10 @@ let default_config =
     seed = "fleet";
     key_bits = 512;
     timing = Timing.default;
+    faults = None;
+    retry_budget = 0;
+    breaker_failures = 0;
+    breaker_cooldown_ms = 2000.0;
   }
 
 type pstate = {
@@ -33,9 +42,13 @@ type pstate = {
   queue : Request.t Queue.t;
   mutable busy : bool;
   mutable completed : int;
+  mutable up : bool;  (* false while crashed and rebooting *)
+  mutable down_until : float;
+  mutable breaker_until : float;  (* shedding load until this instant *)
+  mutable consecutive_failures : int;  (* all-failed batches in a row *)
 }
 
-type event = Arrival of Request.t | Wake of int
+type event = Arrival of Request.t | Wake of int | Recover of int
 
 type t = {
   cfg : config;
@@ -57,6 +70,7 @@ let create ?(config = default_config) workload =
   if config.platforms < 1 then invalid_arg "Fleet.create: need at least one platform";
   if config.queue_depth < 1 then invalid_arg "Fleet.create: queue_depth must be >= 1";
   if config.batch_size < 1 then invalid_arg "Fleet.create: batch_size must be >= 1";
+  if config.retry_budget < 0 then invalid_arg "Fleet.create: negative retry budget";
   let privacy_ca =
     Privacy_ca.create
       (Prng.create ~seed:(config.seed ^ "/privacy-ca"))
@@ -70,8 +84,30 @@ let create ?(config = default_config) workload =
             ~timing:config.timing ~key_bits:config.key_bits ~ca:privacy_ca ()
         in
         workload.Workload.prepare platform i;
-        { platform; index = i; queue = Queue.create (); busy = false; completed = 0 })
+        {
+          platform;
+          index = i;
+          queue = Queue.create ();
+          busy = false;
+          completed = 0;
+          up = true;
+          down_until = 0.0;
+          breaker_until = 0.0;
+          consecutive_failures = 0;
+        })
   in
+  (* fault injectors go in only after [prepare]: setup work (CA keygen
+     sessions, ...) is provisioning, not the serving path under test *)
+  (match config.faults with
+  | None -> ()
+  | Some fcfg ->
+      Array.iteri
+        (fun i (m : pstate) ->
+          Machine.set_injector m.platform.Platform.machine
+            (Injector.create ~config:fcfg
+               ~seed:(Printf.sprintf "%s/fault-%d" config.seed i)
+               ()))
+        members);
   (* the platforms' prepare work (CA keygen sessions, ...) consumed
      different amounts of virtual time on each clock; global time starts
      at the latest of them so no platform starts in the coordinator's
@@ -106,6 +142,14 @@ let finalize t req disposition =
 
 let transit_ms t ~bytes = Timing.network_ms t.cfg.timing ~bytes
 
+(* One boundary convention for every deadline comparison, queued or
+   completed: an instant exactly at the deadline is still on time. *)
+let past_deadline ~deadline_ms ~at_ms =
+  match deadline_ms with Some d -> at_ms > d | None -> false
+
+let is_available t (m : pstate) = m.up && m.breaker_until <= t.now
+let platform_up t i = is_available t t.members.(i)
+
 let submit t ?client ?home ?deadline_ms ?sent_ms payload =
   (match home with
   | Some h when h < 0 || h >= t.cfg.platforms ->
@@ -127,6 +171,7 @@ let submit t ?client ?home ?deadline_ms ?sent_ms payload =
       sent_ms = sent;
       arrival_ms = arrival;
       deadline_ms = Option.map (fun d -> sent +. d) deadline_ms;
+      attempts = 0;
     }
   in
   t.next_id <- t.next_id + 1;
@@ -157,20 +202,32 @@ let submit_open_loop t ~clients ~per_client ~mean_gap_ms ?deadline_ms ~payload (
 
 let loads t =
   Array.map
-    (fun m -> { Dispatch.queued = Queue.length m.queue; busy = m.busy })
+    (fun m ->
+      {
+        Dispatch.queued = Queue.length m.queue;
+        busy = m.busy;
+        available = is_available t m;
+      })
     t.members
 
-(* dispatch up to a batch on platform [i] if it is idle and has work *)
-let pump t i =
+(* crash estimate: how long the dying batch would have run, so the crash
+   point lands mid-session rather than at a phase boundary *)
+let service_estimate t =
+  match Metrics.histogram t.metrics "fleet.service_ms" with
+  | Some h when h.Metrics.count > 0 -> h.Metrics.mean
+  | _ -> 200.0
+
+(* dispatch up to a batch on platform [i] if it is up, idle, and has
+   work; [admit]/[requeue] and [pump] are mutually recursive because a
+   crash inside a dispatch re-admits the victims elsewhere *)
+let rec pump t i =
   let m = t.members.(i) in
-  if not m.busy then begin
+  if is_available t m && not m.busy then begin
     (* requests whose deadline passed while queued never reach a session *)
     let rec drop_expired () =
       match Queue.peek_opt m.queue with
       | Some r
-        when match r.Request.deadline_ms with
-             | Some d -> d < t.now
-             | None -> false ->
+        when past_deadline ~deadline_ms:r.Request.deadline_ms ~at_ms:t.now ->
           ignore (Queue.pop m.queue);
           Metrics.incr t.metrics "fleet.expired";
           finalize t r (Request.Expired { at_ms = t.now });
@@ -187,80 +244,191 @@ let pump t i =
     in
     match take t.cfg.batch_size [] with
     | [] -> ()
-    | batch ->
+    | batch -> (
         let k = List.length batch in
         (* clock coherence: bring this platform's idle clock up to the
            global virtual time before it serves anything *)
         let pnow = Platform.now_ms m.platform in
         if pnow < t.now then
           Clock.advance m.platform.Platform.machine.Machine.clock (t.now -. pnow);
-        let dispatched = Platform.now_ms m.platform in
-        m.busy <- true;
-        Metrics.incr t.metrics "fleet.batches";
-        Metrics.observe t.metrics "fleet.batch_fill" (float_of_int k);
-        let results = t.workload.Workload.run_batch m.platform batch in
-        let finished = Platform.now_ms m.platform in
-        Metrics.observe t.metrics "fleet.service_ms" (finished -. dispatched);
-        let results =
-          if List.length results = k then results
-          else
-            List.map
-              (fun _ -> Error "workload returned wrong number of results")
-              batch
+        let crash_now =
+          match Machine.injector m.platform.Platform.machine with
+          | None -> None
+          | Some inj -> Injector.session_crash inj ~now_ms:t.now
         in
-        List.iter2
-          (fun r result ->
-            match result with
-            | Ok output ->
-                let latency =
-                  finished
-                  +. transit_ms t ~bytes:(String.length output)
-                  -. r.Request.sent_ms
-                in
-                let missed =
-                  match r.Request.deadline_ms with
-                  | Some d -> finished > d
-                  | None -> false
-                in
-                Metrics.incr t.metrics "fleet.completed";
-                if missed then Metrics.incr t.metrics "fleet.deadline_misses";
-                Metrics.observe t.metrics "fleet.latency_ms" latency;
-                m.completed <- m.completed + 1;
-                finalize t r
-                  (Request.Completed
-                     {
-                       output;
-                       platform = i;
-                       batch = k;
-                       dispatched_ms = dispatched;
-                       finished_ms = finished;
-                       latency_ms = latency;
-                       missed_deadline = missed;
-                     })
-            | Error reason ->
-                Metrics.incr t.metrics "fleet.failed";
-                finalize t r (Request.Failed { at_ms = finished; reason }))
-          batch results;
-        (* the machine is monopolized until [finished]; the Wake frees it
-           and pulls the next batch *)
-        Event_queue.push t.events ~at_ms:finished (Wake i)
+        match crash_now with
+        | Some frac ->
+            (* the machine dies mid-session: the partially served batch
+               is lost in flight, volatile state with it *)
+            Machine.charge m.platform.Platform.machine
+              (frac *. service_estimate t);
+            crash t i ~victims:batch
+        | None ->
+            let dispatched = Platform.now_ms m.platform in
+            m.busy <- true;
+            Metrics.incr t.metrics "fleet.batches";
+            Metrics.observe t.metrics "fleet.batch_fill" (float_of_int k);
+            let results = t.workload.Workload.run_batch m.platform batch in
+            let finished = Platform.now_ms m.platform in
+            Metrics.observe t.metrics "fleet.service_ms" (finished -. dispatched);
+            let results =
+              if List.length results = k then results
+              else
+                List.map
+                  (fun _ -> Error "workload returned wrong number of results")
+                  batch
+            in
+            List.iter2
+              (fun r result ->
+                match result with
+                | Ok output ->
+                    let delivered =
+                      finished +. transit_ms t ~bytes:(String.length output)
+                    in
+                    let latency = delivered -. r.Request.sent_ms in
+                    (* the client's deadline is about when the response
+                       reaches it, so the return transit counts *)
+                    let missed =
+                      past_deadline ~deadline_ms:r.Request.deadline_ms
+                        ~at_ms:delivered
+                    in
+                    Metrics.incr t.metrics "fleet.completed";
+                    if missed then Metrics.incr t.metrics "fleet.deadline_misses";
+                    Metrics.observe t.metrics "fleet.latency_ms" latency;
+                    m.completed <- m.completed + 1;
+                    finalize t r
+                      (Request.Completed
+                         {
+                           output;
+                           platform = i;
+                           batch = k;
+                           dispatched_ms = dispatched;
+                           finished_ms = finished;
+                           latency_ms = latency;
+                           missed_deadline = missed;
+                         })
+                | Error reason ->
+                    Metrics.incr t.metrics "fleet.failed_executions";
+                    requeue t r ~at_ms:finished ~reason)
+              batch results;
+            (* circuit breaker: a run of batches where nothing succeeded
+               marks the member sick; shed its load instead of queueing
+               more onto it *)
+            if t.cfg.breaker_failures > 0 then begin
+              let all_failed =
+                List.for_all (fun r -> Result.is_error r) results
+              in
+              if not all_failed then m.consecutive_failures <- 0
+              else begin
+                m.consecutive_failures <- m.consecutive_failures + 1;
+                if m.consecutive_failures >= t.cfg.breaker_failures then begin
+                  m.consecutive_failures <- 0;
+                  m.breaker_until <- finished +. t.cfg.breaker_cooldown_ms;
+                  Metrics.incr t.metrics "fleet.breaker_opens";
+                  Machine.fault_event m.platform.Platform.machine
+                    "fleet.breaker_open"
+                    ~args:[ ("platform", Flicker_obs.Tracer.Count i) ];
+                  Event_queue.push t.events ~at_ms:m.breaker_until (Recover i);
+                  shed_queue t i ~reason:"circuit breaker open"
+                end
+              end
+            end;
+            (* the machine is monopolized until [finished]; the Wake
+               frees it and pulls the next batch *)
+            Event_queue.push t.events ~at_ms:finished (Wake i))
   end
 
-let admit t req =
-  let target = Dispatch.select t.cfg.policy ~cursor:t.rr_cursor ~request:req (loads t) in
-  let m = t.members.(target) in
-  let depth = Queue.length m.queue in
-  if depth >= t.cfg.queue_depth then begin
-    Metrics.incr t.metrics "fleet.rejected";
-    finalize t req
-      (Request.Rejected { at_ms = t.now; platform = target; queue_depth = depth })
+(* a request bounced off platform [i] (crash, shed, or failed execution):
+   send it back through the dispatcher if its budget allows, else fail it
+   explicitly *)
+and requeue t r ~at_ms ~reason =
+  if r.Request.attempts >= t.cfg.retry_budget then begin
+    Metrics.incr t.metrics "fleet.failed";
+    finalize t r (Request.Failed { at_ms; reason })
   end
   else begin
-    Metrics.incr t.metrics "fleet.admitted";
-    Queue.add req m.queue;
-    Metrics.observe t.metrics "fleet.queue_depth" (float_of_int (depth + 1));
-    pump t target
+    Metrics.incr t.metrics "fleet.redispatched";
+    admit t { r with Request.attempts = r.Request.attempts + 1 }
   end
+
+(* re-dispatch everything queued on [i]: crash victims and breaker sheds
+   both land here. Requests homed to [i] go back through [admit], which
+   fails them explicitly while the member is unavailable. *)
+and shed_queue t i ~reason =
+  let m = t.members.(i) in
+  let queued = List.of_seq (Queue.to_seq m.queue) in
+  Queue.clear m.queue;
+  List.iter
+    (fun r -> requeue t r ~at_ms:t.now ~reason:(Printf.sprintf "platform %d: %s" i reason))
+    queued
+
+and crash t i ~victims =
+  let m = t.members.(i) in
+  let reboot_ms =
+    match Machine.injector m.platform.Platform.machine with
+    | Some inj -> (Injector.config inj).Injector.reboot_ms
+    | None -> Injector.disabled.Injector.reboot_ms
+  in
+  Metrics.incr t.metrics "fleet.crashes";
+  Machine.fault_event m.platform.Platform.machine "fleet.crash"
+    ~args:[ ("platform", Flicker_obs.Tracer.Count i) ];
+  (* volatile state is gone; TPM NV/keys survive (Platform.power_cycle) *)
+  Platform.power_cycle m.platform;
+  m.up <- false;
+  m.busy <- false;
+  m.down_until <- t.now +. reboot_ms;
+  m.consecutive_failures <- 0;
+  Event_queue.push t.events ~at_ms:m.down_until (Recover i);
+  List.iter
+    (fun r ->
+      requeue t r ~at_ms:t.now
+        ~reason:(Printf.sprintf "platform %d crashed mid-session" i))
+    victims;
+  shed_queue t i ~reason:"crashed mid-session"
+
+and admit t req =
+  match Dispatch.select t.cfg.policy ~cursor:t.rr_cursor ~request:req (loads t) with
+  | None -> (
+      (* no available platform can take it; a homed request must fail
+         loudly — rerouting it would silently serve without its sealed
+         state *)
+      match req.Request.home with
+      | Some h ->
+          Metrics.incr t.metrics "fleet.home_unavailable";
+          finalize t req
+            (Request.Failed
+               {
+                 at_ms = t.now;
+                 reason =
+                   Printf.sprintf
+                     "home platform %d unavailable: sealed state cannot be \
+                      served elsewhere"
+                     h;
+               })
+      | None ->
+          Metrics.incr t.metrics "fleet.rejected";
+          finalize t req
+            (Request.Rejected { at_ms = t.now; platform = -1; queue_depth = 0 }))
+  | Some target ->
+      let m = t.members.(target) in
+      let depth = Queue.length m.queue in
+      if depth >= t.cfg.queue_depth then begin
+        Metrics.incr t.metrics "fleet.rejected";
+        finalize t req
+          (Request.Rejected { at_ms = t.now; platform = target; queue_depth = depth })
+      end
+      else begin
+        Metrics.incr t.metrics "fleet.admitted";
+        Queue.add req m.queue;
+        Metrics.observe t.metrics "fleet.queue_depth" (float_of_int (depth + 1));
+        pump t target
+      end
+
+let crash_platform t i =
+  if i < 0 || i >= Array.length t.members then
+    invalid_arg "Fleet.crash_platform: platform index outside fleet";
+  let m = t.members.(i) in
+  if m.up then crash t i ~victims:[]
 
 let run ?until_ms t =
   let within at =
@@ -279,6 +447,17 @@ let run ?until_ms t =
             | Arrival req -> admit t req
             | Wake i ->
                 t.members.(i).busy <- false;
+                pump t i
+            | Recover i ->
+                let m = t.members.(i) in
+                if (not m.up) && m.down_until <= t.now then begin
+                  m.up <- true;
+                  m.consecutive_failures <- 0;
+                  Machine.fault_event m.platform.Platform.machine "fleet.recover"
+                    ~args:[ ("platform", Flicker_obs.Tracer.Count i) ]
+                end;
+                (* breaker cooldowns also land here: pumping is harmless
+                   when the member is still unavailable *)
                 pump t i));
         loop ()
   in
@@ -308,6 +487,11 @@ type summary = {
   sessions : int;
   busy_retries : int;
   per_platform : int array;
+  crashes : int;
+  redispatched : int;
+  breaker_opens : int;
+  tpm_faults : int;
+  dma_storms : int;
 }
 
 (* nearest-rank percentile over an already-sorted array *)
@@ -343,6 +527,12 @@ let summary t =
   in
   let n_completed = List.length completions in
   let sum = Array.fold_left ( +. ) 0.0 latencies in
+  let machine_counter name =
+    Array.fold_left
+      (fun acc m ->
+        acc + Metrics.counter m.platform.Platform.machine.Machine.metrics name)
+      0 t.members
+  in
   {
     submitted = t.submitted;
     completed = n_completed;
@@ -363,14 +553,13 @@ let summary t =
       Array.fold_left
         (fun acc m -> acc + m.platform.Platform.sessions_run)
         0 t.members;
-    busy_retries =
-      Array.fold_left
-        (fun acc m ->
-          acc
-          + Metrics.counter m.platform.Platform.machine.Machine.metrics
-              "session.busy_retries")
-        0 t.members;
+    busy_retries = machine_counter "session.busy_retries";
     per_platform = Array.map (fun (m : pstate) -> m.completed) t.members;
+    crashes = Metrics.counter t.metrics "fleet.crashes";
+    redispatched = Metrics.counter t.metrics "fleet.redispatched";
+    breaker_opens = Metrics.counter t.metrics "fleet.breaker_opens";
+    tpm_faults = machine_counter "fault.tpm.busy" + machine_counter "fault.tpm.slow";
+    dma_storms = machine_counter "fault.dma_storms";
   }
 
 let pp_summary fmt s =
@@ -380,9 +569,12 @@ let pp_summary fmt s =
      makespan %.1f ms, throughput %.2f req/s over %d sessions (%d busy \
      retries)@,\
      latency ms: mean %.1f / p50 %.1f / p95 %.1f / max %.1f@,\
+     faults: %d crashes, %d re-dispatches, %d breaker opens, %d TPM, %d \
+     DMA storms@,\
      per-platform completions: %s@]"
     s.submitted s.completed s.deadline_misses s.rejected s.expired s.failed
     s.makespan_ms s.throughput_rps s.sessions s.busy_retries s.latency_mean_ms
-    s.latency_p50_ms s.latency_p95_ms s.latency_max_ms
+    s.latency_p50_ms s.latency_p95_ms s.latency_max_ms s.crashes s.redispatched
+    s.breaker_opens s.tpm_faults s.dma_storms
     (String.concat " "
        (Array.to_list (Array.map string_of_int s.per_platform)))

@@ -30,11 +30,28 @@ type config = {
   seed : string;
   key_bits : int;  (** TPM key hierarchy size for each platform *)
   timing : Flicker_hw.Timing.t;
+  faults : Flicker_fault.Injector.config option;
+      (** when present, each platform gets a deterministic fault injector
+          seeded from [seed]/fault-<i>: TPM errors and latency spikes,
+          mid-session crashes, DMA storms, clock skew. Injectors are
+          installed after the workload's [prepare], so provisioning work
+          is never faulted. *)
+  retry_budget : int;
+      (** max re-dispatches per request (crash victims, breaker sheds,
+          failed executions). 0 — the default — fails them on first
+          bounce, the pre-fault behavior. *)
+  breaker_failures : int;
+      (** consecutive all-failed batches that open a platform's circuit
+          breaker; 0 disables the breaker *)
+  breaker_cooldown_ms : float;
+      (** how long an open breaker sheds load before the member is
+          eligible again *)
 }
 
 val default_config : config
 (** 2 platforms, queue depth 32, batch size 4, least-loaded routing,
-    seed ["fleet"], 512-bit keys, the paper's Broadcom timing profile. *)
+    seed ["fleet"], 512-bit keys, the paper's Broadcom timing profile; no
+    fault injection, no retries, breaker disabled. *)
 
 type t
 
@@ -53,6 +70,26 @@ val verifier_key : t -> Flicker_crypto.Rsa.public
 
 val now_ms : t -> float
 (** Global virtual time: the timestamp of the latest processed event. *)
+
+val past_deadline : deadline_ms:float option -> at_ms:float -> bool
+(** The fleet's one deadline-boundary convention, used for both queued
+    expiry and completion misses: [true] iff [at_ms] is strictly after
+    the deadline — an instant exactly at the deadline is on time. *)
+
+val crash_platform : t -> int -> unit
+(** Manually crash platform [i] right now (deterministic counterpart of
+    the injector's crash draw): volatile state is lost
+    ({!Flicker_core.Platform.power_cycle}), its queued requests are
+    re-dispatched to survivors within their [retry_budget] — except
+    requests homed to [i], which fail explicitly since their sealed state
+    cannot be served elsewhere — and the member rejoins after the
+    injector's [reboot_ms] (500 ms without an injector). No-op when
+    already down. @raise Invalid_argument on an index outside the
+    fleet. *)
+
+val platform_up : t -> int -> bool
+(** Whether member [i] is currently available (not crashed/rebooting,
+    breaker closed). *)
 
 val submit :
   t ->
@@ -118,6 +155,11 @@ type summary = {
   sessions : int;  (** Flicker sessions actually run, fleet-wide *)
   busy_retries : int;
   per_platform : int array;  (** requests completed by each platform *)
+  crashes : int;  (** injected + manual platform crashes *)
+  redispatched : int;  (** requests re-admitted after a bounce *)
+  breaker_opens : int;
+  tpm_faults : int;  (** injected TPM transient errors + latency spikes *)
+  dma_storms : int;  (** injected DMA storm bursts *)
 }
 
 val summary : t -> summary

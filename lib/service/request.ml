@@ -6,6 +6,7 @@ type t = {
   sent_ms : float;
   arrival_ms : float;
   deadline_ms : float option;
+  attempts : int;
 }
 
 type completion = {

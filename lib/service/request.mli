@@ -19,6 +19,11 @@ type t = {
   sent_ms : float;
   arrival_ms : float;  (** [sent_ms] plus the request's network transit *)
   deadline_ms : float option;  (** absolute; enforced at dispatch time *)
+  attempts : int;
+      (** re-dispatches consumed so far: 0 on first admission, bumped
+          each time a platform crash, breaker shed, or failed execution
+          sends the request back through the dispatcher. The fleet's
+          [retry_budget] bounds it. *)
 }
 
 type completion = {

@@ -25,13 +25,48 @@ type quote = {
 
 let profile t = t.machine.Machine.timing.Timing.tpm
 
+(* One fault decision per command invocation, drawn from the machine's
+   injector (if any) at the current virtual time. *)
+let injected_fault t op =
+  match Machine.injector t.machine with
+  | None -> Flicker_fault.Injector.No_fault
+  | Some inj ->
+      Flicker_fault.Injector.tpm_fault inj ~op
+        ~now_ms:(Flicker_hw.Clock.now t.machine.Machine.clock)
+
 (* Every TPM command advances the simulated clock and records one count
-   plus the charged latency under tpm.<command>.{count,ms}. *)
-let charge_op t op ms =
+   plus the charged latency under tpm.<command>.{count,ms}. An injected
+   latency spike stretches the charge; the recorded ms is what was
+   actually charged, so chaos runs show up in the histograms. *)
+let charge_op ?(fault = Flicker_fault.Injector.No_fault) t op ms =
+  let ms =
+    match fault with
+    | Flicker_fault.Injector.Slow factor ->
+        Machine.fault_event t.machine "fault.tpm.slow"
+          ~args:[ ("op", Flicker_obs.Tracer.Str op) ];
+        Flicker_obs.Metrics.incr t.machine.Machine.metrics "fault.tpm.slow";
+        ms *. factor
+    | _ -> ms
+  in
   Machine.charge t.machine ms;
   let metrics = t.machine.Machine.metrics in
   Flicker_obs.Metrics.incr metrics ("tpm." ^ op ^ ".count");
   Flicker_obs.Metrics.observe metrics ("tpm." ^ op ^ ".ms") ms
+
+(* Charge a result-returning command and decide whether it instead dies
+   with a transient TPM_RETRY. Commands whose callers treat errors as
+   fatal protocol violations (pcr_extend inside a session) charge through
+   [charge_op] directly and only ever see latency faults. *)
+let charged t op ms =
+  let fault = injected_fault t op in
+  charge_op ~fault t op ms;
+  match fault with
+  | Flicker_fault.Injector.Busy ->
+      Machine.fault_event t.machine "fault.tpm.busy"
+        ~args:[ ("op", Flicker_obs.Tracer.Str op) ];
+      Flicker_obs.Metrics.incr t.machine.Machine.metrics "fault.tpm.busy";
+      Error Tpm_types.Tpm_busy
+  | _ -> Ok ()
 
 (* Sealed-storage wrapping keys, derived from the SRK private key so that
    unsealing is possible only on this TPM. *)
@@ -98,23 +133,28 @@ let owner_auth t = t.owner_auth
 let srk_auth t = t.keys.Keys.srk_auth
 
 let pcr_read t i =
-  charge_op t "pcr_read" (profile t).Timing.pcr_read_ms;
-  Pcr.read t.pcrs i
+  match charged t "pcr_read" (profile t).Timing.pcr_read_ms with
+  | Error e -> Error e
+  | Ok () -> Pcr.read t.pcrs i
 
 let pcr_extend ?kind t i m =
-  charge_op t "pcr_extend" (profile t).Timing.pcr_extend_ms;
+  (* latency faults only: session code treats an extend error as a fatal
+     protocol violation, so a transient here could never be retried *)
+  charge_op ~fault:(injected_fault t "pcr_extend") t "pcr_extend"
+    (profile t).Timing.pcr_extend_ms;
   Pcr.extend ?kind t.pcrs i m
 
 let pcr_composite t sel = Pcr.composite t.pcrs sel
 
 let get_random t n =
-  charge_op t "get_random" (Timing.get_random_ms t.machine.Machine.timing ~bytes:n);
+  charge_op ~fault:(injected_fault t "get_random") t "get_random"
+    (Timing.get_random_ms t.machine.Machine.timing ~bytes:n);
   Prng.bytes t.rng n
 
 let quote t ~nonce ~selection =
   if String.length nonce <> Tpm_types.digest_size then
     invalid_arg "Tpm.quote: nonce must be 20 bytes";
-  charge_op t "quote" (profile t).Timing.quote_ms;
+  charge_op ~fault:(injected_fault t "quote") t "quote" (profile t).Timing.quote_ms;
   let composite = Pcr.composite t.pcrs selection in
   let payload = "QUOT" ^ Tpm_types.composite_hash composite ^ nonce in
   let signature = Pkcs1.sign t.keys.Keys.aik Hash.SHA1 payload in
@@ -170,7 +210,9 @@ let check_auth t ~auth ~entity_auth ~command_digest =
     ~nonce_odd:auth.nonce_odd ~mac:auth.mac
 
 let seal t ~auth ~release data =
-  charge_op t "seal" (profile t).Timing.seal_ms;
+  match charged t "seal" (profile t).Timing.seal_ms with
+  | Error e -> Error e
+  | Ok () -> (
   let command_digest = seal_command_digest ~release ~data in
   match check_auth t ~auth ~entity_auth:t.keys.Keys.srk_auth ~command_digest with
   | Error e -> Error e
@@ -180,10 +222,12 @@ let seal t ~auth ~release data =
       let ct = Aes.encrypt_cbc t.seal_enc_key ~iv payload in
       let body = iv ^ ct in
       let tag = Hmac.mac Hash.SHA256 ~key:t.seal_mac_key body in
-      Ok (tag ^ body)
+      Ok (tag ^ body))
 
 let unseal t ~auth blob =
-  charge_op t "unseal" (profile t).Timing.unseal_ms;
+  match charged t "unseal" (profile t).Timing.unseal_ms with
+  | Error e -> Error e
+  | Ok () -> (
   let command_digest = unseal_command_digest ~blob in
   match check_auth t ~auth ~entity_auth:t.keys.Keys.srk_auth ~command_digest with
   | Error e -> Error e
@@ -211,7 +255,7 @@ let unseal t ~auth blob =
                   else Error Tpm_types.Wrong_pcr_value
               | _ | (exception _) -> Error Tpm_types.Decrypt_error)
         end
-      end
+      end)
 
 (* --- NV storage --- *)
 
@@ -223,16 +267,20 @@ let nv_define_command_digest ~index (attrs : Nvram.space_attributes) =
     ^ serialize_composite attrs.Nvram.write_pcrs)
 
 let nv_define_space t ~auth ~index attrs =
-  charge_op t "nv_define_space" (profile t).Timing.nv_write_ms;
-  let command_digest = nv_define_command_digest ~index attrs in
-  match check_auth t ~auth ~entity_auth:t.owner_auth ~command_digest with
+  match charged t "nv_define_space" (profile t).Timing.nv_write_ms with
   | Error e -> Error e
-  | Ok () -> Nvram.define_space t.nvram ~index attrs
+  | Ok () -> (
+      let command_digest = nv_define_command_digest ~index attrs in
+      match check_auth t ~auth ~entity_auth:t.owner_auth ~command_digest with
+      | Error e -> Error e
+      | Ok () -> Nvram.define_space t.nvram ~index attrs)
 
 let current_pcrs t sel = Pcr.composite t.pcrs sel
 
 let nv_read t ~index =
-  charge_op t "nv_read" (profile t).Timing.nv_read_ms;
+  match charged t "nv_read" (profile t).Timing.nv_read_ms with
+  | Error e -> Error e
+  | Ok () ->
   let r = Nvram.read t.nvram ~index ~current_pcrs:(current_pcrs t) in
   if Result.is_ok r then
     Machine.protocol_event t.machine "nv.read"
@@ -240,7 +288,9 @@ let nv_read t ~index =
   r
 
 let nv_write t ~index data =
-  charge_op t "nv_write" (profile t).Timing.nv_write_ms;
+  match charged t "nv_write" (profile t).Timing.nv_write_ms with
+  | Error e -> Error e
+  | Ok () ->
   let r = Nvram.write t.nvram ~index ~current_pcrs:(current_pcrs t) data in
   if Result.is_ok r then begin
     (* 4-byte spaces are the replay-counter convention; carry the decoded
@@ -260,14 +310,18 @@ let nv_write t ~index data =
 let counter_command_digest ~label = Sha1.digest ("TPM_CreateCounter" ^ label)
 
 let create_counter t ~auth ~label =
-  charge_op t "counter_create" (profile t).Timing.counter_increment_ms;
-  let command_digest = counter_command_digest ~label in
-  match check_auth t ~auth ~entity_auth:t.owner_auth ~command_digest with
+  match charged t "counter_create" (profile t).Timing.counter_increment_ms with
   | Error e -> Error e
-  | Ok () -> Ok (Counter.create_counter t.counters ~label)
+  | Ok () -> (
+      let command_digest = counter_command_digest ~label in
+      match check_auth t ~auth ~entity_auth:t.owner_auth ~command_digest with
+      | Error e -> Error e
+      | Ok () -> Ok (Counter.create_counter t.counters ~label))
 
 let increment_counter t ~handle =
-  charge_op t "counter_increment" (profile t).Timing.counter_increment_ms;
+  match charged t "counter_increment" (profile t).Timing.counter_increment_ms with
+  | Error e -> Error e
+  | Ok () ->
   let r = Counter.increment t.counters ~handle in
   (match r with
   | Ok value ->
@@ -281,13 +335,16 @@ let increment_counter t ~handle =
   r
 
 let read_counter t ~handle =
-  charge_op t "counter_read" (profile t).Timing.nv_read_ms;
-  Counter.read t.counters ~handle
+  match charged t "counter_read" (profile t).Timing.nv_read_ms with
+  | Error e -> Error e
+  | Ok () -> Counter.read t.counters ~handle
 
 let get_capability_version t =
-  charge_op t "get_capability" (profile t).Timing.pcr_read_ms;
+  charge_op ~fault:(injected_fault t "get_capability") t "get_capability"
+    (profile t).Timing.pcr_read_ms;
   "TPM 1.2 rev 103 (simulated, " ^ (profile t).Timing.tpm_name ^ ")"
 
 let get_capability_pcr_count t =
-  charge_op t "get_capability" (profile t).Timing.pcr_read_ms;
+  charge_op ~fault:(injected_fault t "get_capability") t "get_capability"
+    (profile t).Timing.pcr_read_ms;
   Pcr.count

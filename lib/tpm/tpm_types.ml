@@ -34,6 +34,7 @@ type error =
   | Locality_violation
   | Decrypt_error
   | Area_exists
+  | Tpm_busy
 
 let error_to_string = function
   | Bad_auth -> "TPM_AUTHFAIL"
@@ -43,6 +44,7 @@ let error_to_string = function
   | Locality_violation -> "TPM_BAD_LOCALITY"
   | Decrypt_error -> "TPM_DECRYPT_ERROR"
   | Area_exists -> "TPM_NV_AREA_EXISTS"
+  | Tpm_busy -> "TPM_RETRY"
 
 let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
 

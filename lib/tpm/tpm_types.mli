@@ -31,6 +31,11 @@ type error =
   | Locality_violation  (** command issued from an unauthorized locality *)
   | Decrypt_error  (** sealed blob corrupt or not sealed by this TPM *)
   | Area_exists  (** NV space already defined *)
+  | Tpm_busy
+      (** transient TPM_RETRY: the command did not execute and can be
+          reissued — real 1.2 parts return this under self-test or
+          resource pressure; the fault injector uses it for transient
+          command errors *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string

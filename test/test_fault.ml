@@ -1,0 +1,355 @@
+(* Tests for the deterministic fault-injection engine (lib/fault) and the
+   fleet's robustness machinery that consumes it: crash re-dispatch,
+   retry budgets, circuit breakers, and seeded chaos runs. *)
+
+module Injector = Flicker_fault.Injector
+module Machine = Flicker_hw.Machine
+module Memory = Flicker_hw.Memory
+module Clock = Flicker_hw.Clock
+module Timing = Flicker_hw.Timing
+module Metrics = Flicker_obs.Metrics
+module Tpm = Flicker_tpm.Tpm
+module Tpm_types = Flicker_tpm.Tpm_types
+module Platform = Flicker_core.Platform
+module Session = Flicker_core.Session
+module Pal = Flicker_slb.Pal
+module Pal_env = Flicker_slb.Pal_env
+module Prng = Flicker_crypto.Prng
+module Fleet = Flicker_service.Fleet
+module Dispatch = Flicker_service.Dispatch
+module Request = Flicker_service.Request
+module Workload = Flicker_service.Workload
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec scan i = i + n <= m && (String.sub s i n = sub || scan (i + 1)) in
+  n = 0 || scan 0
+
+(* --- the injector itself --------------------------------------------- *)
+
+let test_injector_determinism () =
+  let draws seed =
+    let inj = Injector.create ~config:(Injector.scaled 0.5) ~seed () in
+    List.init 10 (fun i ->
+        Injector.uniform inj ~site:"test.site" ~now_ms:(float_of_int i *. 7.5))
+  in
+  let a = draws "alpha" and b = draws "alpha" and c = draws "beta" in
+  Alcotest.(check (list (float 0.0))) "same seed, same trace" a b;
+  Alcotest.(check bool) "different seed, different trace" true (a <> c);
+  List.iter
+    (fun u -> Alcotest.(check bool) "uniform in [0,1)" true (u >= 0.0 && u < 1.0))
+    a;
+  (* consecutive draws at one site and instant still differ: the per-site
+     counter ratchets *)
+  let inj = Injector.create ~config:(Injector.scaled 0.5) ~seed:"ratchet" () in
+  let u1 = Injector.uniform inj ~site:"s" ~now_ms:1.0 in
+  let u2 = Injector.uniform inj ~site:"s" ~now_ms:1.0 in
+  Alcotest.(check bool) "draw counter ratchets" true (u1 <> u2);
+  (* and the whole tpm_fault / session_crash / dma_storm schedule replays *)
+  let schedule seed =
+    let inj = Injector.create ~config:(Injector.scaled 0.4) ~seed () in
+    List.init 20 (fun i ->
+        let now_ms = float_of_int i *. 13.0 in
+        ( Injector.tpm_fault inj ~op:"seal" ~now_ms,
+          Injector.session_crash inj ~now_ms,
+          Injector.dma_storm inj ~now_ms ))
+  in
+  Alcotest.(check bool) "fault schedule replays" true
+    (schedule "chaos" = schedule "chaos")
+
+let test_injector_clamps () =
+  let inj =
+    Injector.create
+      ~config:
+        {
+          Injector.disabled with
+          tpm_error_rate = 7.0;
+          tpm_latency_factor = 0.1;
+          clock_skew_pct = 9.0;
+        }
+      ~seed:"clamp" ()
+  in
+  let cfg = Injector.config inj in
+  Alcotest.(check (float 0.0)) "rate clamped" 1.0 cfg.Injector.tpm_error_rate;
+  Alcotest.(check bool) "factor >= 1" true (cfg.Injector.tpm_latency_factor >= 1.0);
+  Alcotest.(check bool) "skew <= 0.5" true (cfg.Injector.clock_skew_pct <= 0.5);
+  Alcotest.(check bool) "disabled never fires" false (Injector.enabled Injector.disabled);
+  Alcotest.(check bool) "scaled 0 never fires" false (Injector.enabled (Injector.scaled 0.0));
+  Alcotest.(check bool) "scaled fires" true (Injector.enabled (Injector.scaled 0.1))
+
+(* --- TPM hook sites --------------------------------------------------- *)
+
+let test_tpm_transient_error () =
+  let p = Platform.create ~seed:"fault-busy" ~key_bits:512 () in
+  Machine.set_injector p.Platform.machine
+    (Injector.create
+       ~config:{ Injector.disabled with Injector.tpm_error_rate = 1.0 }
+       ~seed:"busy" ());
+  (match Tpm.pcr_read p.Platform.tpm 17 with
+  | Error Tpm_types.Tpm_busy -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Tpm_types.error_to_string e)
+  | Ok _ -> Alcotest.fail "rate-1.0 injector let the command through");
+  Alcotest.(check string) "wire name" "TPM_RETRY"
+    (Tpm_types.error_to_string Tpm_types.Tpm_busy);
+  Alcotest.(check bool) "fault counted" true
+    (Metrics.counter p.Platform.machine.Machine.metrics "fault.tpm.busy" >= 1)
+
+let test_tpm_latency_spike () =
+  let run ~faulted =
+    (* same platform seed both times: identical baseline timing *)
+    let p = Platform.create ~seed:"fault-lat" ~key_bits:512 () in
+    if faulted then
+      Machine.set_injector p.Platform.machine
+        (Injector.create
+           ~config:
+             {
+               Injector.disabled with
+               Injector.tpm_latency_rate = 1.0;
+               tpm_latency_factor = 5.0;
+             }
+           ~seed:"lat" ());
+    let t0 = Platform.now_ms p in
+    (match Tpm.pcr_read p.Platform.tpm 0 with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "pcr_read failed: %s" (Tpm_types.error_to_string e));
+    Platform.now_ms p -. t0
+  in
+  let base = run ~faulted:false in
+  let slow = run ~faulted:true in
+  Alcotest.(check bool) "baseline costs time" true (base > 0.0);
+  Alcotest.(check (float 1e-6)) "stalled 5x" (base *. 5.0) slow
+
+let test_clock_skew () =
+  let m = Machine.create Timing.default in
+  let inj =
+    Injector.create
+      ~config:{ Injector.disabled with Injector.clock_skew_pct = 0.2 }
+      ~seed:"skew" ()
+  in
+  Machine.set_injector m inj;
+  let f = Injector.clock_skew inj in
+  Alcotest.(check bool) "factor in band" true (f >= 0.8 && f <= 1.2);
+  Alcotest.(check bool) "oscillator actually off" true (f <> 1.0);
+  let t0 = Clock.now m.Machine.clock in
+  Machine.charge m 100.0;
+  Alcotest.(check (float 1e-9)) "charge skewed"
+    (100.0 *. f)
+    (Clock.now m.Machine.clock -. t0);
+  (* no injector: charge is exact *)
+  let m2 = Machine.create Timing.default in
+  Machine.charge m2 100.0;
+  Alcotest.(check (float 1e-9)) "clean charge exact" 100.0 (Clock.now m2.Machine.clock)
+
+(* --- machine crash / reboot ------------------------------------------ *)
+
+let test_power_cycle_recovery () =
+  let p = Platform.create ~seed:"fault-reboot" ~key_bits:512 () in
+  let tpm = p.Platform.tpm in
+  let rng = Prng.create ~seed:"fault-reboot-rng" in
+  let handle =
+    Result.get_ok
+      (Flicker_slb.Mod_tpm_utils.create_counter tpm ~rng
+         ~owner_auth:(Tpm.owner_auth tpm) ~label:"fault-replay")
+  in
+  Alcotest.(check int) "counter at 1" 1
+    (Result.get_ok (Tpm.increment_counter tpm ~handle));
+  Memory.write p.Platform.machine.Machine.memory ~addr:0x2000 "volatile";
+  Platform.power_cycle p;
+  (* volatile state is gone... *)
+  Alcotest.(check string) "memory zeroed"
+    (String.make 8 '\000')
+    (Memory.read p.Platform.machine.Machine.memory ~addr:0x2000 ~len:8);
+  (* ...but the TPM's persistent state survives the reboot, so replay
+     protection picks up exactly where it left off *)
+  Alcotest.(check int) "NV counter persists" 1
+    (Result.get_ok (Tpm.read_counter tpm ~handle));
+  Alcotest.(check int) "counter still monotonic" 2
+    (Result.get_ok (Tpm.increment_counter tpm ~handle));
+  (* and the machine serves sessions again *)
+  let pal =
+    Pal.define ~name:"fault-after-reboot" (fun env -> Pal_env.set_output env "alive")
+  in
+  match Session.execute p ~pal () with
+  | Ok o -> Alcotest.(check string) "session after reboot" "alive" o.Session.outputs
+  | Error e -> Alcotest.failf "no session after reboot: %a" Session.pp_error e
+
+(* --- fleet: crash re-dispatch (the acceptance scenario) --------------- *)
+
+let test_crash_redispatch () =
+  let config =
+    {
+      Fleet.default_config with
+      Fleet.platforms = 3;
+      batch_size = 1;
+      queue_depth = 32;
+      policy = Dispatch.Least_loaded;
+      seed = "crash-redispatch";
+      retry_budget = 2;
+    }
+  in
+  let fleet = Fleet.create ~config (Workload.echo ~work_ms:300.0 ()) in
+  (* six anonymous requests spread over the fleet, two pinned to the
+     sealed-state home we are about to kill *)
+  let unhomed = List.init 6 (fun i -> Fleet.submit fleet (Printf.sprintf "u-%d" i)) in
+  let homed = List.init 2 (fun i -> Fleet.submit fleet ~home:1 (Printf.sprintf "h-%d" i)) in
+  (* let the arrivals land (queues fill, one batch dispatched per member)
+     but stop before anything completes *)
+  Fleet.run ~until_ms:(Fleet.now_ms fleet +. 50.0) fleet;
+  Fleet.crash_platform fleet 1;
+  Alcotest.(check bool) "member down after crash" false (Fleet.platform_up fleet 1);
+  Fleet.run fleet;
+  (* every un-homed request survives the crash: the victims queued on the
+     dead member were re-dispatched to survivors *)
+  List.iter
+    (fun id ->
+      match Fleet.disposition_of fleet id with
+      | Some (Request.Completed _) -> ()
+      | d ->
+          Alcotest.failf "un-homed request %d did not complete: %s" id
+            (match d with
+            | Some disp -> Request.disposition_name disp
+            | None -> "nothing"))
+    unhomed;
+  (* requests homed to the dead platform fail explicitly — their sealed
+     state exists nowhere else, silent rerouting would be wrong *)
+  let homed_failures =
+    List.filter
+      (fun id ->
+        match Fleet.disposition_of fleet id with
+        | Some (Request.Failed { reason; _ }) ->
+            Alcotest.(check bool) "failure names the dead home" true
+              (contains ~sub:"home platform 1 unavailable" reason
+              || contains ~sub:"crashed" reason);
+            true
+        | Some (Request.Completed c) ->
+            (* only legitimate if it ran on its home before the crash *)
+            Alcotest.(check int) "early completion on home" 1 c.Request.platform;
+            false
+        | d ->
+            Alcotest.failf "homed request %d: unexpected %s" id
+              (match d with
+              | Some disp -> Request.disposition_name disp
+              | None -> "nothing"))
+      homed
+  in
+  Alcotest.(check bool) "at least one homed request failed explicitly" true
+    (homed_failures <> []);
+  let s = Fleet.summary fleet in
+  Alcotest.(check int) "one crash" 1 s.Fleet.crashes;
+  Alcotest.(check bool) "victims were re-dispatched" true (s.Fleet.redispatched >= 1);
+  Alcotest.(check int) "conservation" 8
+    (s.Fleet.completed + s.Fleet.rejected + s.Fleet.expired + s.Fleet.failed);
+  Alcotest.(check bool) "member rebooted and rejoined" true (Fleet.platform_up fleet 1)
+
+let test_crash_platform_validation () =
+  let fleet = Fleet.create (Workload.echo ()) in
+  (match Fleet.crash_platform fleet 9 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "out-of-range crash accepted");
+  Fleet.crash_platform fleet 0;
+  (* crashing a member that is already down is a no-op, not a double count *)
+  Fleet.crash_platform fleet 0;
+  Alcotest.(check int) "one crash counted" 1 (Fleet.summary fleet).Fleet.crashes
+
+(* --- fleet: circuit breaker ------------------------------------------ *)
+
+let always_fail =
+  {
+    Workload.name = "always-fail";
+    prepare = (fun _ _ -> ());
+    run_batch =
+      (fun p reqs ->
+        (* charge some service time so the breaker's cooldown landmarks
+           are spaced like a real workload's *)
+        Machine.charge p.Platform.machine 50.0;
+        List.map (fun _ -> Error "induced failure") reqs);
+  }
+
+let test_circuit_breaker () =
+  let config =
+    {
+      Fleet.default_config with
+      Fleet.platforms = 1;
+      batch_size = 1;
+      queue_depth = 32;
+      seed = "breaker";
+      retry_budget = 1;
+      breaker_failures = 2;
+      breaker_cooldown_ms = 1000.0;
+    }
+  in
+  let fleet = Fleet.create ~config always_fail in
+  for i = 1 to 6 do
+    ignore (Fleet.submit fleet (Printf.sprintf "doomed-%d" i))
+  done;
+  Fleet.run fleet;
+  (* the run terminates (no infinite requeue ping-pong) with nothing
+     completed, the breaker open at least once, and every request
+     accounted for *)
+  let s = Fleet.summary fleet in
+  Alcotest.(check int) "nothing completed" 0 s.Fleet.completed;
+  Alcotest.(check bool) "breaker opened" true (s.Fleet.breaker_opens >= 1);
+  Alcotest.(check int) "conservation" 6
+    (s.Fleet.completed + s.Fleet.rejected + s.Fleet.expired + s.Fleet.failed);
+  Alcotest.(check bool) "bounded retries" true
+    (s.Fleet.redispatched <= 6 * (config.Fleet.retry_budget + 1))
+
+(* --- chaos runs ------------------------------------------------------- *)
+
+let run_chaos ~seed =
+  let config =
+    {
+      Fleet.default_config with
+      Fleet.platforms = 2;
+      batch_size = 2;
+      queue_depth = 32;
+      seed;
+      faults = Some (Injector.scaled 0.3);
+      retry_budget = 2;
+      breaker_failures = 3;
+    }
+  in
+  let fleet = Fleet.create ~config (Workload.echo ~work_ms:60.0 ()) in
+  Fleet.submit_open_loop fleet ~clients:4 ~per_client:5 ~mean_gap_ms:25.0
+    ~payload:(fun ~client ~seq -> Printf.sprintf "c-%d-%d" client seq)
+    ();
+  Fleet.run fleet;
+  Fleet.summary fleet
+
+let test_chaos_deterministic_and_survives () =
+  let a = run_chaos ~seed:"chaos-test" in
+  let b = run_chaos ~seed:"chaos-test" in
+  Alcotest.(check bool) "same seed, identical summary" true (a = b);
+  Alcotest.(check int) "everything accounted for" 20
+    (a.Fleet.completed + a.Fleet.rejected + a.Fleet.expired + a.Fleet.failed);
+  (* a faulted fleet still makes progress *)
+  Alcotest.(check bool) "completes requests under faults" true (a.Fleet.completed > 0);
+  Alcotest.(check bool) "faults actually fired" true
+    (a.Fleet.crashes + a.Fleet.tpm_faults + a.Fleet.dma_storms > 0);
+  let c = run_chaos ~seed:"chaos-test-2" in
+  Alcotest.(check bool) "different seed, different fault trace" true (a <> c)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "injector",
+        [
+          Alcotest.test_case "deterministic draws" `Quick test_injector_determinism;
+          Alcotest.test_case "config clamps" `Quick test_injector_clamps;
+        ] );
+      ( "tpm",
+        [
+          Alcotest.test_case "transient error" `Quick test_tpm_transient_error;
+          Alcotest.test_case "latency spike" `Quick test_tpm_latency_spike;
+          Alcotest.test_case "clock skew" `Quick test_clock_skew;
+        ] );
+      ( "machine",
+        [ Alcotest.test_case "power-cycle recovery" `Quick test_power_cycle_recovery ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "crash re-dispatch" `Quick test_crash_redispatch;
+          Alcotest.test_case "crash validation" `Quick test_crash_platform_validation;
+          Alcotest.test_case "circuit breaker" `Quick test_circuit_breaker;
+          Alcotest.test_case "chaos determinism" `Quick test_chaos_deterministic_and_survives;
+        ] );
+    ]

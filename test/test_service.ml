@@ -38,6 +38,81 @@ let test_event_queue_ordering () =
     [ "a"; "b"; "c"; "d"; "e" ] (List.rev !drained);
   Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
 
+(* the pop in the old implementation left the popped payload reachable
+   from the heap array; after the fix a popped element is collectable as
+   soon as the caller drops it *)
+let test_event_queue_releases_payloads () =
+  let q = Event_queue.create () in
+  let w = Weak.create 1 in
+  let () =
+    let s = String.init 64 (fun i -> Char.chr (i land 0x7f)) in
+    Weak.set w 0 (Some s);
+    Event_queue.push q ~at_ms:1.0 s
+  in
+  (match Event_queue.pop q with
+  | Some (_, _) -> ()
+  | None -> Alcotest.fail "queue lost the element");
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload released" false (Weak.check w 0);
+  (* the queue itself is still alive and usable *)
+  Event_queue.push q ~at_ms:2.0 "still works";
+  Alcotest.(check int) "queue usable after pop" 1 (Event_queue.length q)
+
+(* model-based property: pops always come out sorted by time, FIFO among
+   equal timestamps, under arbitrary push/pop interleavings *)
+let prop_event_queue_ordering =
+  QCheck.Test.make ~name:"pop sorted by time, FIFO ties" ~count:300
+    QCheck.(list (int_range (-10) 60))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let seq = ref 0 in
+      (* pending pushes the queue must still hold, as (time, seq) *)
+      let model = ref [] in
+      let min_pending pending =
+        List.fold_left
+          (fun best x ->
+            match best with
+            | None -> Some x
+            | Some (bt, bs) ->
+                let xt, xs = x in
+                if xt < bt || (xt = bt && xs < bs) then Some x else best)
+          None pending
+      in
+      let step op =
+        if op >= 0 then begin
+          (* a handful of distinct timestamps, so ties are common *)
+          let at = float_of_int (op mod 7) in
+          Event_queue.push q ~at_ms:at !seq;
+          model := (at, !seq) :: !model;
+          incr seq;
+          true
+        end
+        else
+          match (Event_queue.pop q, !model) with
+          | None, [] -> true
+          | None, _ :: _ | Some _, [] -> false
+          | Some (at, v), pending -> (
+              match min_pending pending with
+              | Some (et, es) when et = at && es = v ->
+                  model := List.filter (fun (_, s) -> s <> es) pending;
+                  true
+              | _ -> false)
+      in
+      let interleaved = List.for_all step ops in
+      (* drain whatever is left: the tail must come out in order too *)
+      let rec drain () =
+        match (Event_queue.pop q, !model) with
+        | None, [] -> true
+        | None, _ :: _ | Some _, [] -> false
+        | Some (at, v), pending -> (
+            match min_pending pending with
+            | Some (et, es) when et = at && es = v ->
+                model := List.filter (fun (_, s) -> s <> es) pending;
+                drain ()
+            | _ -> false)
+      in
+      interleaved && drain ())
+
 (* --- fleet ----------------------------------------------------------- *)
 
 let echo_config ~platforms ~queue_depth ~batch_size ~policy ~seed =
@@ -124,6 +199,59 @@ let test_deadlines () =
         | Some disp -> Request.disposition_name disp
         | None -> "nothing"));
   Alcotest.(check int) "three sessions only" 3 s.Fleet.sessions
+
+(* regression for the deadline-boundary inconsistency: one helper, one
+   convention (exactly-at-deadline is on time), and the response's return
+   transit counts toward the client-perceived miss decision *)
+let test_deadline_boundary () =
+  let mk deadline =
+    let config =
+      echo_config ~platforms:1 ~queue_depth:8 ~batch_size:1
+        ~policy:Dispatch.Least_loaded ~seed:"boundary"
+    in
+    let fleet = Fleet.create ~config (Workload.echo ~work_ms:100.0 ()) in
+    let id = Fleet.submit fleet ?deadline_ms:deadline "boundary-req" in
+    Fleet.run fleet;
+    (fleet, id)
+  in
+  (* learn this deterministic schedule's exact finish and delivery *)
+  let fleet0, id0 = mk None in
+  let c0 =
+    match Fleet.disposition_of fleet0 id0 with
+    | Some (Request.Completed c) -> c
+    | _ -> Alcotest.fail "no completion"
+  in
+  let rel_delivered = c0.Request.latency_ms in
+  let sent =
+    match Fleet.dispositions fleet0 with
+    | [ (r, _) ] -> r.Request.sent_ms
+    | _ -> Alcotest.fail "expected exactly one request"
+  in
+  let rel_finished = c0.Request.finished_ms -. sent in
+  Alcotest.(check bool) "return transit is nonzero" true
+    (rel_delivered > rel_finished);
+  (* a deadline between finish and delivery: the machine was done in
+     time, but the client got the answer late — that is a miss *)
+  let mid = (rel_finished +. rel_delivered) /. 2.0 in
+  let fleet1, id1 = mk (Some mid) in
+  (match Fleet.disposition_of fleet1 id1 with
+  | Some (Request.Completed c) ->
+      Alcotest.(check bool) "return transit counts toward the miss" true
+        c.Request.missed_deadline
+  | _ -> Alcotest.fail "expected completion");
+  (* a comfortably later deadline: on time *)
+  let fleet2, id2 = mk (Some (rel_delivered +. 1.0)) in
+  (match Fleet.disposition_of fleet2 id2 with
+  | Some (Request.Completed c) ->
+      Alcotest.(check bool) "later deadline met" false c.Request.missed_deadline
+  | _ -> Alcotest.fail "expected completion");
+  (* the helper pins the exact-boundary convention for every caller *)
+  Alcotest.(check bool) "exactly at the deadline is on time" false
+    (Fleet.past_deadline ~deadline_ms:(Some 100.0) ~at_ms:100.0);
+  Alcotest.(check bool) "strictly after is late" true
+    (Fleet.past_deadline ~deadline_ms:(Some 100.0) ~at_ms:100.000001);
+  Alcotest.(check bool) "no deadline never misses" false
+    (Fleet.past_deadline ~deadline_ms:None ~at_ms:1e12)
 
 let completed_platforms fleet =
   List.filter_map
@@ -366,7 +494,7 @@ let test_os_busy_distinction () =
   let p = Platform.create ~seed:"busy" ~key_bits:512 () in
   (* nothing written: permanent *)
   (match Session.execute_from_sysfs p () with
-  | Error (Session.Os_busy msg as e) ->
+  | Error (Session.Os_busy { msg; _ } as e) ->
       Alcotest.(check bool) "names the missing SLB" true
         (String.length msg >= 6 && String.sub msg 0 6 = "no SLB");
       Alcotest.(check bool) "not transient" false (Session.busy_is_transient e)
@@ -374,9 +502,10 @@ let test_os_busy_distinction () =
   (* mid-session: transient, and reported as such even with no SLB entry *)
   Scheduler.suspend p.Platform.scheduler;
   (match Session.execute_from_sysfs p () with
-  | Error (Session.Os_busy msg as e) ->
+  | Error (Session.Os_busy { msg; transient } as e) ->
       Alcotest.(check bool) "names the running session" true
         (String.length msg >= 11 && String.sub msg 0 11 = "mid-session");
+      Alcotest.(check bool) "flagged transient" true transient;
       Alcotest.(check bool) "transient" true (Session.busy_is_transient e)
   | _ -> Alcotest.fail "expected Os_busy");
   (match Session.execute p ~pal:(Lazy.force hello_pal) () with
@@ -392,7 +521,7 @@ let test_retry_busy () =
   let result =
     Session.retry_busy p ~attempts:4 ~backoff_ms:10.0 (fun () ->
         incr calls;
-        if !calls < 3 then Error (Session.Os_busy "mid-session: induced for test")
+        if !calls < 3 then Error (Session.os_busy_transient "mid-session: induced for test")
         else Session.execute p ~pal:(Lazy.force hello_pal) ())
   in
   (match result with
@@ -410,22 +539,52 @@ let test_retry_busy () =
   (match
      Session.retry_busy p ~attempts:5 (fun () ->
          incr calls;
-         Error (Session.Os_busy "no SLB written to the sysfs slb entry"))
+         Error (Session.os_busy_permanent "no SLB written to the sysfs slb entry"))
    with
   | Error (Session.Os_busy _) -> ()
   | _ -> Alcotest.fail "expected the permanent error back");
   Alcotest.(check int) "single attempt" 1 !calls
 
+let test_retry_busy_exhaustion () =
+  let p = Platform.create ~seed:"exhaust" ~key_bits:512 () in
+  let calls = ref 0 in
+  let t0 = Platform.now_ms p in
+  (match
+     Session.retry_busy p ~attempts:3 ~backoff_ms:10.0 (fun () ->
+         incr calls;
+         Error
+           (Session.os_busy_transient
+              (Printf.sprintf "mid-session: attempt %d" !calls)))
+   with
+  | Error (Session.Os_busy { transient = true; msg }) ->
+      (* the last attempt's error comes back, not the first's *)
+      Alcotest.(check string) "last error surfaces" "mid-session: attempt 3" msg
+  | Ok _ -> Alcotest.fail "an always-busy OS cannot succeed"
+  | Error e -> Alcotest.failf "wrong error: %a" Session.pp_error e);
+  Alcotest.(check int) "every attempt consumed" 3 !calls;
+  (* two backoffs were charged (10 then 20 ms, doubling) and none after
+     the final attempt *)
+  Alcotest.(check (float 1e-6)) "exact backoff charged" 30.0
+    (Platform.now_ms p -. t0);
+  Alcotest.(check int) "retries counted" 2
+    (Metrics.counter p.Platform.machine.Machine.metrics "session.busy_retries")
+
 let () =
   Alcotest.run "service"
     [
       ( "event-queue",
-        [ Alcotest.test_case "stable ordering" `Quick test_event_queue_ordering ] );
+        [
+          Alcotest.test_case "stable ordering" `Quick test_event_queue_ordering;
+          Alcotest.test_case "pop releases payloads" `Quick
+            test_event_queue_releases_payloads;
+          QCheck_alcotest.to_alcotest prop_event_queue_ordering;
+        ] );
       ( "fleet",
         [
           Alcotest.test_case "deterministic schedule" `Quick test_determinism;
           Alcotest.test_case "admission control" `Quick test_admission_control;
           Alcotest.test_case "deadlines" `Quick test_deadlines;
+          Alcotest.test_case "deadline boundary" `Quick test_deadline_boundary;
           Alcotest.test_case "sealed affinity" `Quick test_sealed_affinity_routing;
           Alcotest.test_case "home overrides policy" `Quick test_home_overrides_policy;
           Alcotest.test_case "batching amortization" `Quick test_batching_amortization;
@@ -444,5 +603,6 @@ let () =
         [
           Alcotest.test_case "message distinction" `Quick test_os_busy_distinction;
           Alcotest.test_case "retry with backoff" `Quick test_retry_busy;
+          Alcotest.test_case "retry exhaustion" `Quick test_retry_busy_exhaustion;
         ] );
     ]
