@@ -1,0 +1,60 @@
+(* `bench diff OLD NEW [--threshold PCT]`: compare two bench JSON
+   artifacts and exit nonzero on regression.
+
+   Simulated metrics must be byte-identical (the simulator is
+   deterministic); wall-clock fields get a relative tolerance band and
+   only warn unless --threshold is given, which makes drift beyond PCT
+   percent fail too. This is the gate CI runs against the committed
+   BENCH_*.json baselines. *)
+
+module J = Flicker_obs.Json
+module Bench_diff = Flicker_obs.Bench_diff
+
+let read_json path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error msg -> Error msg
+  | raw -> Result.map_error (fun e -> path ^ ": " ^ e) (J.of_string raw)
+
+let usage () =
+  prerr_endline "usage: bench diff OLD.json NEW.json [--threshold PCT]";
+  2
+
+let main args =
+  let rec parse paths threshold = function
+    | [] -> Ok (List.rev paths, threshold)
+    | "--threshold" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some v when v >= 0.0 -> parse paths (Some v) rest
+        | _ -> Error (Printf.sprintf "--threshold: bad percentage %S" pct))
+    | [ "--threshold" ] -> Error "--threshold requires a percentage argument"
+    | arg :: rest -> parse (arg :: paths) threshold rest
+  in
+  match parse [] None args with
+  | Error msg ->
+      prerr_endline msg;
+      usage ()
+  | Ok ([ old_path; new_path ], threshold) -> (
+      match (read_json old_path, read_json new_path) with
+      | Error msg, _ | _, Error msg ->
+          prerr_endline ("bench diff: " ^ msg);
+          2
+      | Ok baseline, Ok current -> (
+          let strict_wall = threshold <> None in
+          match
+            Bench_diff.compare ?wall_tolerance_pct:threshold ~baseline ~current
+              ()
+          with
+          | Error msg ->
+              prerr_endline ("bench diff: " ^ msg);
+              2
+          | Ok report ->
+              Printf.printf "bench diff %s %s\n" old_path new_path;
+              print_string (Bench_diff.render ~strict_wall report);
+              if Bench_diff.clean ~strict_wall report then 0 else 1))
+  | Ok _ -> usage ()

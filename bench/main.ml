@@ -8,8 +8,15 @@
      dune exec bench/main.exe -- figure6 figure8 figure9
      dune exec bench/main.exe -- ca impact ablation infineon fleet micro
 
+   The meta-target `paper` expands to every Section 7 table/figure.
+
    With --json <path>, every table/figure row is also written to <path>
-   as a JSON array of records ({"artifact", "label", ...fields}). *)
+   as a JSON array of records ({"artifact", "label", ...fields}).
+
+   `diff OLD.json NEW.json [--threshold PCT]` compares two such
+   artifacts record-by-record and exits nonzero on regression: simulated
+   metrics must be identical, wall-clock fields warn (or fail, with
+   --threshold) beyond a relative tolerance band. *)
 
 module Timing = Flicker_hw.Timing
 
@@ -46,6 +53,13 @@ let all_in_order =
     "ca"; "impact"; "ablation"; "keygen"; "burden"; "txt"; "fleet"; "chaos";
     "analyze"; "verify"; "micro" ]
 
+(* "paper" regenerates every Section 7 table/figure artifact in one run —
+   the unit the committed BENCH_paper.json baseline covers (the other
+   four baselines map 1:1 onto fleet/chaos/analyze/verify) *)
+let paper_targets =
+  [ "table1"; "table2"; "table3"; "table4"; "figure6"; "figure8"; "figure9";
+    "ca"; "impact"; "ablation"; "keygen"; "burden"; "txt" ]
+
 let rec extract_json = function
   | [] -> (None, [])
   | "--json" :: path :: rest ->
@@ -60,8 +74,16 @@ let rec extract_json = function
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (match args with
+  | "diff" :: rest -> exit (Diff.main rest)
+  | _ -> ());
   let json_path, targets = extract_json args in
   let targets = if targets = [] then all_in_order else targets in
+  let targets =
+    List.concat_map
+      (fun t -> if t = "paper" then paper_targets else [ t ])
+      targets
+  in
   if json_path <> None then Paper.start_collecting ();
   print_endline "Flicker reproduction benchmark harness";
   print_endline "(timings below are simulated platform latencies calibrated to Section 7;";

@@ -8,24 +8,103 @@ type digest = Tpm_types.digest
 let extend current value = Sha1.digest (current ^ value)
 let extend_chain start values = List.fold_left extend start values
 
-let initialized image ~slb_base = Builder.initialize image ~slb_base
+(* --- measurement memoization ------------------------------------------
 
-let of_image image ~slb_base =
-  let bytes = initialized image ~slb_base in
-  Sha1.digest (String.sub bytes 0 image.Builder.measured_length)
+   Patching and hashing the 64 KB window is the host-side hot path: an
+   Optimized launch used to run the patch + SHA-1 pass once for the
+   session's stub extend and again (twice) for every [after_launch] /
+   [final] the verifier side computes. All of those are pure functions
+   of the image content and the load address, so they are cached here,
+   keyed by the *content* — the raw image bytes plus [slb_base] for the
+   patched artifacts, the window bytes themselves for [window_digest].
+   A content key makes the cache identity-preserving by construction
+   (any change to the image, the load address, or the in-memory window
+   — including the adversary's corruption hook — changes the key), and
+   invalidation is automatic. Collisions only cost a memcmp, which is
+   ~100x cheaper than re-hashing the window. *)
 
-let window_hash image ~slb_base = Sha1.digest (initialized image ~slb_base)
+type entry = {
+  e_initialized : string; (* the patched 64 KB window *)
+  e_measured : digest; (* H(measured prefix): [of_image] *)
+  mutable e_window : digest option; (* H(full window), on first demand *)
+}
+
+(* Bounded by wholesale reset: the working set is a handful of PALs x
+   flavors, so 64 entries (~4 MB of retained windows) is generous and a
+   rare flush only costs one extra patch+hash per live key. *)
+let cache_limit = 64
+
+let cache : (string * int, entry) Hashtbl.t = Hashtbl.create 16
+let window_digests : (string, digest) Hashtbl.t = Hashtbl.create 16
+let hits = ref 0
+let misses = ref 0
+
+let cache_stats () = (!hits, !misses)
+
+let clear_cache () =
+  Hashtbl.reset cache;
+  Hashtbl.reset window_digests;
+  hits := 0;
+  misses := 0
+
+let lookup image ~slb_base =
+  let key = (image.Builder.bytes, slb_base) in
+  match Hashtbl.find_opt cache key with
+  | Some e ->
+      incr hits;
+      e
+  | None ->
+      incr misses;
+      if Hashtbl.length cache >= cache_limit then Hashtbl.reset cache;
+      let bytes = Builder.initialize image ~slb_base in
+      let e =
+        {
+          e_initialized = bytes;
+          e_measured = Sha1.digest (String.sub bytes 0 image.Builder.measured_length);
+          e_window = None;
+        }
+      in
+      Hashtbl.replace cache key e;
+      e
+
+let entry_window_digest e =
+  match e.e_window with
+  | Some d -> d
+  | None ->
+      let d = Sha1.digest e.e_initialized in
+      e.e_window <- Some d;
+      d
+
+let window_digest window =
+  match Hashtbl.find_opt window_digests window with
+  | Some d ->
+      incr hits;
+      d
+  | None ->
+      incr misses;
+      if Hashtbl.length window_digests >= cache_limit then
+        Hashtbl.reset window_digests;
+      let d = Sha1.digest window in
+      Hashtbl.replace window_digests window d;
+      d
+
+let initialized image ~slb_base = (lookup image ~slb_base).e_initialized
+
+let of_image image ~slb_base = (lookup image ~slb_base).e_measured
+
+let window_hash image ~slb_base = entry_window_digest (lookup image ~slb_base)
 
 let after_launch ?acm image ~slb_base =
+  let e = lookup image ~slb_base in
   let start =
     match acm with
     | None -> Tpm_types.zero_digest
     | Some acm -> extend Tpm_types.zero_digest (Sha1.digest acm)
   in
-  let v = extend start (of_image image ~slb_base) in
+  let v = extend start e.e_measured in
   match image.Builder.flavor with
   | Builder.Standard -> v
-  | Builder.Optimized -> extend v (window_hash image ~slb_base)
+  | Builder.Optimized -> extend v (entry_window_digest e)
 
 let after_skinit image ~slb_base = after_launch image ~slb_base
 

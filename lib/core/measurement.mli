@@ -15,11 +15,35 @@ val extend : digest -> digest -> digest
 
 val extend_chain : digest -> digest list -> digest
 
+val initialized : Flicker_slb.Builder.image -> slb_base:int -> string
+(** The image patched for [slb_base] — [Builder.initialize], memoized by
+    (image bytes, slb_base) so repeated sessions of the same PAL stop
+    re-patching a fresh 64 KB copy. The returned string is shared: treat
+    it as immutable. *)
+
 val of_image : Flicker_slb.Builder.image -> slb_base:int -> digest
-(** H(measured bytes) of the initialized image — what the TPM receives. *)
+(** H(measured bytes) of the initialized image — what the TPM receives.
+    Memoized alongside {!initialized}. *)
 
 val window_hash : Flicker_slb.Builder.image -> slb_base:int -> digest
-(** Hash of the full 64 KB window (what the optimized stub extends). *)
+(** Hash of the full 64 KB window (what the optimized stub extends).
+    Memoized alongside {!initialized}. *)
+
+val window_digest : string -> digest
+(** SHA-1 of a raw window read back from memory, memoized by the window
+    content itself — the session's optimized-stub extend goes through
+    here, so re-measuring an unchanged window costs a memcmp instead of
+    a 64 KB hash while any in-memory corruption still changes the key
+    (and therefore misses and re-hashes). *)
+
+val cache_stats : unit -> int * int
+(** (hits, misses) of the measurement caches since the last
+    {!clear_cache} — instrumentation for [bench micro]. *)
+
+val clear_cache : unit -> unit
+(** Drop every memoized measurement (and zero {!cache_stats}). Results
+    are unaffected: the caches are keyed by content, so this only costs
+    re-derivation. *)
 
 val after_launch : ?acm:string -> Flicker_slb.Builder.image -> slb_base:int -> digest
 (** PCR 17 immediately after a late launch (including the stub's extend

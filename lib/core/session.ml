@@ -166,14 +166,14 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
     let tracer = machine.Machine.tracer in
     let metrics = machine.Machine.metrics in
     Metrics.incr metrics "session.runs";
+    (* one args list, shared by the span and the protocol instant (the
+       tracer stores the list pointer, it never copies) *)
+    let pal_args = [ ("pal", Tracer.Str pal.Flicker_slb.Pal.name) ] in
     let session_span =
-      Tracer.begin_span tracer ~cat:"session"
-        ~args:[ ("pal", Tracer.Str pal.Flicker_slb.Pal.name) ]
-        "Flicker session"
+      Tracer.begin_span tracer ~cat:"session" ~args:pal_args "Flicker session"
     in
     let mark = tracer_mark tracer in
-    Machine.protocol_event machine "session.begin"
-      ~args:[ ("pal", Tracer.Str pal.Flicker_slb.Pal.name) ];
+    Machine.protocol_event machine "session.begin" ~args:pal_args;
     let session_rng =
       Platform.fork_rng platform
         ~label:(Printf.sprintf "session-%d" platform.Platform.sessions_run)
@@ -208,7 +208,9 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
         Sysfs.write platform.Platform.sysfs ~path:"inputs" inputs;
         Sysfs.write platform.Platform.sysfs ~path:"control" "1";
         Memory.zero memory ~addr:slb_base ~len:Layout.total_footprint;
-        let initialized = Builder.initialize image ~slb_base in
+        (* memoized: repeated sessions of the same PAL reuse one patched
+           window instead of re-patching a fresh 64 KB copy *)
+        let initialized = Measurement.initialized image ~slb_base in
         Memory.write memory ~addr:slb_base initialized;
         if platform.Platform.corrupt_next_slb then begin
           platform.Platform.corrupt_next_slb <- false;
@@ -276,7 +278,10 @@ let execute (platform : Platform.t) ~pal ?(flavor = Builder.Optimized) ?(tech = 
                    CPU and extends PCR 17 before running any of it *)
                 let window = Memory.read memory ~addr:slb_base ~len:Layout.slb_size in
                 Machine.charge_sha1 machine ~bytes:Layout.slb_size;
-                extend_pcr17 ~kind:"stub" platform (Sha1.digest window));
+                (* the simulated cost above is charged in full; only the
+                   host-side hash is memoized (by window content, so a
+                   corrupted window still misses and re-hashes) *)
+                extend_pcr17 ~kind:"stub" platform (Measurement.window_digest window));
 
         (* --- Execute PAL: dispatch on the measured bytes --- *)
         let window = Memory.read memory ~addr:slb_base ~len:Layout.slb_size in

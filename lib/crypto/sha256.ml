@@ -22,20 +22,30 @@ type ctx = {
   buf : Bytes.t;
   mutable buf_len : int;
   w : int array;
+  mutable finalized : bool;
 }
+
+let iv =
+  [|
+    0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+    0x1f83d9ab; 0x5be0cd19;
+  |]
 
 let init () =
   {
-    h =
-      [|
-        0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
-        0x1f83d9ab; 0x5be0cd19;
-      |];
+    h = Array.copy iv;
     total = 0;
     buf = Bytes.create 64;
     buf_len = 0;
     w = Array.make 64 0;
+    finalized = false;
   }
+
+let reset ctx =
+  Array.blit iv 0 ctx.h 0 8;
+  ctx.total <- 0;
+  ctx.buf_len <- 0;
+  ctx.finalized <- false
 
 let rotr32 v n = ((v lsr n) lor (v lsl (32 - n))) land mask32
 let shr v n = v lsr n
@@ -83,7 +93,9 @@ let compress ctx block =
   h.(6) <- (h.(6) + !g) land mask32;
   h.(7) <- (h.(7) + !hh) land mask32
 
-let update ctx s =
+(* Raw absorb loop shared by [update] and the padding write in
+   [finalize], which must bypass the finalized check. *)
+let absorb ctx s =
   let len = String.length s in
   ctx.total <- ctx.total + len;
   let pos = ref 0 in
@@ -107,7 +119,12 @@ let update ctx s =
     ctx.buf_len <- len - !pos
   end
 
+let update ctx s =
+  if ctx.finalized then invalid_arg "Sha256.update: context already finalized";
+  absorb ctx s
+
 let finalize ctx =
+  if ctx.finalized then invalid_arg "Sha256.finalize: context already finalized";
   let bit_len = ctx.total * 8 in
   let pad_len =
     let rem = (ctx.total + 1) mod 64 in
@@ -118,7 +135,8 @@ let finalize ctx =
   for i = 0 to 7 do
     Bytes.set padding (1 + pad_len + i) (Char.chr ((bit_len lsr (8 * (7 - i))) land 0xff))
   done;
-  update ctx (Bytes.unsafe_to_string padding);
+  absorb ctx (Bytes.unsafe_to_string padding);
+  ctx.finalized <- true;
   let out = Bytes.create 32 in
   Array.iteri
     (fun i h ->
@@ -128,9 +146,13 @@ let finalize ctx =
     ctx.h;
   Bytes.unsafe_to_string out
 
+(* Shared one-shot scratch context; see Sha1.scratch for the rationale
+   (single-domain simulator, [digest] never re-enters itself). *)
+let scratch = init ()
+
 let digest s =
-  let ctx = init () in
-  update ctx s;
-  finalize ctx
+  reset scratch;
+  update scratch s;
+  finalize scratch
 
 let hex s = Util.to_hex (digest s)

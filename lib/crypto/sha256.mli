@@ -6,7 +6,17 @@ val digest_size : int
 (** 32 bytes. *)
 
 val init : unit -> ctx
+
+val reset : ctx -> unit
+(** Return the context to its initial state, clearing the finalized flag. *)
+
 val update : ctx -> string -> unit
+(** @raise Invalid_argument on a context that was already finalized. *)
+
 val finalize : ctx -> string
+(** Returns the 32-byte digest and marks the context finalized: any
+    further [update] or [finalize] raises [Invalid_argument] until the
+    context is [reset]. *)
+
 val digest : string -> string
 val hex : string -> string

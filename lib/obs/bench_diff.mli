@@ -1,0 +1,55 @@
+(** Record-by-record comparison of two bench JSON artifacts — the
+    regression gate behind [bench diff OLD NEW].
+
+    A bench artifact is the JSON array of flat records [bench --json]
+    emits: each record carries an ["artifact"] and a ["label"] plus
+    metric fields. The simulator is deterministic, so every metric field
+    must be byte-identical between a committed [BENCH_*.json] baseline
+    and a regenerated run; only host wall-clock fields (any field whose
+    name contains ["wall"]) are inherently noisy and get a relative
+    tolerance band instead. *)
+
+type value = Json.t
+
+type field_diff = {
+  record : string;  (** "artifact/label" (with "#n" on repeated labels) *)
+  field : string;
+  old_value : value;
+  new_value : value;
+  drift_pct : float option;
+      (** relative drift for numeric fields, [None] otherwise *)
+}
+
+type report = {
+  records_compared : int;
+  fields_identical : int;
+  missing : string list;  (** baseline records absent from the new run *)
+  extra : string list;  (** new-run records absent from the baseline *)
+  regressions : field_diff list;  (** simulated metrics that changed *)
+  wall_within : int;  (** wall-clock fields inside the tolerance band *)
+  wall_drift : field_diff list;  (** wall-clock fields beyond it *)
+}
+
+val is_wall_field : string -> bool
+(** A field is wall-clock (tolerated, not gated) iff its name contains
+    ["wall"] — e.g. ["wall_ms"]. *)
+
+val compare :
+  ?wall_tolerance_pct:float ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  (report, string) result
+(** Pair records by (artifact, label, occurrence) and compare key by
+    key. [wall_tolerance_pct] (default 25.0) is the allowed relative
+    drift for wall-clock fields; every other field requires exact
+    equality. [Error] only on malformed input documents. *)
+
+val clean : ?strict_wall:bool -> report -> bool
+(** No missing/extra records and no simulated-metric change. With
+    [strict_wall], out-of-band wall-clock drift also fails — the CLI
+    maps [--threshold] onto this. *)
+
+val render : ?strict_wall:bool -> report -> string
+(** Human-readable report: one line per difference, warnings for
+    wall-clock drift, and a final OK/REGRESSION verdict. *)

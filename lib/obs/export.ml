@@ -63,6 +63,7 @@ let histogram_json (h : Metrics.histogram_summary) =
       ("p50", Json.Float h.Metrics.p50);
       ("p90", Json.Float h.Metrics.p90);
       ("p99", Json.Float h.Metrics.p99);
+      ("dropped", Json.Int h.Metrics.dropped);
     ]
 
 let stats_json metrics =

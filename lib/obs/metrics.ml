@@ -10,6 +10,7 @@ type histo = {
   mutable sum : float;
   mutable vmin : float;
   mutable vmax : float;
+  mutable dropped : int; (* NaN / negative samples refused by [observe] *)
   buckets : int array;
 }
 
@@ -44,18 +45,26 @@ let observe t name v =
             sum = 0.0;
             vmin = infinity;
             vmax = neg_infinity;
+            dropped = 0;
             buckets = Array.make bucket_count 0;
           }
         in
         Hashtbl.replace t.histos name h;
         h
   in
-  h.count <- h.count + 1;
-  h.sum <- h.sum +. v;
-  if v < h.vmin then h.vmin <- v;
-  if v > h.vmax then h.vmax <- v;
-  let i = bucket_index v in
-  h.buckets.(i) <- h.buckets.(i) + 1
+  (* A NaN sample would poison [sum]/[mean] forever, fail both the
+     [vmin] and [vmax] comparisons, and walk [bucket_index] to the top
+     bucket; a negative duration is a caller bug. Drop either — but
+     visibly, via the [dropped] count. *)
+  if Float.is_nan v || v < 0.0 then h.dropped <- h.dropped + 1
+  else begin
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v;
+    let i = bucket_index v in
+    h.buckets.(i) <- h.buckets.(i) + 1
+  end
 
 type histogram_summary = {
   h_name : string;
@@ -67,6 +76,7 @@ type histogram_summary = {
   p50 : float;
   p90 : float;
   p99 : float;
+  dropped : int;
 }
 
 let percentile (h : histo) p =
@@ -94,6 +104,7 @@ let summarize name (h : histo) =
     p50 = percentile h 50.0;
     p90 = percentile h 90.0;
     p99 = percentile h 99.0;
+    dropped = h.dropped;
   }
 
 let histogram t name =

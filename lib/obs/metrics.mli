@@ -18,7 +18,9 @@ val counter : t -> string -> int
 (** Current value; 0 for a counter never incremented. *)
 
 val observe : t -> string -> float -> unit
-(** Record one sample (a simulated latency in ms) into a histogram. *)
+(** Record one sample (a simulated latency in ms) into a histogram.
+    NaN and negative samples are dropped — they would poison the sum
+    and the extrema — and counted in the summary's [dropped] field. *)
 
 type histogram_summary = {
   h_name : string;
@@ -30,6 +32,7 @@ type histogram_summary = {
   p50 : float;
   p90 : float;
   p99 : float;
+  dropped : int;  (** NaN / negative samples refused by [observe] *)
 }
 (** Percentiles are estimated from power-of-two buckets and clamped to
     the observed [min_v, max_v] range, so they are exact for single-value

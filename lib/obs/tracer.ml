@@ -10,10 +10,20 @@ type event = {
   args : (string * arg) list;
 }
 
+(* The ring is a preallocated structure-of-arrays: recording an event
+   writes scalar fields into the slot arrays (timestamps and durations
+   stay unboxed in the float arrays) instead of allocating an [event]
+   record, a [kind] block and an option box per push. [event] values are
+   only materialized when [events] is called — the cold path. *)
 type t = {
   now : unit -> float;
   cap : int;
-  buf : event option array;
+  names : string array;
+  cats : string array;
+  tss : float array;
+  durs : float array;
+  spans : bool array; (* false = instant (dur slot is then meaningless) *)
+  argss : (string * arg) list array;
   mutable next : int;  (* ring write cursor *)
   mutable len : int;
   mutable evicted : int;
@@ -21,15 +31,33 @@ type t = {
 
 let create ?(capacity = 4096) ~now () =
   if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
-  { now; cap = capacity; buf = Array.make capacity None; next = 0; len = 0; evicted = 0 }
+  {
+    now;
+    cap = capacity;
+    names = Array.make capacity "";
+    cats = Array.make capacity "";
+    tss = Array.make capacity 0.0;
+    durs = Array.make capacity 0.0;
+    spans = Array.make capacity false;
+    argss = Array.make capacity [];
+    next = 0;
+    len = 0;
+    evicted = 0;
+  }
 
-let push t e =
+let push t ~name ~cat ~ts ~dur ~is_span ~args =
   if t.len = t.cap then t.evicted <- t.evicted + 1 else t.len <- t.len + 1;
-  t.buf.(t.next) <- Some e;
-  t.next <- (t.next + 1) mod t.cap
+  let i = t.next in
+  t.names.(i) <- name;
+  t.cats.(i) <- cat;
+  t.tss.(i) <- ts;
+  t.durs.(i) <- dur;
+  t.spans.(i) <- is_span;
+  t.argss.(i) <- args;
+  t.next <- (i + 1) mod t.cap
 
 let instant t ?(cat = "event") ?(args = []) name =
-  push t { name; cat; ts = t.now (); kind = Instant; args }
+  push t ~name ~cat ~ts:(t.now ()) ~dur:0.0 ~is_span:false ~args
 
 type span_handle = {
   h_name : string;
@@ -42,14 +70,8 @@ let begin_span t ?(cat = "span") ?(args = []) name =
   { h_name = name; h_cat = cat; h_args = args; h_started = t.now () }
 
 let end_span t h =
-  push t
-    {
-      name = h.h_name;
-      cat = h.h_cat;
-      ts = h.h_started;
-      kind = Span { dur = t.now () -. h.h_started };
-      args = h.h_args;
-    }
+  push t ~name:h.h_name ~cat:h.h_cat ~ts:h.h_started
+    ~dur:(t.now () -. h.h_started) ~is_span:true ~args:h.h_args
 
 let with_span t ?cat ?args name f =
   let h = begin_span t ?cat ?args name in
@@ -58,16 +80,24 @@ let with_span t ?cat ?args name f =
 let events t =
   let start = (t.next - t.len + t.cap) mod t.cap in
   List.init t.len (fun i ->
-      match t.buf.((start + i) mod t.cap) with
-      | Some e -> e
-      | None -> assert false)
+      let j = (start + i) mod t.cap in
+      {
+        name = t.names.(j);
+        cat = t.cats.(j);
+        ts = t.tss.(j);
+        kind = (if t.spans.(j) then Span { dur = t.durs.(j) } else Instant);
+        args = t.argss.(j);
+      })
 
 let length t = t.len
 let capacity t = t.cap
 let dropped t = t.evicted
 
 let clear t =
-  Array.fill t.buf 0 t.cap None;
+  (* release the retained strings and args lists, not just the cursor *)
+  Array.fill t.names 0 t.cap "";
+  Array.fill t.cats 0 t.cap "";
+  Array.fill t.argss 0 t.cap [];
   t.next <- 0;
   t.len <- 0;
   t.evicted <- 0

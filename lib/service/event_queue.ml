@@ -1,37 +1,50 @@
 (* Array-backed binary min-heap on (time, insertion sequence) so that
    equal timestamps preserve FIFO order: the heap is the only source of
    nondeterminism a discrete-event simulation could have, and this kills
-   it. *)
+   it.
 
-(* [payload] is an option cleared on pop: [pop] shrinks [size] but the
-   array keeps references to popped entries (the vacated tail slot, and
-   every slot [Array.make] filled with the same dummy), so a plain ['a]
-   field would retain each completed event's payload — closures and all —
-   for the life of the queue. Clearing the field on the way out leaves
-   only a tiny payload-free shell reachable. *)
-type 'a entry = { at : float; seq : int; mutable payload : 'a option }
+   The heap is a structure-of-arrays: a push writes the timestamp, the
+   sequence number and the payload into parallel slots instead of
+   allocating a per-event entry record, and the timestamps live unboxed
+   in a float array. Sift operations swap the three scalar slots.
+
+   [payloads] slots are cleared on pop: [pop] shrinks [size] but the
+   arrays keep whatever the vacated slots last held, so a payload left
+   in place would be retained — closures and all — for the life of the
+   queue. Clearing the slot on the way out leaves nothing reachable. *)
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable ats : float array;
+  mutable seqs : int array;
+  mutable payloads : 'a option array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () =
+  { ats = [||]; seqs = [||]; payloads = [||]; size = 0; next_seq = 0 }
+
 let length t = t.size
 let is_empty t = t.size = 0
 
-let before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+let before t i j =
+  t.ats.(i) < t.ats.(j) || (t.ats.(i) = t.ats.(j) && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  let at = t.ats.(i) in
+  t.ats.(i) <- t.ats.(j);
+  t.ats.(j) <- at;
+  let seq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- seq;
+  let payload = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- payload
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
+    if before t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -40,41 +53,53 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.size && before t l !smallest then smallest := l;
+  if r < t.size && before t r !smallest then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
+let grow t =
+  let capacity = max 16 (2 * t.size) in
+  let ats = Array.make capacity nan in
+  let seqs = Array.make capacity 0 in
+  let payloads = Array.make capacity None in
+  Array.blit t.ats 0 ats 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.payloads 0 payloads 0 t.size;
+  t.ats <- ats;
+  t.seqs <- seqs;
+  t.payloads <- payloads
+
 let push t ~at_ms payload =
   if Float.is_nan at_ms then invalid_arg "Event_queue.push: NaN timestamp";
-  let entry = { at = at_ms; seq = t.next_seq; payload = Some payload } in
+  if t.size = Array.length t.ats then grow t;
+  let i = t.size in
+  t.ats.(i) <- at_ms;
+  t.seqs.(i) <- t.next_seq;
+  t.payloads.(i) <- Some payload;
   t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.heap then begin
-    let capacity = max 16 (2 * t.size) in
-    let grown = Array.make capacity entry in
-    Array.blit t.heap 0 grown 0 t.size;
-    t.heap <- grown
-  end;
-  t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t i
 
-let peek_ms t = if t.size = 0 then None else Some t.heap.(0).at
+let peek_ms t = if t.size = 0 then None else Some t.ats.(0)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
+    let at = t.ats.(0) in
+    let payload = t.payloads.(0) in
     t.size <- t.size - 1;
     if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
+      t.ats.(0) <- t.ats.(t.size);
+      t.seqs.(0) <- t.seqs.(t.size);
+      t.payloads.(0) <- t.payloads.(t.size);
+      t.payloads.(t.size) <- None;
       sift_down t 0
-    end;
-    match top.payload with
-    | None -> assert false (* every live entry holds its payload *)
-    | Some payload ->
-        top.payload <- None;
-        Some (top.at, payload)
+    end
+    else t.payloads.(0) <- None;
+    match payload with
+    | None -> assert false (* every live slot holds its payload *)
+    | Some payload -> Some (at, payload)
   end

@@ -494,13 +494,20 @@ type summary = {
   dma_storms : int;
 }
 
-(* nearest-rank percentile over an already-sorted array *)
+(* Nearest-rank percentile over an already-sorted array. Total on every
+   sample count: a run where every request was rejected or crashed has
+   no latencies at all (n = 0 -> 0.0), and a single sample must answer
+   every percentile with itself. The rank is clamped into [1, n] so a
+   degenerate [p] (<= 0 or >= 100) still lands on a real element
+   instead of indexing outside the array. *)
 let percentile sorted p =
   let n = Array.length sorted in
   if n = 0 then 0.0
-  else
+  else begin
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-    sorted.(max 0 (min (n - 1) (rank - 1)))
+    let rank = max 1 (min n rank) in
+    sorted.(rank - 1)
+  end
 
 let summary t =
   let all = dispositions t in

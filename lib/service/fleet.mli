@@ -162,6 +162,13 @@ type summary = {
   dma_storms : int;  (** injected DMA storm bursts *)
 }
 
+val percentile : float array -> float -> float
+(** Nearest-rank percentile over an already-sorted array — the estimator
+    [summary] uses for p50/p95. Total: 0.0 on an empty array (a run
+    where every request was rejected or crashed has no latencies), the
+    sole element for every [p] on a singleton, and the rank clamped into
+    the array for degenerate [p]. Exposed for the regression tests. *)
+
 val summary : t -> summary
 (** Exact (not bucketed) percentiles over the completed requests'
     client-perceived latencies. *)

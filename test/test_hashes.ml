@@ -117,6 +117,27 @@ let test_hmac_verify () =
     (Hmac.verify Hash.SHA1 ~key ~msg ~tag:(String.make 20 '\000'));
   Alcotest.(check bool) "bad msg" false (Hmac.verify Hash.SHA1 ~key ~msg:"other" ~tag)
 
+let test_finalize_once () =
+  (* reusing a finalized streaming context must raise, not silently hash
+     into dead state: the second finalize used to re-pad and return a
+     different digest for the "same" data *)
+  let expect_invalid name f =
+    Alcotest.(check bool) name true
+      (match f () with exception Invalid_argument _ -> true | _ -> false)
+  in
+  let ctx = Sha1.init () in
+  Sha1.update ctx "abc";
+  let d = Sha1.finalize ctx in
+  check "first finalize correct" (Sha1.hex "abc") (Util.to_hex d);
+  expect_invalid "sha1 double finalize" (fun () -> Sha1.finalize ctx);
+  expect_invalid "sha1 update after finalize" (fun () -> Sha1.update ctx "x");
+  let ctx = Sha256.init () in
+  Sha256.update ctx "abc";
+  ignore (Sha256.finalize ctx);
+  expect_invalid "sha256 double finalize" (fun () -> Sha256.finalize ctx);
+  expect_invalid "sha256 update after finalize" (fun () ->
+      Sha256.update ctx "x")
+
 let prop_incremental alg oneshot init update finalize =
   QCheck.Test.make
     ~name:(Printf.sprintf "%s incremental = one-shot" alg)
@@ -155,6 +176,7 @@ let () =
           Alcotest.test_case "sha1 incremental" `Quick test_incremental_sha1;
           Alcotest.test_case "padding boundaries" `Quick test_padding_boundaries;
           Alcotest.test_case "facade" `Quick test_hash_facade;
+          Alcotest.test_case "finalize is terminal" `Quick test_finalize_once;
         ] );
       ( "hmac",
         [

@@ -119,6 +119,23 @@ let test_histograms () =
       Alcotest.(check (float 1e-9)) "single p50" 42.0 h.Metrics.p50;
       Alcotest.(check (float 1e-9)) "single p99" 42.0 h.Metrics.p99
 
+let test_observe_guard () =
+  (* regression: a single NaN sample used to poison sum/mean/min/max for
+     the rest of the series; negatives broke the bucket walk. Both must
+     be dropped and counted, leaving the good samples' stats intact. *)
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m "lat") [ 1.0; Float.nan; -5.0; 3.0; Float.neg_infinity ];
+  match Metrics.histogram m "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check int) "count excludes dropped" 2 h.Metrics.count;
+      Alcotest.(check int) "dropped counted" 3 h.Metrics.dropped;
+      Alcotest.(check (float 1e-9)) "sum unpoisoned" 4.0 h.Metrics.sum;
+      Alcotest.(check (float 1e-9)) "mean unpoisoned" 2.0 h.Metrics.mean;
+      Alcotest.(check (float 1e-9)) "min unpoisoned" 1.0 h.Metrics.min_v;
+      Alcotest.(check (float 1e-9)) "max unpoisoned" 3.0 h.Metrics.max_v;
+      Alcotest.(check bool) "p50 finite" true (Float.is_finite h.Metrics.p50)
+
 (* --- JSON / exporters --- *)
 
 let test_json_roundtrip () =
@@ -135,6 +152,24 @@ let test_json_roundtrip () =
   in
   match Json.of_string (Json.to_string v) with
   | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_control_chars () =
+  (* every control character 0x00-0x1F must survive a round-trip — PAL
+     inputs/outputs are arbitrary bytes and end up in trace args *)
+  for c = 0 to 0x1f do
+    let s = Printf.sprintf "a%cb" (Char.chr c) in
+    let v = Json.Obj [ ("k", Json.String s) ] in
+    match Json.of_string (Json.to_string v) with
+    | Ok v' ->
+        Alcotest.(check bool) (Printf.sprintf "0x%02x roundtrip" c) true (v = v')
+    | Error e -> Alcotest.failf "0x%02x: parse failed: %s" c e
+  done;
+  (* the full span in one string, plus the chars with short escapes *)
+  let all = String.init 0x20 Char.chr ^ "\"\\/" in
+  match Json.of_string (Json.to_string (Json.String all)) with
+  | Ok (Json.String s) -> Alcotest.(check string) "all controls" all s
+  | Ok _ -> Alcotest.fail "wrong shape"
   | Error e -> Alcotest.failf "parse failed: %s" e
 
 let test_chrome_trace_wellformed () =
@@ -184,6 +219,95 @@ let test_stats_json () =
           Alcotest.(check bool) "histogram named" true
             (Json.member "name" h = Some (Json.String "lat"))
       | _ -> Alcotest.fail "histograms wrong")
+
+(* --- bench diff --- *)
+
+let doc records =
+  (* records: (label, metric fields) under one artifact tag *)
+  Json.List
+    (List.map
+       (fun (label, fields) ->
+         Json.Obj
+           (("artifact", Json.String "t") :: ("label", Json.String label) :: fields))
+       records)
+
+let diff ?wall_tolerance_pct baseline current =
+  match Bench_diff.compare ?wall_tolerance_pct ~baseline ~current () with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "compare failed: %s" e
+
+let test_bench_diff_clean () =
+  let d =
+    doc
+      [
+        ("a", [ ("ms", Json.Float 1.5); ("ops", Json.Int 9) ]);
+        ("b", [ ("ops", Json.Int 2) ]);
+      ]
+  in
+  let r = diff d d in
+  Alcotest.(check int) "records" 2 r.Bench_diff.records_compared;
+  (* identity fields (artifact, label) are compared like any other *)
+  Alcotest.(check int) "fields" 7 r.Bench_diff.fields_identical;
+  Alcotest.(check bool) "clean" true (Bench_diff.clean r);
+  Alcotest.(check bool) "clean strict" true (Bench_diff.clean ~strict_wall:true r)
+
+let test_bench_diff_metric_change () =
+  let base = doc [ ("a", [ ("ops", Json.Int 9) ]) ] in
+  let cur = doc [ ("a", [ ("ops", Json.Int 8) ]) ] in
+  let r = diff base cur in
+  Alcotest.(check bool) "not clean" false (Bench_diff.clean r);
+  match r.Bench_diff.regressions with
+  | [ d ] ->
+      Alcotest.(check string) "record" "t/a" d.Bench_diff.record;
+      Alcotest.(check string) "field" "ops" d.Bench_diff.field
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l)
+
+let test_bench_diff_wall_band () =
+  let base = doc [ ("a", [ ("wall_ms", Json.Float 10.0) ]) ] in
+  let near = doc [ ("a", [ ("wall_ms", Json.Float 11.0) ]) ] in
+  let far = doc [ ("a", [ ("wall_ms", Json.Float 20.0) ]) ] in
+  let r = diff base near in
+  Alcotest.(check int) "in band" 1 r.Bench_diff.wall_within;
+  Alcotest.(check bool) "near clean" true (Bench_diff.clean ~strict_wall:true r);
+  let r = diff base far in
+  Alcotest.(check int) "drifted" 1 (List.length r.Bench_diff.wall_drift);
+  (* wall drift warns by default and only fails under --threshold *)
+  Alcotest.(check bool) "default clean" true (Bench_diff.clean r);
+  Alcotest.(check bool) "strict fails" false (Bench_diff.clean ~strict_wall:true r);
+  let r = diff ~wall_tolerance_pct:150.0 base far in
+  Alcotest.(check bool) "wide band absorbs" true
+    (Bench_diff.clean ~strict_wall:true r)
+
+let test_bench_diff_schema () =
+  let base = doc [ ("a", [ ("ops", Json.Int 1) ]); ("gone", []) ] in
+  let cur =
+    doc [ ("a", [ ("ops", Json.Int 1); ("extra_field", Json.Int 7) ]); ("new", []) ]
+  in
+  let r = diff base cur in
+  Alcotest.(check (list string)) "missing" [ "t/gone" ] r.Bench_diff.missing;
+  Alcotest.(check (list string)) "extra" [ "t/new" ] r.Bench_diff.extra;
+  (* an unbaselined field is a schema regression too *)
+  Alcotest.(check int) "field regressions" 1 (List.length r.Bench_diff.regressions);
+  Alcotest.(check bool) "not clean" false (Bench_diff.clean r)
+
+let test_bench_diff_duplicate_labels () =
+  (* repeated (artifact, label) pairs pair up by occurrence order *)
+  let base = doc [ ("a", [ ("v", Json.Int 1) ]); ("a", [ ("v", Json.Int 2) ]) ] in
+  let cur = doc [ ("a", [ ("v", Json.Int 1) ]); ("a", [ ("v", Json.Int 3) ]) ] in
+  let r = diff base cur in
+  Alcotest.(check int) "records" 2 r.Bench_diff.records_compared;
+  match r.Bench_diff.regressions with
+  | [ d ] -> Alcotest.(check string) "second occurrence" "t/a#1" d.Bench_diff.record
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l)
+
+let test_bench_diff_malformed () =
+  let bad = Json.Obj [] in
+  let ok = doc [] in
+  Alcotest.(check bool) "non-array rejected" true
+    (Result.is_error (Bench_diff.compare ~baseline:bad ~current:ok ()));
+  let untagged = Json.List [ Json.Obj [ ("x", Json.Int 1) ] ] in
+  Alcotest.(check bool) "untagged record rejected" true
+    (Result.is_error (Bench_diff.compare ~baseline:ok ~current:untagged ()))
 
 (* --- regression: TPM driver released on PAL exception --- *)
 
@@ -320,12 +444,29 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "observe drops NaN and negatives" `Quick
+            test_observe_guard;
         ] );
       ( "export",
         [
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "json control chars" `Quick test_json_control_chars;
           Alcotest.test_case "chrome trace" `Quick test_chrome_trace_wellformed;
           Alcotest.test_case "stats json" `Quick test_stats_json;
+        ] );
+      ( "bench-diff",
+        [
+          Alcotest.test_case "identical is clean" `Quick test_bench_diff_clean;
+          Alcotest.test_case "metric change regresses" `Quick
+            test_bench_diff_metric_change;
+          Alcotest.test_case "wall-clock tolerance band" `Quick
+            test_bench_diff_wall_band;
+          Alcotest.test_case "schema changes regress" `Quick
+            test_bench_diff_schema;
+          Alcotest.test_case "duplicate labels pair by occurrence" `Quick
+            test_bench_diff_duplicate_labels;
+          Alcotest.test_case "malformed input rejected" `Quick
+            test_bench_diff_malformed;
         ] );
       ( "regressions",
         [

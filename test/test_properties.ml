@@ -157,6 +157,82 @@ let prop_seal_binds_to_pal =
       in
       seal_out = "sealed" && unseal_out = data)
 
+let prop_measurement_memo_transparent =
+  (* the content-keyed measurement cache must be invisible: for random
+     PAL bodies, flavors, load addresses, and ACM choices, the memoized
+     path equals the unmemoized reference computed straight from
+     Builder.initialize + Sha1.digest *)
+  let arb_body = QCheck.string_of_size QCheck.Gen.(int_range 0 300) in
+  let arb_base = QCheck.make QCheck.Gen.(map (fun k -> 0x10000 * (k + 1)) (int_range 0 30)) in
+  QCheck.Test.make ~name:"measurement memoization is transparent" ~count:40
+    (QCheck.quad arb_body arb_flavor arb_base QCheck.bool)
+    (fun (body, flavor, slb_base, with_acm) ->
+      let pal =
+        Pal.define ~name:("memo-" ^ Sha1.hex body) (fun env ->
+            Pal_env.set_output env body)
+      in
+      let image = Builder.build ~flavor pal in
+      let reference_bytes = Builder.initialize image ~slb_base in
+      let reference_measured =
+        Sha1.digest (String.sub reference_bytes 0 image.Builder.measured_length)
+      in
+      let acm = if with_acm then Some "acm-code" else None in
+      let reference_launch =
+        let start =
+          match acm with
+          | None -> Flicker_tpm.Tpm_types.zero_digest
+          | Some a ->
+              Sha1.digest (Flicker_tpm.Tpm_types.zero_digest ^ Sha1.digest a)
+        in
+        let v = Sha1.digest (start ^ reference_measured) in
+        match flavor with
+        | Builder.Standard -> v
+        | Builder.Optimized -> Sha1.digest (v ^ Sha1.digest reference_bytes)
+      in
+      (* run each memoized accessor twice: once cold, once from cache *)
+      let twice f = f () = f () && f () = f () in
+      Measurement.initialized image ~slb_base = reference_bytes
+      && twice (fun () -> Measurement.initialized image ~slb_base)
+      && Measurement.of_image image ~slb_base = reference_measured
+      && Measurement.window_hash image ~slb_base = Sha1.digest reference_bytes
+      && Measurement.window_digest reference_bytes = Sha1.digest reference_bytes
+      && Measurement.after_launch ?acm image ~slb_base = reference_launch
+      (* a different load address misses the cache and re-derives *)
+      && Measurement.of_image image ~slb_base:(slb_base + 0x10000)
+         = Sha1.digest
+             (String.sub
+                (Builder.initialize image ~slb_base:(slb_base + 0x10000))
+                0 image.Builder.measured_length))
+
+let test_measurement_cache_invalidation () =
+  Measurement.clear_cache ();
+  let pal = Pal.define ~name:"memo-invalidate" (fun env -> Pal_env.set_output env "x") in
+  let image = Builder.build ~flavor:Builder.Optimized pal in
+  let d1 = Measurement.of_image image ~slb_base:0x100000 in
+  let hits0, misses0 = Measurement.cache_stats () in
+  Alcotest.(check int) "first lookup misses" 1 misses0;
+  Alcotest.(check int) "no hits yet" 0 hits0;
+  let d1' = Measurement.of_image image ~slb_base:0x100000 in
+  let hits1, misses1 = Measurement.cache_stats () in
+  Alcotest.(check bool) "hit returns same digest" true (d1 = d1');
+  Alcotest.(check int) "second lookup hits" 1 hits1;
+  Alcotest.(check int) "no new miss" 1 misses1;
+  (* changing slb_base changes the key: a miss, and a different digest
+     (the patched entry point differs) *)
+  let d2 = Measurement.of_image image ~slb_base:0x200000 in
+  let _, misses2 = Measurement.cache_stats () in
+  Alcotest.(check int) "new base misses" 2 misses2;
+  Alcotest.(check bool) "new base re-derives" true
+    (d2 = Sha1.digest
+            (String.sub
+               (Builder.initialize image ~slb_base:0x200000)
+               0 image.Builder.measured_length));
+  (* clear_cache drops everything but changes no results *)
+  Measurement.clear_cache ();
+  Alcotest.(check (pair int int)) "stats zeroed" (0, 0) (Measurement.cache_stats ());
+  Alcotest.(check bool) "post-clear digest unchanged" true
+    (Measurement.of_image image ~slb_base:0x100000 = d1)
+
 let () =
   Alcotest.run "session-properties"
     [
@@ -170,5 +246,11 @@ let () =
             prop_attestation_sound;
             prop_outputs_deterministic;
             prop_seal_binds_to_pal;
+            prop_measurement_memo_transparent;
           ] );
+      ( "measurement-cache",
+        [
+          Alcotest.test_case "invalidation on slb_base change" `Quick
+            test_measurement_cache_invalidation;
+        ] );
     ]

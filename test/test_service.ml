@@ -569,6 +569,27 @@ let test_retry_busy_exhaustion () =
   Alcotest.(check int) "retries counted" 2
     (Metrics.counter p.Platform.machine.Machine.metrics "session.busy_retries")
 
+(* --- percentile estimator ------------------------------------------- *)
+
+let test_percentile_degenerate () =
+  (* regression: the nearest-rank estimator indexed [rank] instead of
+     [rank - 1], reading one past the p100 element, and an all-rejected
+     run (no latencies at all) raised on the empty array *)
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Fleet.percentile [||] 50.0);
+  Alcotest.(check (float 1e-9)) "singleton p50" 7.0 (Fleet.percentile [| 7.0 |] 50.0);
+  Alcotest.(check (float 1e-9)) "singleton p95" 7.0 (Fleet.percentile [| 7.0 |] 95.0);
+  Alcotest.(check (float 1e-9)) "singleton p100" 7.0 (Fleet.percentile [| 7.0 |] 100.0);
+  let two = [| 1.0; 2.0 |] in
+  Alcotest.(check (float 1e-9)) "pair p50" 1.0 (Fleet.percentile two 50.0);
+  Alcotest.(check (float 1e-9)) "pair p95" 2.0 (Fleet.percentile two 95.0);
+  Alcotest.(check (float 1e-9)) "pair p100" 2.0 (Fleet.percentile two 100.0);
+  (* degenerate p clamps into the array instead of indexing outside it *)
+  Alcotest.(check (float 1e-9)) "p0 clamps" 1.0 (Fleet.percentile two 0.0);
+  Alcotest.(check (float 1e-9)) "p>100 clamps" 2.0 (Fleet.percentile two 120.0);
+  let ten = Array.init 10 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50 of 10" 5.0 (Fleet.percentile ten 50.0);
+  Alcotest.(check (float 1e-9)) "p95 of 10" 10.0 (Fleet.percentile ten 95.0)
+
 let () =
   Alcotest.run "service"
     [
@@ -588,6 +609,8 @@ let () =
           Alcotest.test_case "sealed affinity" `Quick test_sealed_affinity_routing;
           Alcotest.test_case "home overrides policy" `Quick test_home_overrides_policy;
           Alcotest.test_case "batching amortization" `Quick test_batching_amortization;
+          Alcotest.test_case "percentile degenerate samples" `Quick
+            test_percentile_degenerate;
         ] );
       ( "ca-batching",
         [
