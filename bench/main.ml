@@ -43,6 +43,7 @@ let known =
         Paper.figure9 ~timing () );
     ("fleet", Fleet.run);
     ("chaos", Chaos.run);
+    ("serve", Serve.run);
     ("analyze", Analysis.run);
     ("verify", Verify.run);
     ("micro", Micro.run);
@@ -51,7 +52,7 @@ let known =
 let all_in_order =
   [ "table1"; "table2"; "table3"; "table4"; "figure6"; "figure8"; "figure9";
     "ca"; "impact"; "ablation"; "keygen"; "burden"; "txt"; "fleet"; "chaos";
-    "analyze"; "verify"; "micro" ]
+    "serve"; "analyze"; "verify"; "micro" ]
 
 (* "paper" regenerates every Section 7 table/figure artifact in one run —
    the unit the committed BENCH_paper.json baseline covers (the other

@@ -886,6 +886,139 @@ let chaos_cmd =
           $ retry_budget_arg $ breaker_failures_arg $ breaker_cooldown_arg
           $ verbose_arg)
 
+(* --- serve --- *)
+
+let serve_run seed tpm platforms batch queue_depth clients interactive
+    per_client mean_gap deadline hit_pct capacity ttl rate as_json out verbose =
+  setup_logging verbose;
+  let module Fleet = Flicker_service.Fleet in
+  let module Request = Flicker_service.Request in
+  let module Serve = Flicker_serve.Serve in
+  let module Injector = Flicker_fault.Injector in
+  if hit_pct < 0 || hit_pct > 100 then begin
+    prerr_endline "--hit-pct must be within [0, 100]";
+    exit 2
+  end;
+  if rate < 0.0 || rate > 1.0 then begin
+    prerr_endline "--rate must be within [0, 1]";
+    exit 2
+  end;
+  let fleet_cfg =
+    {
+      Fleet.default_config with
+      platforms;
+      batch_size = batch;
+      queue_depth;
+      seed;
+      timing = Timing.with_tpm tpm Timing.default;
+      faults = (if rate > 0.0 then Some (Injector.scaled rate) else None);
+      retry_budget = (if rate > 0.0 then 2 else 0);
+      breaker_failures = (if rate > 0.0 then 3 else 0);
+    }
+  in
+  let config =
+    { Serve.default_config with Serve.fleet = fleet_cfg;
+      cache_capacity = capacity; cache_ttl_ms = ttl }
+  in
+  let pool = 10 in
+  let warm =
+    if hit_pct = 0 then []
+    else List.init pool (fun i -> Printf.sprintf "hot-%d" i)
+  in
+  let t = Serve.create ~config ~warm () in
+  let fleet = Serve.fleet t in
+  (* spread hot indices evenly (Bresenham): request k is hot exactly
+     when floor((k+1)*pct/100) > floor(k*pct/100), so the offered hit
+     fraction is exact for any load size *)
+  let payload_for k =
+    if ((k + 1) * hit_pct / 100) - (k * hit_pct / 100) > 0 then
+      Printf.sprintf "hot-%d" (k mod pool)
+    else Printf.sprintf "cold-%d" k
+  in
+  if interactive > 0 then
+    Fleet.submit_open_loop fleet ~clients:interactive ~per_client
+      ~mean_gap_ms:mean_gap ~tier:Request.Interactive ?deadline_ms:deadline
+      ~payload:(fun ~client ~seq -> payload_for ((client * per_client) + seq))
+      ();
+  Fleet.submit_open_loop fleet ~clients ~per_client ~mean_gap_ms:mean_gap
+    ~tier:Request.Batch
+    ~payload:(fun ~client ~seq ->
+      payload_for (((client + interactive) * per_client) + seq))
+    ();
+  Fleet.run fleet;
+  (* every cache-served result must still carry a verifiable bundle *)
+  let ok = ref 0 and stale = ref 0 and bad = ref 0 in
+  List.iter
+    (fun ((req : Flicker_service.Request.t), disposition) ->
+      match disposition with
+      | Request.Completed c when c.Request.batch = 0 -> (
+          match Serve.bundle_for t req.Request.id with
+          | None -> incr bad
+          | Some b -> (
+              match Serve.verify_bundle t b with
+              | Ok () -> incr ok
+              | Error (Serve.Stale _) -> incr stale
+              | Error _ -> incr bad))
+      | _ -> ())
+    (Fleet.dispositions fleet);
+  Format.printf "%a@." Fleet.pp_summary (Fleet.summary fleet);
+  Printf.printf "cache-hit bundles appraised: %d ok, %d stale, %d bad\n" !ok
+    !stale !bad;
+  let metrics = Serve.metrics t in
+  let text =
+    if as_json then
+      Flicker_obs.Json.to_string (Flicker_obs.Export.stats_json metrics) ^ "\n"
+    else Flicker_obs.Export.stats_summary metrics
+  in
+  (match out with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "serve stats written to %s\n" path);
+  if !bad > 0 then 1 else 0
+
+let hit_pct_arg =
+  Arg.(value & opt int 50
+       & info [ "hit-pct" ] ~docv:"PCT"
+           ~doc:"Percentage of requests drawn from the pre-warmed payload \
+                 pool (exact by construction).")
+
+let interactive_arg =
+  Arg.(value & opt int 2
+       & info [ "interactive" ] ~docv:"N"
+           ~doc:"Interactive-tier clients admitted ahead of the batch tier \
+                 (0 disables the tier).")
+
+let capacity_arg =
+  Arg.(value & opt int 1024
+       & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"Result-cache capacity; least-recently-used entries are \
+                 evicted beyond it.")
+
+let ttl_arg =
+  Arg.(value & opt (some float) None
+       & info [ "cache-ttl" ] ~docv:"MS"
+           ~doc:"Result-cache entry lifetime on the simulated clock \
+                 (absent: entries never expire).")
+
+let serve_rate_arg =
+  Arg.(value & opt float 0.0
+       & info [ "rate" ] ~docv:"R"
+           ~doc:"Base fault rate in [0,1]; nonzero also enables retries \
+                 (budget 2) and the circuit breaker (3 failures).")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a two-tier load through the attested result cache and \
+             appraise every cache hit")
+    Term.(const serve_run $ seed_arg $ tpm_arg $ platforms_arg $ batch_arg
+          $ queue_depth_arg $ clients_arg $ interactive_arg $ per_client_arg
+          $ mean_gap_arg $ deadline_arg $ hit_pct_arg $ capacity_arg $ ttl_arg
+          $ serve_rate_arg $ stats_json_arg $ out_arg $ verbose_arg)
+
 (* --- info --- *)
 
 let info_run tpm =
@@ -912,6 +1045,6 @@ let () =
   let main = Cmd.group (Cmd.info "flicker" ~version:"1.0.0" ~doc)
       [ hello_cmd; scan_cmd; ssh_cmd; ca_cmd; factor_cmd; tcb_cmd; extract_cmd;
         analyze_cmd; check_cmd;
-        trace_cmd; stats_cmd; fleet_cmd; chaos_cmd; info_cmd ]
+        trace_cmd; stats_cmd; fleet_cmd; chaos_cmd; serve_cmd; info_cmd ]
   in
   exit (Cmd.eval' main)

@@ -63,5 +63,20 @@ val audit_log : server -> (int * string) list
 val verify_certificate :
   ca_key:Flicker_crypto.Rsa.public -> certificate -> bool
 
+type verify_cache
+(** Memoized {!verify_certificate} verdicts for one CA key. A relying
+    party appraising many certificates sees the same few repeatedly;
+    the RSA verify depends only on the certificate bytes and the CA
+    key, so the verdict (including a negative one) is cached. *)
+
+val verify_cache : ca_key:Flicker_crypto.Rsa.public -> unit -> verify_cache
+
+val verify_certificate_cached : verify_cache -> certificate -> bool
+(** Same verdict as {!verify_certificate} with the cache's key, but the
+    RSA verify runs only on the first sight of each certificate. *)
+
+val verify_cache_stats : verify_cache -> int * int
+(** [(hits, misses)] — misses count actual RSA verifications run. *)
+
 val encode_certificate : certificate -> string
 val decode_certificate : string -> (certificate, string) result

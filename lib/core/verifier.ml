@@ -42,32 +42,48 @@ let expected_pcr17 expectation ~inputs ~outputs =
   Measurement.final ?acm:expectation.acm ~pal_extends:expectation.pal_extends image
     ~slb_base:expectation.slb_base ~inputs ~outputs ~nonce:(Some expectation.nonce)
 
+(* The staged checks below are exposed separately so an appraisal cache
+   (lib/serve) can memoize the expensive host-crypto stages — certificate
+   and quote-signature verification — while always re-running the cheap,
+   context-dependent ones (nonce, PCR recomputation). *)
+
+let quote_payload (quote : Tpm.quote) =
+  "QUOT"
+  ^ Tpm_types.composite_hash quote.Tpm.quoted_composite
+  ^ quote.Tpm.quote_nonce
+
+let check_certificate ~ca_key cert =
+  if Privacy_ca.verify_certificate ~ca_key cert then Ok ()
+  else Error Bad_certificate
+
+let check_quote_signature ~aik (quote : Tpm.quote) =
+  if
+    Pkcs1.verify aik Hash.SHA1 ~msg:(quote_payload quote)
+      ~signature:quote.Tpm.signature
+  then Ok ()
+  else Error Bad_signature
+
+let check_freshness expectation (quote : Tpm.quote) =
+  if Util.constant_time_equal quote.Tpm.quote_nonce expectation.nonce then Ok ()
+  else Error Nonce_mismatch
+
+let check_pcr17 expectation (evidence : Attestation.evidence) =
+  let quote = evidence.Attestation.quote in
+  match List.assoc_opt 17 quote.Tpm.quoted_composite with
+  | None -> Error Missing_pcr17
+  | Some got ->
+      let expected =
+        expected_pcr17 expectation ~inputs:evidence.Attestation.claimed_inputs
+          ~outputs:evidence.Attestation.claimed_outputs
+      in
+      if Util.constant_time_equal expected got then Ok ()
+      else Error (Pcr_mismatch { expected; got })
+
 let verify ~ca_key expectation (evidence : Attestation.evidence) =
+  let ( let* ) = Result.bind in
   let cert = evidence.Attestation.aik_cert in
-  if not (Privacy_ca.verify_certificate ~ca_key cert) then Error Bad_certificate
-  else begin
-    let quote = evidence.Attestation.quote in
-    let payload =
-      "QUOT"
-      ^ Tpm_types.composite_hash quote.Tpm.quoted_composite
-      ^ quote.Tpm.quote_nonce
-    in
-    if
-      not
-        (Pkcs1.verify cert.Privacy_ca.subject_aik Hash.SHA1 ~msg:payload
-           ~signature:quote.Tpm.signature)
-    then Error Bad_signature
-    else if not (Util.constant_time_equal quote.Tpm.quote_nonce expectation.nonce)
-    then Error Nonce_mismatch
-    else begin
-      match List.assoc_opt 17 quote.Tpm.quoted_composite with
-      | None -> Error Missing_pcr17
-      | Some got ->
-          let expected =
-            expected_pcr17 expectation ~inputs:evidence.Attestation.claimed_inputs
-              ~outputs:evidence.Attestation.claimed_outputs
-          in
-          if Util.constant_time_equal expected got then Ok ()
-          else Error (Pcr_mismatch { expected; got })
-    end
-  end
+  let quote = evidence.Attestation.quote in
+  let* () = check_certificate ~ca_key cert in
+  let* () = check_quote_signature ~aik:cert.Privacy_ca.subject_aik quote in
+  let* () = check_freshness expectation quote in
+  check_pcr17 expectation evidence

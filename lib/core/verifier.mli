@@ -56,3 +56,35 @@ val verify :
 
 val expected_pcr17 : expectation -> inputs:string -> outputs:string -> string
 (** The capped PCR 17 value implied by an expectation. *)
+
+(** {2 Staged checks}
+
+    [verify] is the composition of the four checks below, in order. They
+    are exposed so an appraisal cache can memoize the host-crypto
+    stages — certificate and quote-signature verification, whose cost
+    scales with RSA — while re-running the cheap context-dependent ones
+    (freshness, PCR recomputation) on every appraisal. *)
+
+val quote_payload : Flicker_tpm.Tpm.quote -> string
+(** The exact byte string the TPM signed: ["QUOT"] followed by the
+    composite hash of the quoted PCRs and the challenge nonce. *)
+
+val check_certificate :
+  ca_key:Flicker_crypto.Rsa.public ->
+  Flicker_tpm.Privacy_ca.aik_certificate ->
+  (unit, failure) result
+(** Does the AIK certificate chain to the trusted CA? *)
+
+val check_quote_signature :
+  aik:Flicker_crypto.Rsa.public ->
+  Flicker_tpm.Tpm.quote ->
+  (unit, failure) result
+(** Does the quote's signature over {!quote_payload} check under the
+    certified AIK? *)
+
+val check_freshness : expectation -> Flicker_tpm.Tpm.quote -> (unit, failure) result
+(** Is the quoted nonce the challenge we sent? (Constant-time.) *)
+
+val check_pcr17 : expectation -> Attestation.evidence -> (unit, failure) result
+(** Does quoted PCR 17 equal the value implied by the expectation and
+    the claimed inputs/outputs? *)

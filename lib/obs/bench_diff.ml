@@ -38,13 +38,18 @@ type report = {
   fields_identical : int;
   missing : string list;  (* baseline records absent from the new run *)
   extra : string list;  (* new-run records absent from the baseline *)
+  new_artifacts : (string * int) list;
+      (* artifacts with no baseline record at all: (name, record count).
+         Their records are reported here, not as [extra] — the fix is
+         committing a baseline, not hunting for schema drift *)
   regressions : field_diff list;  (* simulated metrics that changed *)
   wall_within : int;  (* wall-clock fields inside the tolerance band *)
   wall_drift : field_diff list;  (* wall-clock fields beyond it *)
 }
 
 let clean ?(strict_wall = false) r =
-  r.missing = [] && r.extra = [] && r.regressions = []
+  r.missing = [] && r.extra = [] && r.new_artifacts = []
+  && r.regressions = []
   && ((not strict_wall) || r.wall_drift = [])
 
 let str_field fields name =
@@ -113,12 +118,36 @@ let compare ?(wall_tolerance_pct = 25.0) ~baseline ~current () =
       let missing =
         List.filter (fun id -> not (Hashtbl.mem new_tbl id)) old_ids
       in
+      (* an artifact with no baseline record at all is a different
+         failure than schema drift within a known artifact: the fix is
+         to commit its baseline, so report it separately *)
+      let baseline_artifacts = Hashtbl.create 8 in
+      List.iter
+        (fun (artifact, _, _) -> Hashtbl.replace baseline_artifacts artifact ())
+        old_rows;
+      let new_artifacts =
+        let order = ref [] and counts = Hashtbl.create 8 in
+        List.iter
+          (fun (artifact, _, _) ->
+            if not (Hashtbl.mem baseline_artifacts artifact) then begin
+              if not (Hashtbl.mem counts artifact) then
+                order := artifact :: !order;
+              Hashtbl.replace counts artifact
+                (1
+                + Option.value ~default:0 (Hashtbl.find_opt counts artifact))
+            end)
+          new_rows;
+        List.rev_map (fun a -> (a, Hashtbl.find counts a)) !order
+      in
       let extra =
         let old_set = Hashtbl.create 64 in
         List.iter (fun id -> Hashtbl.replace old_set id ()) old_ids;
         List.filter_map
-          (fun (id, _) -> if Hashtbl.mem old_set id then None else Some id)
-          new_tagged
+          (fun ((artifact, _, _), (id, _)) ->
+            if Hashtbl.mem old_set id || List.mem_assoc artifact new_artifacts
+            then None
+            else Some id)
+          (List.combine new_rows new_tagged)
       in
       let records_compared = ref 0 in
       let fields_identical = ref 0 in
@@ -199,6 +228,7 @@ let compare ?(wall_tolerance_pct = 25.0) ~baseline ~current () =
           fields_identical = !fields_identical;
           missing;
           extra;
+          new_artifacts;
           regressions = List.rev !regressions;
           wall_within = !wall_within;
           wall_drift = List.rev !wall_drift;
@@ -213,6 +243,14 @@ let render ?(strict_wall = false) r =
     r.records_compared r.fields_identical r.wall_within;
   List.iter (fun id -> add "MISSING in new run: %s\n" id) r.missing;
   List.iter (fun id -> add "EXTRA in new run (not in baseline): %s\n" id) r.extra;
+  List.iter
+    (fun (artifact, n) ->
+      add
+        "NEW ARTIFACT %S: %d record(s) with no baseline at all — this is an \
+         unbaselined artifact, not schema drift; regenerate and commit its \
+         BENCH_%s.json baseline\n"
+        artifact n artifact)
+    r.new_artifacts;
   List.iter
     (fun d ->
       add "REGRESSION %s %s: %s -> %s\n" d.record d.field (pp_value d.old_value)

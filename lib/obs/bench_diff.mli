@@ -25,6 +25,12 @@ type report = {
   fields_identical : int;
   missing : string list;  (** baseline records absent from the new run *)
   extra : string list;  (** new-run records absent from the baseline *)
+  new_artifacts : (string * int) list;
+      (** artifacts in the new run with no baseline record at all, as
+          [(name, record count)] — distinguished from schema drift
+          because the remedy differs: commit a [BENCH_<name>.json]
+          baseline rather than chase a field mismatch. Their records do
+          not also appear in [extra]. Still fails {!clean}. *)
   regressions : field_diff list;  (** simulated metrics that changed *)
   wall_within : int;  (** wall-clock fields inside the tolerance band *)
   wall_drift : field_diff list;  (** wall-clock fields beyond it *)

@@ -1,0 +1,97 @@
+module Rsa = Flicker_crypto.Rsa
+module Sha1 = Flicker_crypto.Sha1
+module Tpm = Flicker_tpm.Tpm
+module Privacy_ca = Flicker_tpm.Privacy_ca
+module Verifier = Flicker_core.Verifier
+module Attestation = Flicker_core.Attestation
+
+(* Memo keys are built by plain concatenation of the wire encodings —
+   never by hashing — so key construction adds nothing to the
+   [Sha1.bytes_hashed] instrument the savings are reported in. *)
+
+let cert_key (cert : Privacy_ca.aik_certificate) =
+  String.concat "|"
+    [
+      Rsa.public_to_string cert.Privacy_ca.subject_aik;
+      cert.Privacy_ca.issuer;
+      cert.Privacy_ca.cert_signature;
+    ]
+
+let quote_key ~(aik : Rsa.public) (quote : Tpm.quote) =
+  String.concat "|"
+    (Rsa.public_to_string aik
+    :: quote.Tpm.quote_nonce
+    :: quote.Tpm.signature
+    :: List.map
+         (fun (idx, digest) -> string_of_int idx ^ ":" ^ digest)
+         quote.Tpm.quoted_composite)
+
+type stats = {
+  cert_hits : int;
+  cert_misses : int;
+  quote_hits : int;
+  quote_misses : int;
+  bytes_saved : int;
+}
+
+type 'r memo = {
+  table : (string, 'r * int) Hashtbl.t;  (* key -> (verdict, bytes cost) *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type t = {
+  ca_key : Rsa.public;
+  certs : (unit, Verifier.failure) result memo;
+  quotes : (unit, Verifier.failure) result memo;
+  mutable bytes_saved : int;
+}
+
+let create ~ca_key () =
+  let memo () = { table = Hashtbl.create 32; hits = 0; misses = 0 } in
+  { ca_key; certs = memo (); quotes = memo (); bytes_saved = 0 }
+
+(* On a miss the stage runs for real and its [Sha1.bytes_hashed] delta is
+   stored as the entry's cost; each later hit skips the stage and credits
+   that cost to [bytes_saved]. Failures are memoized too — a bad
+   signature stays bad. *)
+let memoized t memo key stage =
+  match Hashtbl.find_opt memo.table key with
+  | Some (verdict, cost) ->
+      memo.hits <- memo.hits + 1;
+      t.bytes_saved <- t.bytes_saved + cost;
+      verdict
+  | None ->
+      memo.misses <- memo.misses + 1;
+      let before = Sha1.bytes_hashed () in
+      let verdict = stage () in
+      let cost = Sha1.bytes_hashed () - before in
+      Hashtbl.replace memo.table key (verdict, cost);
+      verdict
+
+let verify t expectation (evidence : Attestation.evidence) =
+  let ( let* ) = Result.bind in
+  let cert = evidence.Attestation.aik_cert in
+  let quote = evidence.Attestation.quote in
+  let* () =
+    memoized t t.certs (cert_key cert) (fun () ->
+        Verifier.check_certificate ~ca_key:t.ca_key cert)
+  in
+  let aik = cert.Privacy_ca.subject_aik in
+  let* () =
+    memoized t t.quotes (quote_key ~aik quote) (fun () ->
+        Verifier.check_quote_signature ~aik quote)
+  in
+  (* freshness and PCR recomputation depend on the expectation at hand
+     (the challenge nonce, the claimed I/O) — always re-run *)
+  let* () = Verifier.check_freshness expectation quote in
+  Verifier.check_pcr17 expectation evidence
+
+let stats t =
+  {
+    cert_hits = t.certs.hits;
+    cert_misses = t.certs.misses;
+    quote_hits = t.quotes.hits;
+    quote_misses = t.quotes.misses;
+    bytes_saved = t.bytes_saved;
+  }

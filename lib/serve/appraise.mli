@@ -1,0 +1,45 @@
+(** Memoized attestation appraisal — the relying-party side of serving
+    cached results.
+
+    A front end that answers from its result cache hands every client
+    the {e original} quote, so one platform's evidence is appraised over
+    and over. The two host-crypto stages of {!Flicker_core.Verifier} —
+    AIK-certificate validation (same certificate for every quote a
+    platform ever produces) and quote-signature verification (same
+    bundle re-verified on every cache hit) — are memoized here, while
+    the context-dependent stages (nonce freshness, PCR-17 recomputation
+    against the claimed I/O) always re-run. Verdicts are cached
+    including failures: a forged certificate or signature stays bad.
+
+    Savings are accounted in the same instrument the measurement-cache
+    bench uses, {!Flicker_crypto.Sha1.bytes_hashed}: a miss records the
+    stage's hashing cost, a hit credits it to [bytes_saved]. Memo keys
+    are built by concatenation, never hashing, so keying adds nothing to
+    the instrument. *)
+
+type t
+
+val create : ca_key:Flicker_crypto.Rsa.public -> unit -> t
+(** An appraiser trusting one Privacy CA. *)
+
+val verify :
+  t ->
+  Flicker_core.Verifier.expectation ->
+  Flicker_core.Attestation.evidence ->
+  (unit, Flicker_core.Verifier.failure) result
+(** Same verdict as {!Flicker_core.Verifier.verify} with the appraiser's
+    CA key — the staged checks run in the same order, so the first
+    failing stage reported is identical — but the certificate and
+    quote-signature stages run at most once per distinct input. *)
+
+type stats = {
+  cert_hits : int;
+  cert_misses : int;  (** certificate validations actually run *)
+  quote_hits : int;  (** memoized quote verifications *)
+  quote_misses : int;  (** quote-signature verifications actually run *)
+  bytes_saved : int;
+      (** host-crypto bytes ({!Flicker_crypto.Sha1.bytes_hashed}) the
+          memo hits avoided re-hashing *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,130 @@
+(* Deterministic LRU + TTL cache over string keys.
+
+   Everything is a pure function of the operation sequence and the
+   virtual clock values passed in: no wall clock, no randomness, no
+   dependence on [Hashtbl] iteration order (recency is tracked by a
+   monotonic tick, and the eviction scan breaks ties — which cannot
+   occur, ticks being unique — by smallest tick). That determinism is
+   what lets the serve bench promise byte-identical JSON across runs. *)
+
+type 'a entry = {
+  value : 'a;
+  expires_at : float option;  (* absolute virtual ms; [None] = no TTL *)
+  mutable last_used : int;  (* recency tick; strictly increasing *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;  (* LRU capacity evictions *)
+  expirations : int;  (* entries dropped because their TTL had passed *)
+  invalidations : int;  (* entries dropped by [remove_if] sweeps *)
+}
+
+type 'a t = {
+  capacity : int;
+  ttl_ms : float option;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+  mutable expirations : int;
+  mutable invalidations : int;
+}
+
+let create ?(capacity = 1024) ?ttl_ms () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  (match ttl_ms with
+  | Some ttl when ttl <= 0.0 -> invalid_arg "Cache.create: TTL must be positive"
+  | _ -> ());
+  {
+    capacity;
+    ttl_ms;
+    table = Hashtbl.create (min capacity 64);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+    expirations = 0;
+    invalidations = 0;
+  }
+
+let length t = Hashtbl.length t.table
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let expired entry ~now_ms =
+  match entry.expires_at with Some e -> now_ms > e | None -> false
+
+let find t ~now_ms key =
+  match Hashtbl.find_opt t.table key with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some entry when expired entry ~now_ms ->
+      Hashtbl.remove t.table key;
+      t.expirations <- t.expirations + 1;
+      t.misses <- t.misses + 1;
+      None
+  | Some entry ->
+      entry.last_used <- next_tick t;
+      t.hits <- t.hits + 1;
+      Some entry.value
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key entry acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= entry.last_used -> acc
+        | _ -> Some (key, entry))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+
+let insert t ~now_ms key value =
+  let entry =
+    {
+      value;
+      expires_at = Option.map (fun ttl -> now_ms +. ttl) t.ttl_ms;
+      last_used = next_tick t;
+    }
+  in
+  let fresh = not (Hashtbl.mem t.table key) in
+  Hashtbl.replace t.table key entry;
+  t.insertions <- t.insertions + 1;
+  if fresh then
+    while Hashtbl.length t.table > t.capacity do
+      evict_lru t
+    done
+
+let remove_if t pred =
+  let doomed =
+    Hashtbl.fold
+      (fun key entry acc -> if pred key entry.value then key :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed;
+  let n = List.length doomed in
+  t.invalidations <- t.invalidations + n;
+  n
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    insertions = t.insertions;
+    evictions = t.evictions;
+    expirations = t.expirations;
+    invalidations = t.invalidations;
+  }

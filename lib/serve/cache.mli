@@ -1,0 +1,46 @@
+(** Deterministic LRU + TTL cache over string keys.
+
+    The serving tier's result store: bounded capacity with
+    least-recently-used eviction, per-entry expiry against the {e
+    virtual} clock (callers pass [now_ms]; the cache never reads a wall
+    clock), and predicate invalidation sweeps for trust-state changes
+    (platform reboot, NV counter advance). Every operation is a pure
+    function of the call sequence and the clock values passed in — no
+    randomness, no [Hashtbl] iteration-order dependence — so two
+    identically seeded serve runs behave byte-identically. *)
+
+type 'a t
+
+val create : ?capacity:int -> ?ttl_ms:float -> unit -> 'a t
+(** [capacity] defaults to 1024; exceeding it evicts the
+    least-recently-used entry. [ttl_ms] (no expiry when absent) is
+    relative to each entry's insertion instant. @raise Invalid_argument
+    on a capacity < 1 or a non-positive TTL. *)
+
+val find : 'a t -> now_ms:float -> string -> 'a option
+(** Lookup at virtual instant [now_ms]. A present entry whose TTL has
+    passed is dropped and counted as an expiration plus a miss — an
+    instant exactly at the expiry is still a hit, matching the fleet's
+    deadline-boundary convention. A hit refreshes the entry's
+    recency. *)
+
+val insert : 'a t -> now_ms:float -> string -> 'a -> unit
+(** Insert (or overwrite) at virtual instant [now_ms], then evict LRU
+    entries while over capacity. *)
+
+val remove_if : 'a t -> (string -> 'a -> bool) -> int
+(** Drop every entry matching the predicate; returns how many, which is
+    also added to the invalidation count. *)
+
+val length : 'a t -> int
+
+type stats = {
+  hits : int;
+  misses : int;  (** includes lookups that found only an expired entry *)
+  insertions : int;
+  evictions : int;  (** LRU capacity evictions *)
+  expirations : int;  (** TTL drops, counted at lookup time *)
+  invalidations : int;  (** entries removed by {!remove_if} sweeps *)
+}
+
+val stats : 'a t -> stats

@@ -36,10 +36,15 @@ let default_config =
     breaker_cooldown_ms = 2000.0;
   }
 
+(* one bounded admission queue per tier; the shared [queue_depth] bound
+   applies to their sum, and dispatch drains Interactive before Batch *)
+let tier_index = function Request.Interactive -> 0 | Request.Batch -> 1
+let n_tiers = List.length Request.all_tiers
+
 type pstate = {
   platform : Platform.t;
   index : int;
-  queue : Request.t Queue.t;
+  queues : Request.t Queue.t array;  (* indexed by [tier_index] *)
   mutable busy : bool;
   mutable completed : int;
   mutable up : bool;  (* false while crashed and rebooting *)
@@ -62,6 +67,12 @@ type t = {
   mutable now : float;
   mutable next_id : int;
   mutable submitted : int;
+  submitted_by_tier : int array;  (* indexed by [tier_index] *)
+  (* a front-end (the serving tier's result cache) consulted at arrival:
+     [Some output] completes the request without touching a platform *)
+  mutable interceptor : (Request.t -> string option) option;
+  (* observers of platform crashes (cache invalidation hooks) *)
+  mutable crash_hooks : (int -> unit) list;
   (* id -> finalized (request, disposition); insertion keyed by id *)
   finalized : (int, Request.t * Request.disposition) Hashtbl.t;
 }
@@ -87,7 +98,7 @@ let create ?(config = default_config) workload =
         {
           platform;
           index = i;
-          queue = Queue.create ();
+          queues = Array.init n_tiers (fun _ -> Queue.create ());
           busy = false;
           completed = 0;
           up = true;
@@ -127,6 +138,9 @@ let create ?(config = default_config) workload =
     now;
     next_id = 1;
     submitted = 0;
+    submitted_by_tier = Array.make n_tiers 0;
+    interceptor = None;
+    crash_hooks = [];
     finalized = Hashtbl.create 64;
   }
 
@@ -136,6 +150,10 @@ let platform t i = t.members.(i).platform
 let verifier_key t = t.ca_key
 let now_ms t = t.now
 let metrics t = t.metrics
+let set_interceptor t f = t.interceptor <- Some f
+let add_crash_hook t f = t.crash_hooks <- t.crash_hooks @ [ f ]
+let queued_depth (m : pstate) =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 m.queues
 
 let finalize t req disposition =
   Hashtbl.replace t.finalized req.Request.id (req, disposition)
@@ -150,7 +168,7 @@ let past_deadline ~deadline_ms ~at_ms =
 let is_available t (m : pstate) = m.up && m.breaker_until <= t.now
 let platform_up t i = is_available t t.members.(i)
 
-let submit t ?client ?home ?deadline_ms ?sent_ms payload =
+let submit t ?client ?home ?(tier = Request.Batch) ?deadline_ms ?sent_ms payload =
   (match home with
   | Some h when h < 0 || h >= t.cfg.platforms ->
       invalid_arg
@@ -168,6 +186,7 @@ let submit t ?client ?home ?deadline_ms ?sent_ms payload =
       payload;
       client;
       home;
+      tier;
       sent_ms = sent;
       arrival_ms = arrival;
       deadline_ms = Option.map (fun d -> sent +. d) deadline_ms;
@@ -176,10 +195,12 @@ let submit t ?client ?home ?deadline_ms ?sent_ms payload =
   in
   t.next_id <- t.next_id + 1;
   t.submitted <- t.submitted + 1;
+  let ti = tier_index tier in
+  t.submitted_by_tier.(ti) <- t.submitted_by_tier.(ti) + 1;
   Event_queue.push t.events ~at_ms:arrival (Arrival req);
   req.Request.id
 
-let submit_open_loop t ~clients ~per_client ~mean_gap_ms ?deadline_ms ~payload () =
+let submit_open_loop t ~clients ~per_client ~mean_gap_ms ?tier ?deadline_ms ~payload () =
   if clients < 1 || per_client < 1 then
     invalid_arg "Fleet.submit_open_loop: need at least one client and request";
   if mean_gap_ms < 0.0 then invalid_arg "Fleet.submit_open_loop: negative gap";
@@ -195,7 +216,7 @@ let submit_open_loop t ~clients ~per_client ~mean_gap_ms ?deadline_ms ~payload (
       ignore
         (submit t
            ~client:(Printf.sprintf "client-%d" c)
-           ?deadline_ms ~sent_ms:!at
+           ?tier ?deadline_ms ~sent_ms:!at
            (payload ~client:c ~seq))
     done
   done
@@ -204,7 +225,7 @@ let loads t =
   Array.map
     (fun m ->
       {
-        Dispatch.queued = Queue.length m.queue;
+        Dispatch.queued = queued_depth m;
         busy = m.busy;
         available = is_available t m;
       })
@@ -224,25 +245,27 @@ let rec pump t i =
   let m = t.members.(i) in
   if is_available t m && not m.busy then begin
     (* requests whose deadline passed while queued never reach a session *)
-    let rec drop_expired () =
-      match Queue.peek_opt m.queue with
+    let rec drop_expired q =
+      match Queue.peek_opt q with
       | Some r
         when past_deadline ~deadline_ms:r.Request.deadline_ms ~at_ms:t.now ->
-          ignore (Queue.pop m.queue);
+          ignore (Queue.pop q);
           Metrics.incr t.metrics "fleet.expired";
           finalize t r (Request.Expired { at_ms = t.now });
-          drop_expired ()
+          drop_expired q
       | _ -> ()
     in
-    drop_expired ();
-    let rec take n acc =
-      if n = 0 then List.rev acc
+    Array.iter drop_expired m.queues;
+    (* tiers drain strictly in priority order — Interactive ahead of any
+       queued Batch work — but may share one session batch *)
+    let rec take qi n acc =
+      if n = 0 || qi >= n_tiers then List.rev acc
       else
-        match Queue.take_opt m.queue with
-        | None -> List.rev acc
-        | Some r -> take (n - 1) (r :: acc)
+        match Queue.take_opt m.queues.(qi) with
+        | None -> take (qi + 1) n acc
+        | Some r -> take qi (n - 1) (r :: acc)
     in
-    match take t.cfg.batch_size [] with
+    match take 0 t.cfg.batch_size [] with
     | [] -> ()
     | batch -> (
         let k = List.length batch in
@@ -356,8 +379,14 @@ and requeue t r ~at_ms ~reason =
    fails them explicitly while the member is unavailable. *)
 and shed_queue t i ~reason =
   let m = t.members.(i) in
-  let queued = List.of_seq (Queue.to_seq m.queue) in
-  Queue.clear m.queue;
+  let queued =
+    List.concat_map
+      (fun q ->
+        let rs = List.of_seq (Queue.to_seq q) in
+        Queue.clear q;
+        rs)
+      (Array.to_list m.queues)
+  in
   List.iter
     (fun r -> requeue t r ~at_ms:t.now ~reason:(Printf.sprintf "platform %d: %s" i reason))
     queued
@@ -374,6 +403,9 @@ and crash t i ~victims =
     ~args:[ ("platform", Flicker_obs.Tracer.Count i) ];
   (* volatile state is gone; TPM NV/keys survive (Platform.power_cycle) *)
   Platform.power_cycle m.platform;
+  (* crash observers run before victims re-enter [admit], so a result
+     cache invalidates this platform's entries ahead of any re-dispatch *)
+  List.iter (fun hook -> hook i) t.crash_hooks;
   m.up <- false;
   m.busy <- false;
   m.down_until <- t.now +. reboot_ms;
@@ -387,6 +419,36 @@ and crash t i ~victims =
   shed_queue t i ~reason:"crashed mid-session"
 
 and admit t req =
+  let cached =
+    match t.interceptor with None -> None | Some f -> f req
+  in
+  match cached with
+  | Some output ->
+      (* served from the front end: the client still pays the return
+         transit, but no platform queue or session is involved *)
+      let delivered = t.now +. transit_ms t ~bytes:(String.length output) in
+      let latency = delivered -. req.Request.sent_ms in
+      let missed =
+        past_deadline ~deadline_ms:req.Request.deadline_ms ~at_ms:delivered
+      in
+      Metrics.incr t.metrics "fleet.completed";
+      Metrics.incr t.metrics "fleet.cache_served";
+      if missed then Metrics.incr t.metrics "fleet.deadline_misses";
+      Metrics.observe t.metrics "fleet.latency_ms" latency;
+      finalize t req
+        (Request.Completed
+           {
+             output;
+             platform = -1;
+             batch = 0;
+             dispatched_ms = t.now;
+             finished_ms = t.now;
+             latency_ms = latency;
+             missed_deadline = missed;
+           })
+  | None -> dispatch t req
+
+and dispatch t req =
   match Dispatch.select t.cfg.policy ~cursor:t.rr_cursor ~request:req (loads t) with
   | None -> (
       (* no available platform can take it; a homed request must fail
@@ -411,7 +473,7 @@ and admit t req =
             (Request.Rejected { at_ms = t.now; platform = -1; queue_depth = 0 }))
   | Some target ->
       let m = t.members.(target) in
-      let depth = Queue.length m.queue in
+      let depth = queued_depth m in
       if depth >= t.cfg.queue_depth then begin
         Metrics.incr t.metrics "fleet.rejected";
         finalize t req
@@ -419,7 +481,7 @@ and admit t req =
       end
       else begin
         Metrics.incr t.metrics "fleet.admitted";
-        Queue.add req m.queue;
+        Queue.add req m.queues.(tier_index req.Request.tier);
         Metrics.observe t.metrics "fleet.queue_depth" (float_of_int (depth + 1));
         pump t target
       end
@@ -471,6 +533,18 @@ let dispositions t =
 let disposition_of t id =
   Option.map snd (Hashtbl.find_opt t.finalized id)
 
+type tier_summary = {
+  tier : Request.tier;
+  t_submitted : int;
+  t_completed : int;
+  t_rejected : int;
+  t_expired : int;
+  t_failed : int;
+  t_deadline_misses : int;
+  t_p50_ms : float;
+  t_p95_ms : float;
+}
+
 type summary = {
   submitted : int;
   completed : int;
@@ -492,6 +566,8 @@ type summary = {
   breaker_opens : int;
   tpm_faults : int;
   dma_storms : int;
+  cache_served : int;  (* completions answered by the front-end cache *)
+  by_tier : tier_summary list;  (* in [Request.all_tiers] order *)
 }
 
 (* Nearest-rank percentile over an already-sorted array. Total on every
@@ -540,6 +616,37 @@ let summary t =
         acc + Metrics.counter m.platform.Platform.machine.Machine.metrics name)
       0 t.members
   in
+  let tier_summary tier =
+    let of_tier =
+      List.filter (fun ((r : Request.t), _) -> r.Request.tier = tier) all
+    in
+    let tcount f = List.length (List.filter f of_tier) in
+    let tcompletions =
+      List.filter_map
+        (fun (_, d) -> match d with Request.Completed c -> Some c | _ -> None)
+        of_tier
+    in
+    let tlat =
+      Array.of_list (List.map (fun c -> c.Request.latency_ms) tcompletions)
+    in
+    Array.sort compare tlat;
+    {
+      tier;
+      t_submitted = t.submitted_by_tier.(tier_index tier);
+      t_completed = List.length tcompletions;
+      t_rejected =
+        tcount (fun (_, d) -> match d with Request.Rejected _ -> true | _ -> false);
+      t_expired =
+        tcount (fun (_, d) -> match d with Request.Expired _ -> true | _ -> false);
+      t_failed =
+        tcount (fun (_, d) -> match d with Request.Failed _ -> true | _ -> false);
+      t_deadline_misses =
+        List.length
+          (List.filter (fun c -> c.Request.missed_deadline) tcompletions);
+      t_p50_ms = percentile tlat 50.0;
+      t_p95_ms = percentile tlat 95.0;
+    }
+  in
   {
     submitted = t.submitted;
     completed = n_completed;
@@ -567,21 +674,37 @@ let summary t =
     breaker_opens = Metrics.counter t.metrics "fleet.breaker_opens";
     tpm_faults = machine_counter "fault.tpm.busy" + machine_counter "fault.tpm.slow";
     dma_storms = machine_counter "fault.dma_storms";
+    cache_served = Metrics.counter t.metrics "fleet.cache_served";
+    by_tier = List.map tier_summary Request.all_tiers;
   }
 
 let pp_summary fmt s =
+  Format.pp_open_vbox fmt 0;
   Format.fprintf fmt
-    "@[<v>submitted %d: %d completed (%d past deadline), %d rejected, %d \
+    "submitted %d: %d completed (%d past deadline), %d rejected, %d \
      expired, %d failed@,\
      makespan %.1f ms, throughput %.2f req/s over %d sessions (%d busy \
      retries)@,\
      latency ms: mean %.1f / p50 %.1f / p95 %.1f / max %.1f@,\
      faults: %d crashes, %d re-dispatches, %d breaker opens, %d TPM, %d \
      DMA storms@,\
-     per-platform completions: %s@]"
+     per-platform completions: %s"
     s.submitted s.completed s.deadline_misses s.rejected s.expired s.failed
     s.makespan_ms s.throughput_rps s.sessions s.busy_retries s.latency_mean_ms
     s.latency_p50_ms s.latency_p95_ms s.latency_max_ms s.crashes s.redispatched
     s.breaker_opens s.tpm_faults s.dma_storms
     (String.concat " "
-       (Array.to_list (Array.map string_of_int s.per_platform)))
+       (Array.to_list (Array.map string_of_int s.per_platform)));
+  if s.cache_served > 0 then
+    Format.fprintf fmt "@,cache-served completions: %d" s.cache_served;
+  List.iter
+    (fun ts ->
+      if ts.t_submitted > 0 then
+        Format.fprintf fmt
+          "@,%s tier: %d submitted, %d completed (%d past deadline), %d \
+           rejected, %d expired, %d failed, p50 %.1f ms, p95 %.1f ms"
+          (Request.tier_name ts.tier) ts.t_submitted ts.t_completed
+          ts.t_deadline_misses ts.t_rejected ts.t_expired ts.t_failed
+          ts.t_p50_ms ts.t_p95_ms)
+    s.by_tier;
+  Format.pp_close_box fmt ()

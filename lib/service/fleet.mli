@@ -95,6 +95,7 @@ val submit :
   t ->
   ?client:string ->
   ?home:int ->
+  ?tier:Request.tier ->
   ?deadline_ms:float ->
   ?sent_ms:float ->
   string ->
@@ -104,7 +105,10 @@ val submit :
     (default: now; a [sent_ms] in the virtual past is clamped to now).
     [deadline_ms] is relative to [sent_ms]. [home] pins the request to
     one platform (sealed-state affinity, all policies honor it);
-    [client] feeds the {!Dispatch.Sealed_affinity} hash.
+    [client] feeds the {!Dispatch.Sealed_affinity} hash. [tier]
+    (default {!Request.Batch}, the pre-tier behavior) picks the
+    admission class: on each platform, queued [Interactive] requests are
+    dispatched ahead of any queued [Batch] work.
     @raise Invalid_argument if [home] is outside the fleet. *)
 
 val submit_open_loop :
@@ -112,6 +116,7 @@ val submit_open_loop :
   clients:int ->
   per_client:int ->
   mean_gap_ms:float ->
+  ?tier:Request.tier ->
   ?deadline_ms:float ->
   payload:(client:int -> seq:int -> string) ->
   unit ->
@@ -120,6 +125,24 @@ val submit_open_loop :
     requests with exponentially distributed gaps of mean [mean_gap_ms],
     drawn from the fleet's seeded generator (fully deterministic).
     Client [c]'s identity is ["client-c"]. *)
+
+val set_interceptor : t -> (Request.t -> string option) -> unit
+(** Install a front end consulted once per admission (first and
+    re-dispatch alike), before routing. Returning [Some output]
+    completes the request immediately — the client still pays the
+    return network transit, the completion records [platform = -1] and
+    [batch = 0], and the [fleet.cache_served] counter is bumped —
+    without touching any platform queue or session. Returning [None]
+    falls through to normal dispatch. The serving tier's result cache
+    ({!Flicker_serve}) is the intended interceptor. *)
+
+val add_crash_hook : t -> (int -> unit) -> unit
+(** Register an observer called with the platform index on every crash
+    (injected, drawn, or manual), after the platform's
+    {!Flicker_core.Platform.power_cycle} but before its queued victims
+    re-enter admission — so a result cache can invalidate the crashed
+    platform's entries ahead of any re-dispatch. Hooks run in
+    registration order. *)
 
 val run : ?until_ms:float -> t -> unit
 (** Drive the event loop until the queue is drained (or past
@@ -138,6 +161,21 @@ val metrics : t -> Flicker_obs.Metrics.t
     [fleet.service_ms], [fleet.batch_fill], [fleet.queue_depth]
     histograms. Per-machine series (TPM commands, sessions, busy
     retries) live on each platform's own registry. *)
+
+type tier_summary = {
+  tier : Request.tier;
+  t_submitted : int;
+  t_completed : int;
+  t_rejected : int;
+  t_expired : int;
+  t_failed : int;
+  t_deadline_misses : int;
+  t_p50_ms : float;
+  t_p95_ms : float;
+}
+(** Per-admission-class slice of the summary. Only finalized requests
+    are counted (like the global summary), and percentiles are over that
+    tier's completions alone. *)
 
 type summary = {
   submitted : int;
@@ -160,6 +198,10 @@ type summary = {
   breaker_opens : int;
   tpm_faults : int;  (** injected TPM transient errors + latency spikes *)
   dma_storms : int;  (** injected DMA storm bursts *)
+  cache_served : int;
+      (** completions answered by the interceptor (result cache) without
+          a platform session *)
+  by_tier : tier_summary list;  (** in {!Request.all_tiers} order *)
 }
 
 val percentile : float array -> float -> float

@@ -1,8 +1,14 @@
+type tier = Interactive | Batch
+
+let tier_name = function Interactive -> "interactive" | Batch -> "batch"
+let all_tiers = [ Interactive; Batch ]
+
 type t = {
   id : int;
   payload : string;
   client : string option;
   home : int option;
+  tier : tier;
   sent_ms : float;
   arrival_ms : float;
   deadline_ms : float option;

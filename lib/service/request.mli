@@ -7,6 +7,16 @@
     another transit on the way back — the recorded latency is the
     client-perceived one, sent to response-received. *)
 
+type tier = Interactive | Batch
+(** Admission class. [Interactive] requests are latency-sensitive (tight
+    deadlines, served ahead of any queued [Batch] work on the same
+    platform); [Batch] is the throughput class every pre-tier caller
+    lands in — with a single class in play the scheduling is plain FIFO,
+    exactly the pre-tier behavior. *)
+
+val tier_name : tier -> string
+val all_tiers : tier list
+
 type t = {
   id : int;
   payload : string;
@@ -16,6 +26,7 @@ type t = {
   home : int option;
       (** hard placement: sealed blobs and replay counters are bound to
           one TPM, so a request touching them can only run there *)
+  tier : tier;  (** admission class; dispatch serves [Interactive] first *)
   sent_ms : float;
   arrival_ms : float;  (** [sent_ms] plus the request's network transit *)
   deadline_ms : float option;  (** absolute; enforced at dispatch time *)

@@ -300,6 +300,49 @@ let test_bench_diff_duplicate_labels () =
   | [ d ] -> Alcotest.(check string) "second occurrence" "t/a#1" d.Bench_diff.record
   | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l)
 
+let test_bench_diff_new_artifact () =
+  (* an artifact with no baseline at all is flagged as such — not as
+     per-record schema drift — and still fails the gate *)
+  let tagged artifact label fields =
+    Json.Obj
+      (("artifact", Json.String artifact) :: ("label", Json.String label) :: fields)
+  in
+  let base = Json.List [ tagged "t" "a" [ ("ops", Json.Int 1) ] ] in
+  let cur =
+    Json.List
+      [
+        tagged "t" "a" [ ("ops", Json.Int 1) ];
+        tagged "serve" "hit0" [ ("rps", Json.Int 7) ];
+        tagged "serve" "hit90" [ ("rps", Json.Int 49) ];
+      ]
+  in
+  let r = diff base cur in
+  Alcotest.(check (list (pair string int)))
+    "new artifact counted" [ ("serve", 2) ] r.Bench_diff.new_artifacts;
+  Alcotest.(check (list string)) "not misreported as extra" [] r.Bench_diff.extra;
+  Alcotest.(check int) "no field regressions" 0
+    (List.length r.Bench_diff.regressions);
+  Alcotest.(check bool) "still fails the gate" false (Bench_diff.clean r);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let rendered = Bench_diff.render r in
+  Alcotest.(check bool) "render names the missing baseline" true
+    (contains rendered "BENCH_serve.json");
+  Alcotest.(check bool) "render says not schema drift" true
+    (contains rendered "not schema drift");
+  (* a known artifact with a stray record is still plain schema drift *)
+  let cur' =
+    Json.List [ tagged "t" "a" [ ("ops", Json.Int 1) ]; tagged "t" "b" [] ]
+  in
+  let r' = diff base cur' in
+  Alcotest.(check (list (pair string int)))
+    "known artifact never flagged" [] r'.Bench_diff.new_artifacts;
+  Alcotest.(check (list string)) "stray record is extra" [ "t/b" ]
+    r'.Bench_diff.extra
+
 let test_bench_diff_malformed () =
   let bad = Json.Obj [] in
   let ok = doc [] in
@@ -465,6 +508,8 @@ let () =
             test_bench_diff_schema;
           Alcotest.test_case "duplicate labels pair by occurrence" `Quick
             test_bench_diff_duplicate_labels;
+          Alcotest.test_case "new artifact distinguished from drift" `Quick
+            test_bench_diff_new_artifact;
           Alcotest.test_case "malformed input rejected" `Quick
             test_bench_diff_malformed;
         ] );
