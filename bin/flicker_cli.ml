@@ -461,7 +461,31 @@ let analyze_cmd =
 
 (* --- check: temporal protocol verification --- *)
 
-let check_run seed tpm workloads with_mc as_json out verbose =
+exception Usage of string
+
+let parse_adversary = function
+  | "all" -> Flicker_verify.Adversary.(of_kinds all_kinds)
+  | "none" -> Flicker_verify.Adversary.none
+  | s ->
+      let kinds =
+        List.map
+          (fun n ->
+            match Flicker_verify.Adversary.kind_of_name n with
+            | Some k -> k
+            | None ->
+                raise
+                  (Usage
+                     (Printf.sprintf
+                        "unknown adversary %S; valid: %s, all, none" n
+                        (String.concat ", "
+                           (List.map Flicker_verify.Adversary.kind_name
+                              Flicker_verify.Adversary.all_kinds)))))
+          (String.split_on_char '+' s)
+      in
+      Flicker_verify.Adversary.of_kinds kinds
+
+let check_run seed tpm workloads with_mc adversary no_por only_variant as_json
+    out verbose =
   setup_logging verbose;
   let module V = Flicker_verify in
   let wname = function
@@ -469,6 +493,22 @@ let check_run seed tpm workloads with_mc as_json out verbose =
   in
   let workloads =
     match workloads with [] -> [ `Hello; `Rootkit; `Ssh; `Ca ] | ws -> ws
+  in
+  try
+  let por = not no_por in
+  let adversary = Option.map parse_adversary adversary in
+  let variants =
+    match only_variant with
+    | None -> V.Model.all_variants
+    | Some n -> (
+        match V.Model.variant_of_name n with
+        | Some v -> [ v ]
+        | None ->
+            raise
+              (Usage
+                 (Printf.sprintf "unknown variant %S; valid: %s" n
+                    (String.concat ", "
+                       (List.map V.Model.variant_name V.Model.all_variants)))))
   in
   (* conformance: run each workload on a fresh platform and replay its
      recorded protocol events through the automata *)
@@ -488,13 +528,36 @@ let check_run seed tpm workloads with_mc as_json out verbose =
       workloads
   in
   (* model checking: the good variant must verify; every planted bug
-     must be caught with a counterexample *)
+     must be caught with a counterexample. Without --adversary each
+     variant runs under its intended adversary model; with it, every
+     variant runs under the given configuration and a planted bug is
+     only expected to be caught when the adversary it requires is
+     active. *)
   let mc_results =
     if with_mc then
       List.map
         (fun variant ->
-          (variant, V.Model.Good <> variant, V.Mc.run variant))
-        V.Model.all_variants
+          let cfg, sessions =
+            match adversary with
+            | None -> V.Model.intended_adversary variant
+            | Some cfg ->
+                ( cfg,
+                  if V.Adversary.active cfg V.Adversary.Replay then 2
+                  else V.Model.default_sessions variant )
+          in
+          let expected =
+            variant <> V.Model.Good
+            &&
+            match V.Model.requires variant with
+            | None -> true
+            | Some k -> V.Adversary.active cfg k
+          in
+          ( variant,
+            cfg,
+            sessions,
+            expected,
+            V.Mc.run ~adversary:cfg ~sessions ~por variant ))
+        variants
     else []
   in
   let conf_violations =
@@ -504,7 +567,8 @@ let check_run seed tpm workloads with_mc as_json out verbose =
   in
   let mc_missed =
     List.filter
-      (fun (_, expected, r) -> V.Vreport.mc_missed_violation r ~expected_violation:expected)
+      (fun (_, _, _, expected, r) ->
+        V.Vreport.mc_missed_violation r ~expected_violation:expected)
       mc_results
   in
   let text =
@@ -512,7 +576,9 @@ let check_run seed tpm workloads with_mc as_json out verbose =
       let runs =
         List.map (fun (name, r) -> V.Vreport.conformance_run ~subject:name r) conformance
         @ List.map
-            (fun (v, expected, r) -> V.Vreport.mc_run v ~expected_violation:expected r)
+            (fun (v, cfg, sessions, expected, r) ->
+              V.Vreport.mc_run ~adversary:cfg ~sessions v
+                ~expected_violation:expected r)
             mc_results
       in
       Flicker_obs.Json.to_string (V.Vreport.document runs) ^ "\n"
@@ -530,20 +596,28 @@ let check_run seed tpm workloads with_mc as_json out verbose =
             r.V.Checker.violations)
         conformance;
       if with_mc then begin
-        add "model checking (states explored / transitions / depth):\n";
+        add "model checking%s (states explored / transitions / depth):\n"
+          (if por then "" else " [POR disabled]");
         List.iter
-          (fun (variant, expected, r) ->
+          (fun (variant, cfg, sessions, expected, r) ->
             let s = r.V.Mc.stats in
+            let tag =
+              Printf.sprintf "%s x%d" (V.Adversary.name cfg) sessions
+            in
             match r.V.Mc.outcome with
             | V.Mc.Verified ->
-                add "  %-22s %s  (%d states, %d transitions, depth %d%s)\n"
+                add
+                  "  %-28s [%-22s] %s  (%d states, %d transitions, depth %d, \
+                   %d reduced%s)\n"
                   (V.Model.variant_name variant)
+                  tag
                   (if expected then "MISSED PLANTED BUG" else "verified")
-                  s.V.Mc.states s.V.Mc.transitions s.V.Mc.depth
+                  s.V.Mc.states s.V.Mc.transitions s.V.Mc.depth s.V.Mc.ample
                   (if s.V.Mc.truncated then ", TRUNCATED" else "")
             | V.Mc.Violation cex ->
-                add "  %-22s %s %s in %d steps  (%d states)\n"
+                add "  %-28s [%-22s] %s %s in %d steps  (%d states)\n"
                   (V.Model.variant_name variant)
+                  tag
                   (if expected then "caught" else "FALSE ALARM:")
                   cex.V.Mc.automaton
                   (List.length cex.V.Mc.steps)
@@ -569,7 +643,7 @@ let check_run seed tpm workloads with_mc as_json out verbose =
   if conf_violations > 0 then
     Printf.eprintf "%d trace-conformance violation(s)\n" conf_violations;
   List.iter
-    (fun (v, expected, _) ->
+    (fun (v, _, _, expected, _) ->
       Printf.eprintf
         (if expected then "model checker missed the planted bug in %s\n"
          else "model checker flagged the correct session %s\n")
@@ -577,6 +651,9 @@ let check_run seed tpm workloads with_mc as_json out verbose =
     mc_missed;
   if conf_violations > 0 || mc_missed <> [] || !failed_workloads <> [] then 1
   else 0
+  with Usage msg ->
+    Printf.eprintf "%s\n" msg;
+    2
 
 let check_workloads_arg =
   Arg.(value
@@ -593,6 +670,30 @@ let check_mc_arg =
                  and of deliberately broken variants (each planted bug must \
                  be caught with a counterexample).")
 
+let check_adversary_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "adversary" ] ~docv:"MODEL"
+           ~doc:"Adversary model(s) for --mc: $(b,dma), $(b,reset), \
+                 $(b,replay), $(b,corrupt-os), composable with $(b,+) \
+                 (e.g. $(b,dma+replay)), or $(b,all) / $(b,none). Without \
+                 this flag each variant runs under its intended adversary.")
+
+let check_no_por_arg =
+  Arg.(value & flag
+       & info [ "no-por" ]
+           ~doc:"Disable the partial-order reduction and explore the full \
+                 session/adversary interleaving product (escape hatch; \
+                 verdicts must not change).")
+
+let check_variant_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "variant" ] ~docv:"NAME"
+           ~doc:"Model-check only this session variant (e.g. $(b,good), \
+                 $(b,nv-rollback)). Exits 2 on unknown names, listing the \
+                 valid ones.")
+
 let check_json_arg =
   Arg.(value & flag
        & info [ "json" ]
@@ -604,7 +705,8 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Verify session traces against the temporal protocol automata")
     Term.(const check_run $ seed_arg $ tpm_arg $ check_workloads_arg
-          $ check_mc_arg $ check_json_arg $ out_arg $ verbose_arg)
+          $ check_mc_arg $ check_adversary_arg $ check_no_por_arg
+          $ check_variant_arg $ check_json_arg $ out_arg $ verbose_arg)
 
 let trace seed tpm workload out verbose =
   setup_logging verbose;

@@ -215,8 +215,8 @@ let nv_monotonic =
     {
       spec_name = "nv-monotonic";
       spec_property =
-        "monotonic counters strictly increase and NV counter values never \
-         roll back";
+        "monotonic counters strictly increase and NV counter values \
+         strictly advance on every write";
       spec_paper = "§4.4";
       init = { counters = []; nv = []; dead = [] };
       encode =
@@ -248,6 +248,15 @@ let nv_monotonic =
                       (Printf.sprintf
                          "NV counter at index %#x rolled back from %d to %d"
                          index prev c)
+                | Some prev when c = prev ->
+                    (* a re-write of the same counter value is a reseal
+                       that did not advance the counter: the signature of
+                       a replayed blob being persisted (§4.4) *)
+                    Error
+                      (Printf.sprintf
+                         "NV counter at index %#x rewritten with %d without \
+                          advancing"
+                         index c)
                 | _ -> Ok { st with nv = assoc_set index c st.nv })
           | Event.Nv_write { index; counter = None } ->
               (* the index no longer holds a counter; stop tracking it *)
@@ -257,6 +266,63 @@ let nv_monotonic =
                   nv = List.remove_assoc index st.nv;
                   dead = List.sort_uniq compare (index :: st.dead);
                 }
+          | _ -> Ok st);
+    }
+
+(* --- fresh-nv-on-launch ------------------------------------------------- *)
+
+(* A PAL that re-writes an existing NV counter inside a launch must have
+   read the index first in that same launch: without a fresh read there
+   is nothing to compare a sealed blob's counter against, so the PAL
+   cannot have performed the §4.4 freshness check. First-time writes
+   (provisioning, [Replay.Nv.init]) are exempt; so are writes outside a
+   launch, which are the OS's business. *)
+
+type fresh_state = {
+  f_in_launch : bool;
+  f_seen : int list;  (* NV indices that already hold a counter *)
+  f_read : int list;  (* indices read since the current launch began *)
+}
+
+let fresh_nv_on_launch =
+  Auto
+    {
+      spec_name = "fresh-nv-on-launch";
+      spec_property =
+        "a launch that re-writes an NV counter reads that index first in \
+         the same launch (no reseal without a freshness check)";
+      spec_paper = "§4.4";
+      init = { f_in_launch = false; f_seen = []; f_read = [] };
+      encode =
+        (fun s ->
+          Printf.sprintf "%b|%s|%s" s.f_in_launch
+            (String.concat "," (List.map string_of_int (List.sort compare s.f_seen)))
+            (String.concat "," (List.map string_of_int (List.sort compare s.f_read))));
+      step =
+        (fun st ev ->
+          match ev with
+          | Event.Skinit_begin _ -> Ok { st with f_in_launch = true; f_read = [] }
+          | Event.Os_resume | Event.Pcr_reboot ->
+              Ok { st with f_in_launch = false; f_read = [] }
+          | Event.Nv_read { index } ->
+              if st.f_in_launch then
+                Ok { st with f_read = List.sort_uniq compare (index :: st.f_read) }
+              else Ok st
+          | Event.Nv_write { index; counter = Some _ } ->
+              if
+                st.f_in_launch
+                && List.mem index st.f_seen
+                && not (List.mem index st.f_read)
+              then
+                Error
+                  (Printf.sprintf
+                     "NV counter at index %#x rewritten inside a launch with \
+                      no fresh read of the index"
+                     index)
+              else Ok { st with f_seen = List.sort_uniq compare (index :: st.f_seen) }
+          | Event.Nv_write { index; counter = None } ->
+              (* the index no longer holds a counter *)
+              Ok { st with f_seen = List.filter (( <> ) index) st.f_seen }
           | _ -> Ok st);
     }
 
@@ -327,6 +393,7 @@ let all =
     zeroize_before_exit;
     extend_order;
     nv_monotonic;
+    fresh_nv_on_launch;
     no_unchecked_dma;
     suspend_before_launch;
   ]

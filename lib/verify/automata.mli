@@ -63,7 +63,16 @@ val extend_order : t
 
 val nv_monotonic : t
 (** Monotonic counters strictly increase and 4-byte NV counter values
-    never roll back (§4.4's replay protection for PAL state). *)
+    strictly advance on every write — a rollback {e or} a same-value
+    rewrite is the signature of a replayed blob being persisted (§4.4's
+    replay protection for PAL state). *)
+
+val fresh_nv_on_launch : t
+(** A launch that re-writes an existing NV counter must read that index
+    first in the same launch: no freshness check is possible without a
+    fresh read, so a reseal without one cannot have compared the sealed
+    blob's counter against NV (§4.4). First-time writes (provisioning)
+    and out-of-launch writes are exempt. *)
 
 val no_unchecked_dma : t
 (** While a PAL session is live, no DMA may reach the SLB window
@@ -75,7 +84,7 @@ val suspend_before_launch : t
     kernel module quiesces the OS before invoking SKINIT). *)
 
 val all : t list
-(** The seven automata above, in a stable order. *)
+(** The eight automata above, in a stable order. *)
 
 val find : string -> t option
 (** Look up a shipped automaton by {!name}. *)

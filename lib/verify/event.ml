@@ -48,6 +48,9 @@ type t =
   | Counter_increment of { handle : int; value : int }
   | Zeroize of { addr : int; len : int }
   | Dma_attempt of { addr : int; len : int; write : bool; denied : bool }
+  | Replay_record of { counter : int }
+  | Replay_inject of { counter : int }
+  | Os_inject of { what : string }
 
 let to_string = function
   | Session_begin pal -> Printf.sprintf "session.begin(%s)" pal
@@ -75,6 +78,9 @@ let to_string = function
       Printf.sprintf "dma.attempt(0x%x,+%d,%s,%s)" addr len
         (if write then "write" else "read")
         (if denied then "denied" else "ALLOWED")
+  | Replay_record { counter } -> Printf.sprintf "replay.record(counter=%d)" counter
+  | Replay_inject { counter } -> Printf.sprintf "replay.inject(counter=%d)" counter
+  | Os_inject { what } -> Printf.sprintf "os.inject(%s)" what
 
 let arg name args = List.assoc_opt name args
 
@@ -141,6 +147,15 @@ let of_tracer_event (e : Tracer.event) =
         let write = Option.value ~default:false (flag "write" args) in
         let denied = Option.value ~default:false (flag "denied" args) in
         Some (Dma_attempt { addr; len; write; denied })
+    | "replay.record" ->
+        let* counter = count "counter" args in
+        Some (Replay_record { counter })
+    | "replay.inject" ->
+        let* counter = count "counter" args in
+        Some (Replay_inject { counter })
+    | "os.inject" ->
+        let what = Option.value ~default:"?" (str "what" args) in
+        Some (Os_inject { what })
     | _ -> None
 
 let of_trace events = List.filter_map of_tracer_event events

@@ -48,6 +48,17 @@ type t =
   | Counter_increment of { handle : int; value : int }
   | Zeroize of { addr : int; len : int }
   | Dma_attempt of { addr : int; len : int; write : bool; denied : bool }
+  | Replay_record of { counter : int }
+      (** the adversary copies the sealed blob / NV snapshot currently at
+          rest (its bound counter value) — pure observation *)
+  | Replay_inject of { counter : int }
+      (** the adversary re-presents a previously recorded blob in place
+          of the current one *)
+  | Os_inject of { what : string }
+      (** a corrupt-OS manipulation of the input/output messages crossing
+          the untrusted OS (["drop-msg"], ["dup-msg"], ["swap-msg"]) —
+          invisible to the lifecycle automata by design: message
+          integrity is attested via PCR 17 hashes, not lifecycle order *)
 
 val to_string : t -> string
 (** Compact one-line rendering used in counterexample traces. *)

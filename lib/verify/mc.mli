@@ -1,10 +1,22 @@
 (** Explicit-state model checker for the session protocol.
 
-    Explores every interleaving of the abstract session program and the
-    adversary ({!Model.transitions}) with the protocol automata running
-    in lockstep, deduplicating on the hash of (model state × monitor
-    states). Breadth-first order means the first violation found has a
-    minimal-length counterexample. *)
+    Breadth-first exploration of {!Model} states (session program ×
+    adversary interleavings × machine), running every automaton in
+    {!Automata.all} in lockstep and stopping at the first rejection.
+    States are deduplicated on the hash of (model state × monitor
+    states) at enqueue time, so a state reachable along many commuting
+    interleavings is queued exactly once. BFS order means a reported
+    counterexample is a {e minimal} violating trace.
+
+    By default the search applies a partial-order reduction: when every
+    adversary action fireable from a state (now or after adversary-only
+    moves — the enabling closure) is invisible to all automata and
+    footprint-independent of the session's next block, only the session
+    transition is explored. Each postponed adversary action still fires
+    later with identical events, so verdicts and minimal counterexample
+    lengths are preserved while commuting interleavings collapse. Pass
+    [~por:false] to force the full interleaving product (the [--no-por]
+    escape hatch; the QCheck suite asserts both modes agree). *)
 
 type step = { action : string; events : Event.t list }
 
@@ -21,7 +33,13 @@ type stats = {
   states : int;  (** distinct states expanded *)
   transitions : int;  (** transitions taken (including into dedup hits) *)
   depth : int;  (** deepest step count reached *)
-  truncated : bool;  (** a budget was exhausted before the frontier *)
+  truncated : bool;
+      (** true only when a budget actually cut exploration off: the
+          state cap was hit, or a depth-capped node still had
+          unexplored successors *)
+  peak_queue : int;  (** high-water mark of the BFS frontier *)
+  ample : int;  (** states where the reduction pruned the adversary *)
+  por : bool;  (** whether the reduction was enabled for this run *)
 }
 
 type outcome = Verified | Violation of counterexample
@@ -32,11 +50,15 @@ val run :
   ?max_states:int ->
   ?max_depth:int ->
   ?dma_probes:int ->
+  ?adversary:Adversary.config ->
+  ?sessions:int ->
+  ?por:bool ->
   Model.variant ->
   result
-(** Check one session variant. Defaults: all automata, 20 000 states,
-    depth 64, two adversary DMA probes. [Verified] with
-    [stats.truncated = false] means the full product space was explored
-    with no automaton rejecting. *)
+(** Check one session variant. [adversary] / [sessions] / [dma_probes]
+    are forwarded to {!Model.initial}; [por] (default true) enables the
+    partial-order reduction. Defaults: all automata, 50 000 states,
+    depth 96. [Verified] with [stats.truncated = false] means the full
+    (reduced) product space was explored with no automaton rejecting. *)
 
 val pp_counterexample : Format.formatter -> counterexample -> unit

@@ -6,6 +6,8 @@ type variant =
   | Nv_rollback
   | Launch_unsuspended
   | Out_of_order_extends
+  | Reseal_without_counter_check
+  | Trust_state_across_reset
 
 let variant_name = function
   | Good -> "good"
@@ -15,6 +17,8 @@ let variant_name = function
   | Nv_rollback -> "nv-rollback"
   | Launch_unsuspended -> "launch-unsuspended"
   | Out_of_order_extends -> "out-of-order-extends"
+  | Reseal_without_counter_check -> "reseal-without-counter-check"
+  | Trust_state_across_reset -> "trust-state-across-reset"
 
 let all_variants =
   [
@@ -25,6 +29,8 @@ let all_variants =
     Nv_rollback;
     Launch_unsuspended;
     Out_of_order_extends;
+    Reseal_without_counter_check;
+    Trust_state_across_reset;
   ]
 
 let broken_variants = List.filter (fun v -> v <> Good) all_variants
@@ -32,15 +38,43 @@ let broken_variants = List.filter (fun v -> v <> Good) all_variants
 let variant_of_name n =
   List.find_opt (fun v -> variant_name v = n) all_variants
 
-(* The abstract machine: exactly what the automata observe. *)
+(* Which adversary model a planted bug needs before it manifests. [None]
+   means the bug is in the session's own ordering and any adversary (or
+   none) exposes it. *)
+let requires = function
+  | Reseal_without_counter_check -> Some Adversary.Replay
+  | Trust_state_across_reset -> Some Adversary.Reset
+  | _ -> None
+
+let default_sessions = function
+  | Good | Reseal_without_counter_check -> 2
+  | _ -> 1
+
+let intended_adversary = function
+  | Good -> (Adversary.of_kinds Adversary.all_kinds, 2)
+  | Reseal_without_counter_check -> (Adversary.of_kinds [ Adversary.Replay ], 2)
+  | Trust_state_across_reset -> (Adversary.of_kinds [ Adversary.Reset ], 1)
+  | _ -> (Adversary.default, 1)
+
+(* The abstract machine: exactly what the automata observe, plus the
+   sealed-blob/recording state the replay adversary manipulates. *)
 type machine = {
   dev : (int * int) option;
   suspended : bool;
-  counter : int;  (* monotonic counter's current value *)
-  nv : int;  (* 4-byte counter stored at the NV index *)
+  counter : int;  (* monotonic counter's current value; persists NV-side *)
+  nv : int;  (* 4-byte counter stored at the NV index; persists *)
+  blob : int;  (* counter bound into the sealed blob at rest; persists *)
+  recorded : int option;  (* the replay adversary's copy, if taken *)
 }
 
-type state = { variant : variant; pc : int; probes : int; m : machine }
+type state = {
+  variant : variant;
+  sessions : int;
+  cfg : Adversary.config;  (* static per run; not part of the dedup key *)
+  pc : int;
+  budgets : Adversary.budgets;
+  m : machine;
+}
 
 (* Fixed geometry of the modeled session (values are arbitrary but
    stable; the automata only care about containment and overlap). *)
@@ -48,59 +82,198 @@ let slb_addr = 0x30000
 let slb_len = 0x10000
 let nv_index = 0x1200
 let counter_handle = 1
+let probe_len = 4096
+
+(* --- footprints -------------------------------------------------------- *)
+
+(* State variables, as a bitmask, for the independence relation. *)
+let v_pc = 1
+let v_dev = 2
+let v_susp = 4
+let v_counter = 8
+let v_nv = 16
+let v_blob = 32
+let v_recorded = 64
+let v_b_probe = 128
+let v_b_reset = 256
+let v_b_record = 512
+let v_b_inject = 1024
+let v_b_os = 2048
+
+type footprint = { reads : int; writes : int; visible : bool }
+
+let fp_empty = { reads = 0; writes = 0; visible = false }
+
+let fp_union a b =
+  {
+    reads = a.reads lor b.reads;
+    writes = a.writes lor b.writes;
+    visible = a.visible || b.visible;
+  }
+
+let fp_visible fp = fp.visible
+
+(* Two transitions commute iff their variable footprints are disjoint in
+   the write-write and write-read directions. Event visibility is judged
+   separately by the selector: only universally-invisible events (ones
+   every automaton ignores in every state) may be reordered past the
+   session, because monitor states must agree in both orders. *)
+let independent a b =
+  a.writes land b.writes = 0
+  && a.writes land b.reads = 0
+  && a.reads land b.writes = 0
+
+let session_kind_on_17 (kind : Event.pcr_kind) =
+  match kind with
+  | Event.Software | Event.Other _ -> false
+  | Event.Measure | Event.Stub | Event.Input | Event.Output | Event.Nonce
+  | Event.Cap ->
+      true
+
+(* Per-event footprint: which machine variables the event's application
+   touches, and whether any automaton could observe it (change state or
+   reject). The [visible = false] classifications are load-bearing for
+   the reduction and are exercised by the POR-vs-full QCheck property:
+   denied DMA, software/other extends, replay bookkeeping and corrupt-OS
+   message tampering are ignored by every automaton in every state. *)
+let event_fp (ev : Event.t) =
+  match ev with
+  | Event.Dev_protect _ | Event.Dev_unprotect _ | Event.Dev_clear ->
+      { reads = 0; writes = v_dev; visible = true }
+  | Event.Os_suspend | Event.Os_resume ->
+      { reads = 0; writes = v_susp; visible = true }
+  | Event.Skinit_begin _ | Event.Skinit_end | Event.Pcr_reset ->
+      { fp_empty with visible = true }
+  | Event.Pcr_reboot ->
+      (* volatile state is lost on a power cycle *)
+      { reads = 0; writes = v_dev lor v_susp; visible = true }
+  | Event.Pcr_extend { index; kind } ->
+      { fp_empty with visible = index = 17 && session_kind_on_17 kind }
+  | Event.Nv_read _ -> { reads = v_nv; writes = 0; visible = true }
+  | Event.Nv_write _ ->
+      { reads = 0; writes = v_nv lor v_blob; visible = true }
+  | Event.Counter_increment _ ->
+      { reads = 0; writes = v_counter; visible = true }
+  | Event.Zeroize _ -> { fp_empty with visible = true }
+  | Event.Session_begin _ | Event.Session_end -> fp_empty
+  | Event.Dma_attempt { denied; _ } ->
+      { reads = v_dev; writes = 0; visible = not denied }
+  | Event.Replay_record _ ->
+      { reads = v_blob; writes = v_recorded; visible = false }
+  | Event.Replay_inject _ ->
+      { reads = v_recorded; writes = v_blob; visible = false }
+  | Event.Os_inject _ -> fp_empty
+
+let events_fp evs = List.fold_left (fun fp e -> fp_union fp (event_fp e)) fp_empty evs
+
+(* Effect footprint: budget spent plus the enabling-condition variables
+   (a transition that writes a gate variable can disable the action, so
+   the gate reads participate in the independence check). *)
+let effect_fp (e : Adversary.effect) =
+  match e with
+  | Adversary.Spend_probe ->
+      { reads = v_b_probe lor v_dev; writes = v_b_probe; visible = false }
+  | Adversary.Do_reset ->
+      {
+        reads = v_b_reset lor v_dev;
+        writes = v_b_reset lor v_dev lor v_susp lor v_pc;
+        visible = true;
+      }
+  | Adversary.Do_record ->
+      {
+        reads = v_b_record lor v_susp lor v_blob;
+        writes = v_b_record lor v_recorded;
+        visible = false;
+      }
+  | Adversary.Do_inject ->
+      {
+        reads = v_b_inject lor v_susp lor v_recorded;
+        writes = v_b_inject lor v_blob;
+        visible = false;
+      }
+  | Adversary.Spend_os ->
+      { reads = v_b_os lor v_susp; writes = v_b_os; visible = false }
+
+(* --- the session program ----------------------------------------------- *)
+
+type block = {
+  b_label : string;
+  b_emit : machine -> Event.t list;
+  b_reads : int;  (* machine vars the emission function consults *)
+}
 
 let ext kind = Event.Pcr_extend { index = 17; kind }
+let fresh m = m.blob = m.nv
 
 (* One session as atomic blocks. The SKINIT block bundles protect +
    reset + measure + end: a single instruction on real hardware. Each
-   block may read the machine to compute event payloads. *)
-let program variant : (string * (machine -> Event.t list)) list =
-  let begin_ = ("session", fun _ -> [ Event.Session_begin "model" ]) in
-  let suspend = ("suspend", fun _ -> [ Event.Os_suspend ]) in
+   block may read the machine to compute event payloads; a disciplined
+   PAL gates its NV work on the sealed blob matching the NV counter
+   (the §4.4 freshness check) and silently aborts the NV update when a
+   stale blob was presented. *)
+let session_program variant : block list =
+  let b ?(reads = 0) b_label b_emit = { b_label; b_emit; b_reads = reads } in
+  let begin_ = b "session" (fun _ -> [ Event.Session_begin "model" ]) in
+  let suspend = b "suspend" (fun _ -> [ Event.Os_suspend ]) in
   let skinit =
-    ( "skinit",
-      fun _ ->
+    b "skinit" (fun _ ->
         [
           Event.Skinit_begin "svm";
           Event.Dev_protect { addr = slb_addr; len = slb_len };
           Event.Pcr_reset;
           ext Event.Measure;
           Event.Skinit_end;
-        ] )
+        ])
   in
-  let stub = ("stub-extend", fun _ -> [ ext Event.Stub ]) in
-  let pal_read =
-    ("pal-nv-read", fun _ -> [ Event.Nv_read { index = nv_index } ])
-  in
+  let stub = b "stub-extend" (fun _ -> [ ext Event.Stub ]) in
+  let pal_read = b "pal-nv-read" (fun _ -> [ Event.Nv_read { index = nv_index } ]) in
   let pal_incr =
-    ( "pal-counter-incr",
-      fun m ->
-        [
-          Event.Counter_increment
-            { handle = counter_handle; value = m.counter + 1 };
-        ] )
+    b "pal-counter-incr"
+      ~reads:(v_counter lor v_nv lor v_blob)
+      (fun m ->
+        if fresh m then
+          [ Event.Counter_increment { handle = counter_handle; value = m.counter + 1 } ]
+        else [])
   in
   let pal_write =
-    ( "pal-nv-write",
-      fun m -> [ Event.Nv_write { index = nv_index; counter = Some (m.nv + 1) } ]
-    )
+    b "pal-nv-write"
+      ~reads:(v_nv lor v_blob)
+      (fun m ->
+        if fresh m then
+          [ Event.Nv_write { index = nv_index; counter = Some (m.nv + 1) } ]
+        else [])
+  in
+  (* the planted reseal bug: the PAL reads NV but never compares it
+     against the unsealed blob's counter — it increments *the blob's*
+     counter and persists that, so a replayed blob is resealed as if
+     fresh *)
+  let pal_incr_unchecked =
+    b "pal-counter-incr" ~reads:v_counter (fun m ->
+        [ Event.Counter_increment { handle = counter_handle; value = m.counter + 1 } ])
+  in
+  let pal_reseal_unchecked =
+    b "pal-nv-reseal" ~reads:v_blob (fun m ->
+        [ Event.Nv_write { index = nv_index; counter = Some (m.blob + 1) } ])
   in
   let zeroize =
-    ("zeroize", fun _ -> [ Event.Zeroize { addr = slb_addr; len = slb_len } ])
+    b "zeroize" (fun _ -> [ Event.Zeroize { addr = slb_addr; len = slb_len } ])
   in
-  let inputs = ("extend-inputs", fun _ -> [ ext Event.Input ]) in
-  let outputs = ("extend-outputs", fun _ -> [ ext Event.Output ]) in
-  let nonce = ("extend-nonce", fun _ -> [ ext Event.Nonce ]) in
-  let cap = ("extend-cap", fun _ -> [ ext Event.Cap ]) in
+  let inputs = b "extend-inputs" (fun _ -> [ ext Event.Input ]) in
+  let outputs = b "extend-outputs" (fun _ -> [ ext Event.Output ]) in
+  let nonce = b "extend-nonce" (fun _ -> [ ext Event.Nonce ]) in
+  let cap = b "extend-cap" (fun _ -> [ ext Event.Cap ]) in
   let teardown =
-    ( "teardown-dev",
-      fun _ -> [ Event.Dev_unprotect { addr = slb_addr; len = slb_len } ] )
+    b "teardown-dev"
+      (fun _ -> [ Event.Dev_unprotect { addr = slb_addr; len = slb_len } ])
   in
-  let resume = ("resume", fun _ -> [ Event.Os_resume ]) in
-  let end_ = ("session-end", fun _ -> [ Event.Session_end ]) in
+  let resume = b "resume" (fun _ -> [ Event.Os_resume ]) in
+  let end_ = b "session-end" (fun _ -> [ Event.Session_end ]) in
   let pal = [ pal_read; pal_incr; pal_write ] in
   match variant with
-  | Good ->
+  | Good | Trust_state_across_reset ->
+      (* Trust_state_across_reset runs the disciplined program too: its
+         bug is in the reset path, where it keeps executing as if the
+         launch survived the power cycle (see [transitions]) *)
       [ begin_; suspend; skinit; stub ]
       @ pal
       @ [ zeroize; inputs; outputs; nonce; cap; teardown; resume; end_ ]
@@ -110,7 +283,7 @@ let program variant : (string * (machine -> Event.t list)) list =
       @ pal
       @ [ zeroize; inputs; outputs; nonce; teardown; resume; cap; end_ ]
   | Clear_dev_early ->
-      let clear = ("clear-dev", fun _ -> [ Event.Dev_clear ]) in
+      let clear = b "clear-dev" (fun _ -> [ Event.Dev_clear ]) in
       [ begin_; suspend; skinit; stub; clear ]
       @ pal
       @ [ zeroize; inputs; outputs; nonce; cap; resume; end_ ]
@@ -121,11 +294,9 @@ let program variant : (string * (machine -> Event.t list)) list =
       @ [ inputs; outputs; nonce; cap; resume; end_ ]
   | Nv_rollback ->
       let stale =
-        ( "restore-stale-nv",
-          fun m ->
+        b "restore-stale-nv" ~reads:v_nv (fun m ->
             (* "restore" the pre-session snapshot: one less than current *)
-            [ Event.Nv_write { index = nv_index; counter = Some (m.nv - 1) } ]
-        )
+            [ Event.Nv_write { index = nv_index; counter = Some (m.nv - 1) } ])
       in
       [ begin_; suspend; skinit; stub ]
       @ pal
@@ -138,6 +309,34 @@ let program variant : (string * (machine -> Event.t list)) list =
       [ begin_; suspend; skinit; stub ]
       @ pal
       @ [ zeroize; outputs; inputs; nonce; cap; teardown; resume; end_ ]
+  | Reseal_without_counter_check ->
+      [ begin_; suspend; skinit; stub ]
+      @ [ pal_read; pal_incr_unchecked; pal_reseal_unchecked ]
+      @ [ zeroize; inputs; outputs; nonce; cap; teardown; resume; end_ ]
+
+(* Flattened program for [sessions] back-to-back runs, with, per pc, the
+   index where the *next* session starts (= where a mid-protocol reset
+   lands a disciplined platform). Memoized: every state of one checker
+   run shares it. *)
+let programs : (variant * int, block array * int array) Hashtbl.t =
+  Hashtbl.create 16
+
+let program variant sessions =
+  match Hashtbl.find_opt programs (variant, sessions) with
+  | Some p -> p
+  | None ->
+      let one = session_program variant in
+      let len1 = List.length one in
+      let blocks =
+        Array.concat (List.init sessions (fun _ -> Array.of_list one))
+      in
+      let next_start =
+        Array.init (Array.length blocks) (fun i -> ((i / len1) + 1) * len1)
+      in
+      Hashtbl.replace programs (variant, sessions) (blocks, next_start);
+      (blocks, next_start)
+
+(* --- semantics --------------------------------------------------------- *)
 
 let apply m (ev : Event.t) =
   match ev with
@@ -146,17 +345,41 @@ let apply m (ev : Event.t) =
   | Event.Os_suspend -> { m with suspended = true }
   | Event.Os_resume -> { m with suspended = false }
   | Event.Counter_increment { value; _ } -> { m with counter = value }
-  | Event.Nv_write { counter = Some c; _ } -> { m with nv = c }
+  | Event.Nv_write { counter = Some c; _ } ->
+      (* an NV counter write is a reseal: the blob at rest now binds c *)
+      { m with nv = c; blob = c }
+  | Event.Pcr_reboot -> { m with dev = None; suspended = false }
+  | Event.Replay_record { counter } -> { m with recorded = Some counter }
+  | Event.Replay_inject { counter } -> { m with blob = counter }
   | _ -> m
 
 let apply_all m evs = List.fold_left apply m evs
 
-let initial ?(dma_probes = 2) variant =
+let initial ?adversary ?sessions ?dma_probes variant =
+  let cfg =
+    match (adversary, dma_probes) with
+    | Some cfg, _ -> cfg
+    | None, Some n -> { Adversary.default with Adversary.dma_probes = n }
+    | None, None -> Adversary.default
+  in
+  let sessions =
+    match sessions with Some n -> max 1 n | None -> default_sessions variant
+  in
   {
     variant;
+    sessions;
+    cfg;
     pc = 0;
-    probes = dma_probes;
-    m = { dev = None; suspended = false; counter = 7; nv = 7 };
+    budgets = Adversary.budgets_of cfg;
+    m =
+      {
+        dev = None;
+        suspended = false;
+        counter = 7;
+        nv = 7;
+        blob = 7;
+        recorded = None;
+      };
   }
 
 let dev_denies m ~addr ~len =
@@ -164,32 +387,103 @@ let dev_denies m ~addr ~len =
   | None -> false
   | Some (da, dl) -> addr < da + dl && da < addr + len
 
+let view st ~at_end =
+  {
+    Adversary.dev_up = st.m.dev <> None;
+    suspended = st.m.suspended;
+    at_end;
+    blob = st.m.blob;
+    recorded = st.m.recorded;
+    slb_addr;
+    probe_len;
+    denies = dev_denies st.m ~addr:slb_addr ~len:probe_len;
+  }
+
+type source = Session | Attack of Adversary.effect
+
+type trans = {
+  label : string;
+  events : Event.t list;
+  succ : state;
+  source : source;
+  fp : footprint;
+}
+
 let transitions st =
-  let prog = program st.variant in
+  let blocks, next_start = program st.variant st.sessions in
+  let len = Array.length blocks in
+  let at_end = st.pc >= len in
   let session =
-    match List.nth_opt prog st.pc with
-    | None -> []
-    | Some (label, block) ->
-        let evs = block st.m in
-        [ (label, evs, { st with pc = st.pc + 1; m = apply_all st.m evs }) ]
+    if at_end then []
+    else
+      let blk = blocks.(st.pc) in
+      let events = blk.b_emit st.m in
+      [
+        {
+          label = blk.b_label;
+          events;
+          succ = { st with pc = st.pc + 1; m = apply_all st.m events };
+          source = Session;
+          fp =
+            fp_union (events_fp events)
+              { reads = blk.b_reads lor v_pc; writes = v_pc; visible = false };
+        };
+      ]
   in
   let adversary =
-    if st.probes <= 0 || st.pc >= List.length prog then []
-    else
-      let probe write name =
-        let addr = slb_addr and len = 4096 in
-        let denied = dev_denies st.m ~addr ~len in
-        ( name,
-          [ Event.Dma_attempt { addr; len; write; denied } ],
-          { st with probes = st.probes - 1 } )
-      in
-      [ probe false "adv-dma-read"; probe true "adv-dma-write" ]
+    List.map
+      (fun (a : Adversary.action) ->
+        let pc' =
+          match a.Adversary.act_effect with
+          | Adversary.Do_reset when st.variant <> Trust_state_across_reset ->
+              (* a power cycle aborts the in-flight session; a disciplined
+                 platform relaunches from scratch (the next session).
+                 The planted bug keeps executing where it left off, as
+                 if volatile trust state had survived. *)
+              next_start.(st.pc)
+          | _ -> st.pc
+        in
+        {
+          label = a.Adversary.act_label;
+          events = a.Adversary.act_events;
+          succ =
+            {
+              st with
+              pc = pc';
+              budgets = Adversary.spend st.budgets a.Adversary.act_effect;
+              m = apply_all st.m a.Adversary.act_events;
+            };
+          source = Attack a.Adversary.act_effect;
+          fp =
+            fp_union
+              (events_fp a.Adversary.act_events)
+              (effect_fp a.Adversary.act_effect);
+        })
+      (Adversary.actions st.budgets (view st ~at_end))
   in
   session @ adversary
 
+let postponable st =
+  let blocks, _ = program st.variant st.sessions in
+  let at_end = st.pc >= Array.length blocks in
+  let v = view st ~at_end in
+  List.map
+    (fun e ->
+      let fp = effect_fp e in
+      match e with
+      | Adversary.Spend_probe ->
+          (* the probe's event content is judged at the current DEV: if it
+             would be denied it is invisible, and any transition that
+             changes the DEV conflicts through [v_dev] anyway *)
+          { fp with visible = fp.visible || not v.Adversary.denies }
+      | _ -> fp)
+    (Adversary.potential st.budgets v)
+
 let encode st =
-  Printf.sprintf "%d|%d|%s|%b|%d|%d" st.pc st.probes
+  Printf.sprintf "%d|%s|%s|%b|%d|%d|%d|%s" st.pc
+    (Adversary.encode_budgets st.budgets)
     (match st.m.dev with
     | None -> "-"
     | Some (a, l) -> Printf.sprintf "%x+%x" a l)
-    st.m.suspended st.m.counter st.m.nv
+    st.m.suspended st.m.counter st.m.nv st.m.blob
+    (match st.m.recorded with None -> "-" | Some c -> string_of_int c)

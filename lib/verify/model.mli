@@ -6,16 +6,25 @@
     - the {e session program}: the fixed sequence of protocol actions a
       Flicker session performs (suspend, late launch, PAL work, zeroize,
       extends, resume), as atomic blocks — SKINIT's protect + reset +
-      measure is one hardware instruction and cannot be interleaved;
+      measure is one hardware instruction and cannot be interleaved.
+      With [sessions > 1] the program runs back-to-back sessions over
+      the same persistent NV state, which is what gives the replay
+      adversary something to replay;
     - the {e machine}: DEV coverage, OS suspension, the monotonic
-      counter and NV counter values (enough to compute whether a DMA is
-      denied and what a counter write contains);
-    - the {e adversary}: a budget of DMA probes against the SLB window
-      (and, for replay, stale NV snapshots), schedulable between any two
-      session blocks.
+      counter, NV counter, sealed-blob binding and the adversary's
+      recorded snapshot (enough to compute whether a DMA is denied and
+      what a counter write contains);
+    - the {e adversary}: an {!Adversary.config} of budgeted models
+      (DMA probes, platform resets, NV/blob replay, corrupt-OS message
+      tampering), schedulable between any two session blocks.
 
     Variants plant specific protocol bugs so the model checker can be
-    shown to catch real violations, not just bless correct code. *)
+    shown to catch real violations, not just bless correct code.
+
+    Every transition also carries a {!footprint} — the machine variables
+    it reads and writes, and whether any automaton can observe its
+    events — which is what the model checker's partial-order reduction
+    uses to decide which interleavings commute. *)
 
 type variant =
   | Good  (** the shipped session discipline; must verify *)
@@ -35,22 +44,77 @@ type variant =
           [suspend-before-launch] *)
   | Out_of_order_extends
       (** extends outputs before inputs — breaks [extend-order] *)
+  | Reseal_without_counter_check
+      (** the PAL reseals its state with the {e blob's} counter + 1,
+          never comparing it against NV — only the replay adversary
+          re-presenting a stale blob across two sessions exposes it
+          (breaks [nv-monotonic]'s no-rewrite clause, §4.4) *)
+  | Trust_state_across_reset
+      (** after a platform reset the session keeps executing where it
+          left off, as if volatile trust state survived the power
+          cycle — only the reset adversary exposes it (the post-reset
+          extend lands outside any launch, breaking [extend-order]) *)
 
 val variant_name : variant -> string
 val variant_of_name : string -> variant option
 val all_variants : variant list
+
 val broken_variants : variant list
 (** Every variant except [Good]. *)
 
+val requires : variant -> Adversary.kind option
+(** The adversary model a planted bug needs before it manifests;
+    [None] for bugs in the session's own ordering (any adversary, or
+    none, exposes those). *)
+
+val default_sessions : variant -> int
+(** Sessions the variant is meant to be checked with: 2 where replay
+    matters, 1 otherwise. *)
+
+val intended_adversary : variant -> Adversary.config * int
+(** The (adversary, sessions) pair the variant is designed to be
+    checked under: the minimal configuration that exposes its bug, or,
+    for [Good], all four models composed over two sessions. *)
+
 type state
 
-val initial : ?dma_probes:int -> variant -> state
-(** [dma_probes] (default 2) is the adversary's interleaving budget. *)
+val initial :
+  ?adversary:Adversary.config -> ?sessions:int -> ?dma_probes:int ->
+  variant -> state
+(** [adversary] defaults to {!Adversary.default} (DMA only, two
+    probes); [dma_probes] is the PR-4 compatibility knob and is ignored
+    when [adversary] is given. [sessions] defaults to
+    {!default_sessions}. *)
 
-val transitions : state -> (string * Event.t list * state) list
-(** Enabled actions from [state]: an action label (for counterexample
-    traces), the protocol events the action emits, and the successor.
-    The empty list means the run is complete. *)
+type footprint
+(** Read/write sets over machine variables plus event visibility. *)
+
+val independent : footprint -> footprint -> bool
+(** No write-write or write-read overlap: the transitions commute. *)
+
+val fp_visible : footprint -> bool
+(** Whether any automaton could observe the transition's events. *)
+
+type source = Session | Attack of Adversary.effect
+
+type trans = {
+  label : string;
+  events : Event.t list;
+  succ : state;
+  source : source;
+  fp : footprint;
+}
+
+val transitions : state -> trans list
+(** Enabled actions from [state]; empty means the run is complete. At
+    most one [Session] transition is ever enabled (the program is
+    deterministic). *)
+
+val postponable : state -> footprint list
+(** Footprints of every adversary effect fireable from [state] now or
+    after adversary-only sequences (the enabling closure). The ample-set
+    selector may explore only the session transition iff all of these
+    are invisible and independent of it. *)
 
 val encode : state -> string
 (** Stable state hash key (the monitors are hashed separately by the

@@ -71,7 +71,8 @@ let mc_missed_violation (r : Mc.result) ~expected_violation =
   | Mc.Violation _, false -> true (* correct session flagged *)
   | Mc.Verified, false | Mc.Violation _, true -> false
 
-let mc_run variant ~expected_violation (r : Mc.result) =
+let mc_run ?(adversary = Adversary.default) ?(sessions = 1) variant
+    ~expected_violation (r : Mc.result) =
   let vname = Model.variant_name variant in
   let results =
     match r.Mc.outcome with
@@ -133,6 +134,9 @@ let mc_run variant ~expected_violation (r : Mc.result) =
           [
             ("mode", J.String "model-check");
             ("variant", J.String vname);
+            ("adversary", J.String (Adversary.name adversary));
+            ("sessions", J.Int sessions);
+            ("por", J.Bool r.Mc.stats.Mc.por);
             ("expected_violation", J.Bool expected_violation);
             ( "violation_found",
               J.Bool (match r.Mc.outcome with Mc.Violation _ -> true | _ -> false)
@@ -143,6 +147,8 @@ let mc_run variant ~expected_violation (r : Mc.result) =
             ("transitions", J.Int r.Mc.stats.Mc.transitions);
             ("depth", J.Int r.Mc.stats.Mc.depth);
             ("truncated", J.Bool r.Mc.stats.Mc.truncated);
+            ("peak_queue", J.Int r.Mc.stats.Mc.peak_queue);
+            ("ample_states", J.Int r.Mc.stats.Mc.ample);
           ] );
     ]
 

@@ -11,12 +11,19 @@ val conformance_run :
     workload or session name). Properties carry [events_checked] and
     [violations]. *)
 
-val mc_run : Model.variant -> expected_violation:bool -> Mc.result -> Flicker_obs.Json.t
+val mc_run :
+  ?adversary:Adversary.config ->
+  ?sessions:int ->
+  Model.variant ->
+  expected_violation:bool ->
+  Mc.result ->
+  Flicker_obs.Json.t
 (** One SARIF run for a model-checking pass. [expected_violation] marks
     the deliberately broken variants: for those, a found counterexample
     is reported at level ["note"] (the check {e passing}) and a missed
-    one as an ["error"]. Properties carry the search statistics and
-    counterexample length. *)
+    one as an ["error"]. [adversary] and [sessions] (defaults: DMA-only,
+    one session) are recorded in the property bag alongside the search
+    statistics, POR flag and counterexample length. *)
 
 val document : Flicker_obs.Json.t list -> Flicker_obs.Json.t
 (** Wrap runs into the [{version; runs}] document. *)

@@ -123,13 +123,39 @@ let test_nv_monotonic () =
   let a = V.Automata.nv_monotonic in
   let incr v = E.Counter_increment { handle = 3; value = v } in
   let write v = E.Nv_write { index = 0x1200; counter = Some v } in
-  check_accepts a [ incr 1; incr 2; incr 5; write 1; write 1; write 9 ];
+  check_accepts a [ incr 1; incr 2; incr 5; write 1; write 2; write 9 ];
   check_rejects a [ incr 4; incr 4 ];
   check_rejects a [ incr 4; incr 3 ];
   check_rejects a [ write 7; write 6 ];
+  (* a same-value rewrite is a replayed blob being persisted *)
+  check_rejects a [ write 7; write 7 ];
   (* once the index stops holding a 4-byte counter, it is untracked *)
   check_accepts a
     [ write 7; E.Nv_write { index = 0x1200; counter = None }; write 1 ]
+
+let test_fresh_nv_on_launch () =
+  let a = V.Automata.fresh_nv_on_launch in
+  let read = E.Nv_read { index = 0x1200 } in
+  let write v = E.Nv_write { index = 0x1200; counter = Some v } in
+  (* provisioning: a first-time write needs no prior read *)
+  check_accepts a [ E.Os_suspend; skinit; write 0 ];
+  (* read-then-write inside each launch is the disciplined reseal *)
+  check_accepts a
+    [ skinit; read; write 1; E.Os_resume; skinit; read; write 2 ];
+  (* a second launch re-writing the index without a fresh read cannot
+     have performed the freshness comparison *)
+  check_rejects a [ skinit; read; write 1; E.Os_resume; skinit; write 2 ];
+  (* the read must come from the same launch, not a previous one *)
+  check_rejects a [ skinit; read; write 1; E.Pcr_reboot; skinit; write 2 ];
+  (* out-of-launch writes (the untrusted OS's own NV use) are exempt *)
+  check_accepts a [ skinit; read; write 1; E.Os_resume; write 2 ];
+  (* releasing the index resets its provenance *)
+  check_accepts a
+    [
+      skinit; read; write 1; E.Os_resume;
+      E.Nv_write { index = 0x1200; counter = None };
+      skinit; write 5;
+    ]
 
 let test_no_unchecked_dma () =
   let a = V.Automata.no_unchecked_dma in
@@ -276,6 +302,25 @@ let test_dma_during_pal_denied_and_traced () =
 
 (* --- model checker --- *)
 
+let run_intended ?por variant =
+  let adversary, sessions = V.Model.intended_adversary variant in
+  V.Mc.run ~adversary ~sessions ?por variant
+
+(* the minimal counterexample length of every planted bug, asserted
+   exactly: POR, the dedup rework or a model change that lengthens (or
+   shortens) any of these is a regression *)
+let minimal_cex_lengths =
+  [
+    (V.Model.Resume_before_cap, 13);
+    (V.Model.Clear_dev_early, 5);
+    (V.Model.Skip_zeroize, 12);
+    (V.Model.Nv_rollback, 8);
+    (V.Model.Launch_unsuspended, 2);
+    (V.Model.Out_of_order_extends, 9);
+    (V.Model.Reseal_without_counter_check, 24);
+    (V.Model.Trust_state_across_reset, 5);
+  ]
+
 let test_mc_good_verifies () =
   let r = V.Mc.run V.Model.Good in
   (match r.V.Mc.outcome with
@@ -286,23 +331,47 @@ let test_mc_good_verifies () =
   Alcotest.(check bool) "full exploration" false r.V.Mc.stats.V.Mc.truncated;
   Alcotest.(check bool) "explored states" true (r.V.Mc.stats.V.Mc.states > 10)
 
+let test_mc_good_under_every_adversary () =
+  (* the disciplined session stays clean under each adversary model
+     alone, all four composed, and with the reduction on or off *)
+  let configs =
+    List.map (fun k -> V.Adversary.of_kinds [ k ]) V.Adversary.all_kinds
+    @ [ V.Adversary.of_kinds V.Adversary.all_kinds ]
+  in
+  List.iter
+    (fun adversary ->
+      List.iter
+        (fun por ->
+          let r = V.Mc.run ~adversary ~sessions:2 ~por V.Model.Good in
+          match r.V.Mc.outcome with
+          | V.Mc.Verified ->
+              Alcotest.(check bool)
+                (V.Adversary.name adversary ^ " full exploration")
+                false r.V.Mc.stats.V.Mc.truncated
+          | V.Mc.Violation cex ->
+              Alcotest.failf "good flagged under %s (por=%b): %s"
+                (V.Adversary.name adversary)
+                por cex.V.Mc.automaton)
+        [ true; false ])
+    configs
+
 let test_mc_catches_every_planted_bug () =
   List.iter
     (fun variant ->
-      match (V.Mc.run variant).V.Mc.outcome with
+      match (run_intended variant).V.Mc.outcome with
       | V.Mc.Verified ->
           Alcotest.failf "planted bug in %s not caught" (V.Model.variant_name variant)
       | V.Mc.Violation cex ->
-          Alcotest.(check bool)
+          Alcotest.(check int)
             (V.Model.variant_name variant ^ " counterexample is minimal")
-            true
-            (List.length cex.V.Mc.steps <= 20))
+            (List.assoc variant minimal_cex_lengths)
+            (List.length cex.V.Mc.steps))
     V.Model.broken_variants
 
 let test_mc_expected_automata () =
   (* each planted bug is caught by the automaton it was planted for *)
   let expect variant automaton =
-    match (V.Mc.run variant).V.Mc.outcome with
+    match (run_intended variant).V.Mc.outcome with
     | V.Mc.Violation cex ->
         Alcotest.(check string)
           (V.Model.variant_name variant)
@@ -315,11 +384,107 @@ let test_mc_expected_automata () =
   expect V.Model.Skip_zeroize "zeroize-before-exit";
   expect V.Model.Nv_rollback "nv-monotonic";
   expect V.Model.Launch_unsuspended "suspend-before-launch";
-  expect V.Model.Out_of_order_extends "extend-order"
+  expect V.Model.Out_of_order_extends "extend-order";
+  expect V.Model.Reseal_without_counter_check "nv-monotonic";
+  expect V.Model.Trust_state_across_reset "extend-order"
+
+let test_mc_new_bugs_need_their_adversary () =
+  (* the two adversary-dependent bugs are invisible under every other
+     adversary model: catching them requires the capability they were
+     planted against, not a lucky interleaving *)
+  let clean_under variant kind =
+    let adversary = V.Adversary.of_kinds [ kind ] in
+    let r = V.Mc.run ~adversary ~sessions:2 variant in
+    match r.V.Mc.outcome with
+    | V.Mc.Verified -> ()
+    | V.Mc.Violation cex ->
+        Alcotest.failf "%s flagged under %s (%s): bug should need %s"
+          (V.Model.variant_name variant)
+          (V.Adversary.kind_name kind)
+          cex.V.Mc.automaton
+          (match V.Model.requires variant with
+          | Some k -> V.Adversary.kind_name k
+          | None -> "nothing")
+  in
+  List.iter
+    (fun variant ->
+      let required =
+        match V.Model.requires variant with
+        | Some k -> k
+        | None -> Alcotest.failf "%s should require an adversary"
+                    (V.Model.variant_name variant)
+      in
+      List.iter
+        (fun k -> if k <> required then clean_under variant k)
+        V.Adversary.all_kinds)
+    [ V.Model.Reseal_without_counter_check; V.Model.Trust_state_across_reset ]
 
 let test_mc_budget_truncation () =
   let r = V.Mc.run ~max_states:5 V.Model.Good in
   Alcotest.(check bool) "truncated" true r.V.Mc.stats.V.Mc.truncated
+
+let test_mc_depth_truncation_is_honest () =
+  (* good × 1 session × 2 probes explores to depth 17 exactly; a depth
+     cap at the true frontier cuts nothing off and must not be reported
+     as truncation, while one step less must *)
+  let full = V.Mc.run ~sessions:1 ~por:false V.Model.Good in
+  let d = full.V.Mc.stats.V.Mc.depth in
+  Alcotest.(check bool) "full run not truncated" false
+    full.V.Mc.stats.V.Mc.truncated;
+  let exact = V.Mc.run ~sessions:1 ~por:false ~max_depth:d V.Model.Good in
+  Alcotest.(check bool) "cap at the frontier is not truncation" false
+    exact.V.Mc.stats.V.Mc.truncated;
+  let cut = V.Mc.run ~sessions:1 ~por:false ~max_depth:(d - 1) V.Model.Good in
+  Alcotest.(check bool) "cap below the frontier is" true
+    cut.V.Mc.stats.V.Mc.truncated
+
+let test_mc_queue_stays_deduped () =
+  (* enqueue-time dedup: with a large probe budget the frontier must
+     stay bounded by the distinct-state count instead of filling with
+     duplicate nodes reached along commuting probe interleavings *)
+  let r = V.Mc.run ~dma_probes:6 ~por:false V.Model.Good in
+  let s = r.V.Mc.stats in
+  Alcotest.(check bool) "verified" true (r.V.Mc.outcome = V.Mc.Verified);
+  Alcotest.(check bool) "peak queue bounded by states" true
+    (s.V.Mc.peak_queue <= s.V.Mc.states);
+  Alcotest.(check bool) "not truncated" false s.V.Mc.truncated
+
+let test_mc_por_reduces_work () =
+  let reduced = V.Mc.run ~sessions:2 V.Model.Good in
+  let full = V.Mc.run ~sessions:2 ~por:false V.Model.Good in
+  Alcotest.(check bool) "both verify" true
+    (reduced.V.Mc.outcome = V.Mc.Verified && full.V.Mc.outcome = V.Mc.Verified);
+  Alcotest.(check bool) "ample states recorded" true
+    (reduced.V.Mc.stats.V.Mc.ample > 0);
+  Alcotest.(check bool) "at least 2x fewer transitions" true
+    (full.V.Mc.stats.V.Mc.transitions
+     >= 2 * reduced.V.Mc.stats.V.Mc.transitions)
+
+let test_mc_replay_golden_trace () =
+  (* the replay counterexample, verbatim: record the blob at rest before
+     session 1, let it reseal, re-inject the stale blob before session
+     2's PAL runs, and watch the unchecked reseal persist a counter that
+     did not advance *)
+  let expected_labels =
+    [
+      "session"; "adv-replay-record"; "suspend"; "skinit"; "stub-extend";
+      "pal-nv-read"; "pal-counter-incr"; "pal-nv-reseal"; "zeroize";
+      "extend-inputs"; "extend-outputs"; "extend-nonce"; "extend-cap";
+      "teardown-dev"; "resume"; "session-end";
+      "session"; "adv-replay-inject"; "suspend"; "skinit"; "stub-extend";
+      "pal-nv-read"; "pal-counter-incr"; "pal-nv-reseal";
+    ]
+  in
+  match (run_intended V.Model.Reseal_without_counter_check).V.Mc.outcome with
+  | V.Mc.Verified -> Alcotest.fail "reseal bug not caught"
+  | V.Mc.Violation cex ->
+      Alcotest.(check (list string))
+        "step labels" expected_labels
+        (List.map (fun s -> s.V.Mc.action) cex.V.Mc.steps);
+      Alcotest.(check string) "violating event"
+        "nv.write(0x1200,counter=8)"
+        (E.to_string cex.V.Mc.event);
+      Alcotest.(check string) "automaton" "nv-monotonic" cex.V.Mc.automaton
 
 (* --- event parsing --- *)
 
@@ -372,6 +537,56 @@ let prop_sessions_conform =
           in
           report.V.Checker.violations = [])
 
+(* --- property: the partial-order reduction is sound --- *)
+
+let prop_por_agrees_with_full_bfs =
+  (* over random variant × adversary subset × budgets × sessions, the
+     reduced and full searches must agree on the verdict, the violated
+     automaton, and the minimal counterexample length *)
+  QCheck.Test.make ~name:"POR agrees with full BFS" ~count:60
+    QCheck.(
+      quad (int_range 0 8) (int_range 0 15) (int_range 1 2)
+        (triple (int_range 0 3) (int_range 0 2) (int_range 0 2)))
+    (fun (vi, kmask, sessions, (probes, resets, os_injs)) ->
+      let variant = List.nth V.Model.all_variants vi in
+      let kinds =
+        List.filteri (fun i _ -> kmask land (1 lsl i) <> 0) V.Adversary.all_kinds
+      in
+      let adversary =
+        {
+          V.Adversary.kinds;
+          dma_probes = probes;
+          resets;
+          replay_records = 1 + (probes mod 2);
+          replay_injects = 1 + (resets mod 2);
+          os_injections = os_injs;
+        }
+      in
+      let run por = V.Mc.run ~adversary ~sessions ~por variant in
+      let a = run true and b = run false in
+      if a.V.Mc.stats.V.Mc.truncated || b.V.Mc.stats.V.Mc.truncated then
+        QCheck.Test.fail_report "search truncated; raise the budgets"
+      else
+        match (a.V.Mc.outcome, b.V.Mc.outcome) with
+        | V.Mc.Verified, V.Mc.Verified -> true
+        | V.Mc.Violation x, V.Mc.Violation y ->
+            if x.V.Mc.automaton <> y.V.Mc.automaton then
+              QCheck.Test.fail_reportf "automata differ: %s vs %s"
+                x.V.Mc.automaton y.V.Mc.automaton
+            else if
+              List.length x.V.Mc.steps <> List.length y.V.Mc.steps
+            then
+              QCheck.Test.fail_reportf "cex lengths differ: %d vs %d"
+                (List.length x.V.Mc.steps)
+                (List.length y.V.Mc.steps)
+            else true
+        | V.Mc.Verified, V.Mc.Violation y ->
+            QCheck.Test.fail_reportf "POR missed a violation of %s"
+              y.V.Mc.automaton
+        | V.Mc.Violation x, V.Mc.Verified ->
+            QCheck.Test.fail_reportf "POR invented a violation of %s"
+              x.V.Mc.automaton)
+
 let () =
   Alcotest.run "verify"
     [
@@ -384,6 +599,7 @@ let () =
           Alcotest.test_case "zeroize-before-exit" `Quick test_zeroize_before_exit;
           Alcotest.test_case "extend-order" `Quick test_extend_order;
           Alcotest.test_case "nv-monotonic" `Quick test_nv_monotonic;
+          Alcotest.test_case "fresh-nv-on-launch" `Quick test_fresh_nv_on_launch;
           Alcotest.test_case "no-unchecked-dma" `Quick test_no_unchecked_dma;
           Alcotest.test_case "suspend-before-launch" `Quick
             test_suspend_before_launch;
@@ -407,12 +623,22 @@ let () =
       ( "model checker",
         [
           Alcotest.test_case "good session verifies" `Quick test_mc_good_verifies;
+          Alcotest.test_case "good verifies under every adversary" `Quick
+            test_mc_good_under_every_adversary;
           Alcotest.test_case "every planted bug caught" `Quick
             test_mc_catches_every_planted_bug;
           Alcotest.test_case "caught by the intended automaton" `Quick
             test_mc_expected_automata;
+          Alcotest.test_case "new bugs need their adversary" `Quick
+            test_mc_new_bugs_need_their_adversary;
           Alcotest.test_case "state budget truncates" `Quick test_mc_budget_truncation;
+          Alcotest.test_case "depth truncation is honest" `Quick
+            test_mc_depth_truncation_is_honest;
+          Alcotest.test_case "queue stays deduped" `Quick test_mc_queue_stays_deduped;
+          Alcotest.test_case "POR reduces work" `Quick test_mc_por_reduces_work;
+          Alcotest.test_case "replay golden trace" `Quick test_mc_replay_golden_trace;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_sessions_conform ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sessions_conform; prop_por_agrees_with_full_bfs ] );
     ]
