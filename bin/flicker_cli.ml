@@ -250,8 +250,7 @@ let tcb_cmd =
    extraction tool can be demonstrated without a C parser *)
 let sample_program =
   let f fname calls uses_types loc =
-    { Flicker_extract.Extract.fname; calls; uses_types;
-      body = Printf.sprintf "/* %s: %d LOC */" fname loc; loc }
+    Flicker_extract.Extract.fn fname ~calls ~uses_types ~loc
   in
   {
     Flicker_extract.Extract.functions =
@@ -371,7 +370,7 @@ let out_arg =
 
 (* --- analyze --- *)
 
-let analyze_run pals as_json out =
+let analyze_run pals as_json strict out =
   let module Rules = Flicker_analysis.Rules in
   let module Models = Flicker_analysis.Models in
   let module Report = Flicker_analysis.Report in
@@ -393,6 +392,11 @@ let analyze_run pals as_json out =
   match selected with
   | Error msg -> prerr_endline msg; 1
   | Ok targets -> (
+      (* canonical merged order: by PAL key, then (rule, function,
+         location) within each report *)
+      let targets =
+        List.sort (fun (a, _) (b, _) -> compare a b) targets
+      in
       (* one extraction index per PAL, shared by the rule run and the
          text report instead of each re-indexing the program *)
       let results =
@@ -410,6 +414,7 @@ let analyze_run pals as_json out =
                       Rules.rule = "driver";
                       severity = Rules.Error;
                       subject = target.Rules.entry;
+                      location = "";
                       message = msg;
                     };
                   ] ))
@@ -435,8 +440,16 @@ let analyze_run pals as_json out =
       let errors =
         List.fold_left (fun acc (_, _, _, fs) -> acc + Rules.errors fs) 0 results
       in
-      if errors > 0 then begin
-        Printf.eprintf "%d error-severity finding(s)\n" errors;
+      let warnings =
+        List.fold_left (fun acc (_, _, _, fs) -> acc + Rules.warnings fs) 0 results
+      in
+      let failing =
+        List.exists (fun (_, _, _, fs) -> Rules.should_fail ~strict fs) results
+      in
+      if failing then begin
+        if strict && errors = 0 then
+          Printf.eprintf "%d warning(s) with --strict\n" warnings
+        else Printf.eprintf "%d error-severity finding(s)\n" errors;
         1
       end
       else 0)
@@ -445,19 +458,30 @@ let analyze_pals_arg =
   Arg.(value & pos_all string []
        & info [] ~docv:"PAL"
            ~doc:"PALs to analyze: $(b,hello), $(b,rootkit), $(b,boinc), $(b,ssh), \
-                 $(b,ca). All five when omitted.")
+                 $(b,ca). All five when omitted. Two planted-defect targets, \
+                 $(b,stack-hog) and $(b,secret-branch), can be named explicitly \
+                 to see the abstract interpreter catch them.")
 
 let analyze_json_arg =
   Arg.(value & flag
        & info [ "json" ]
            ~doc:"Emit a SARIF-style JSON document (one run per PAL; the property \
-                 bag carries the Figure 6 TCB accounting).")
+                 bag carries the Figure 6 TCB accounting plus the proved \
+                 worst-case stack and constant-time finding counts).")
+
+let analyze_strict_arg =
+  Arg.(value & flag
+       & info [ "strict" ]
+           ~doc:"Exit non-zero on warning-severity findings too, not just \
+                 errors. Use in CI to keep the shipped PALs warning-clean.")
 
 let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Statically verify PALs: call-graph, secret-flow and TCB-budget rules")
-    Term.(const analyze_run $ analyze_pals_arg $ analyze_json_arg $ out_arg)
+       ~doc:"Statically verify PALs: call-graph, secret-flow, TCB-budget, \
+             stack-bound and constant-time rules")
+    Term.(const analyze_run $ analyze_pals_arg $ analyze_json_arg
+          $ analyze_strict_arg $ out_arg)
 
 (* --- check: temporal protocol verification --- *)
 

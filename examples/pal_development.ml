@@ -19,9 +19,7 @@ module Tcb = Flicker_slb.Tcb
 (* The "existing application": a password vault with networking and
    logging around one sensitive function. *)
 let vault_program =
-  let f fname calls uses_types loc =
-    { Extract.fname; calls; uses_types; body = Printf.sprintf "/* %s */" fname; loc }
-  in
+  let f fname calls uses_types loc = Extract.fn fname ~calls ~uses_types ~loc in
   {
     Extract.functions =
       [

@@ -6,6 +6,19 @@ module Extract = Flicker_extract.Extract
 
 let slb_limit () = Layout.max_pal_code ~slb_core_size:Slb_core.core_size
 
+let absint_of (target : Rules.target) =
+  Absint.analyze
+    ~table:(Effects.make target.Rules.effects)
+    (Callgraph.build target.Rules.program)
+    ~entry:target.Rules.entry
+
+let ct_findings findings =
+  List.length
+    (List.filter
+       (fun (fi : Rules.finding) ->
+         fi.Rules.rule = "secret-branch" || fi.Rules.rule = "secret-index")
+       findings)
+
 let module_names pal =
   match pal.Pal.modules with
   | [] -> "(none)"
@@ -29,7 +42,15 @@ let to_text ?index ~key (target : Rules.target) findings =
       add "slice:    %d functions, %d LOC, %d types\n"
         (List.length e.Extract.required_functions)
         e.Extract.extracted_loc
-        (List.length e.Extract.required_types)
+        (List.length e.Extract.required_types);
+      let r = absint_of target in
+      (match r.Absint.stack with
+      | Absint.Unbounded ->
+          add "stack:    unbounded (recursive call cycle) of %d bytes\n"
+            Layout.stack_size
+      | Absint.Bounded bytes ->
+          add "stack:    worst-case %d bytes of %d (%s)\n" bytes Layout.stack_size
+            (String.concat " -> " r.Absint.worst_chain))
   | Error _ -> add "slice:    (entry not defined)\n");
   add "findings: %d error(s), %d warning(s), %d info\n" (Rules.count Rules.Error findings)
     (Rules.count Rules.Warning findings)
@@ -38,9 +59,14 @@ let to_text ?index ~key (target : Rules.target) findings =
   else
     List.iter
       (fun (fi : Rules.finding) ->
-        add "  [%s] %s %s: %s\n"
-          (Rules.severity_name fi.Rules.severity)
-          fi.Rules.rule fi.Rules.subject fi.Rules.message)
+        if fi.Rules.location = "" then
+          add "  [%s] %s %s: %s\n"
+            (Rules.severity_name fi.Rules.severity)
+            fi.Rules.rule fi.Rules.subject fi.Rules.message
+        else
+          add "  [%s] %s %s @ %s: %s\n"
+            (Rules.severity_name fi.Rules.severity)
+            fi.Rules.rule fi.Rules.subject fi.Rules.location fi.Rules.message)
       findings;
   Buffer.contents buf
 
@@ -79,7 +105,11 @@ let result_json ~key (fi : Rules.finding) =
                       J.Obj
                         [
                           ( "fullyQualifiedName",
-                            J.String (key ^ "/" ^ fi.Rules.subject) );
+                            J.String
+                              (key ^ "/" ^ fi.Rules.subject
+                              ^
+                              if fi.Rules.location = "" then ""
+                              else "/" ^ fi.Rules.location) );
                         ];
                     ] );
               ];
@@ -123,6 +153,13 @@ let sarif results =
                          ("slb_limit_bytes", J.Int (slb_limit ()));
                          ("errors", J.Int (Rules.errors findings));
                          ("warnings", J.Int (Rules.count Rules.Warning findings));
+                         ( "worst_stack_bytes",
+                           J.Int
+                             (match (absint_of target).Absint.stack with
+                             | Absint.Bounded b -> b
+                             | Absint.Unbounded -> -1) );
+                         ("stack_limit_bytes", J.Int Layout.stack_size);
+                         ("ct_findings", J.Int (ct_findings findings));
                        ] );
                  ])
              results) );

@@ -1,6 +1,9 @@
 (** Finding exporters: the deterministic text report (the golden-test
-    format) and a SARIF-style JSON document with one run per PAL whose
-    property bag carries the Figure 6 TCB accounting. *)
+    format, including the proved worst-case stack line) and a
+    SARIF-style JSON document with one run per PAL whose property bag
+    carries the Figure 6 TCB accounting plus the abstract-interpretation
+    stack bound ([worst_stack_bytes], [-1] when unbounded) and
+    constant-time finding count ([ct_findings]). *)
 
 val to_text :
   ?index:Flicker_extract.Extract.index ->

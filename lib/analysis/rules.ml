@@ -8,7 +8,13 @@ type severity = Info | Warning | Error
 let severity_name = function Info -> "info" | Warning -> "warning" | Error -> "error"
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
-type finding = { rule : string; severity : severity; subject : string; message : string }
+type finding = {
+  rule : string;
+  severity : severity;
+  subject : string;
+  location : string;  (* offending site within the subject; "" when n/a *)
+  message : string;
+}
 
 type target = {
   pal : Pal.t;
@@ -23,6 +29,8 @@ type ctx = {
   graph : Callgraph.t;
   extraction : Extract.extraction;
   table : Effects.table;
+  absint : Absint.result Lazy.t;
+      (* both abstract-interpretation clients, forced on first use *)
 }
 
 type rule = { id : string; title : string; severity : severity; check : ctx -> finding list }
@@ -65,6 +73,7 @@ let recursion_rule =
                   rule = "recursion";
                   severity = Error;
                   subject = String.concat " -> " group;
+                  location = "";
                   message =
                     Printf.sprintf
                       "call cycle {%s} can recurse; the PAL stack is a fixed %d bytes \
@@ -92,6 +101,7 @@ let stack_depth_rule =
                   rule = "stack-depth";
                   severity = Warning;
                   subject = ctx.target.entry;
+                  location = "";
                   message =
                     Printf.sprintf
                       "worst-case call depth %d (~%d bytes at %d bytes/frame) exceeds \
@@ -115,6 +125,7 @@ let secret_leak_rule =
               rule = "secret-leak";
               severity = Error;
               subject = l.Taint.in_function;
+              location = "";
               message =
                 Printf.sprintf
                   "secret from %s can reach sink %s in %s with no sanitizer on the \
@@ -141,6 +152,7 @@ let missing_zeroize_rule =
               rule = "missing-zeroize";
               severity = Error;
               subject = ctx.target.entry;
+              location = "";
               message =
                 "the slice handles secrets but the entry does not end by zeroizing \
                  them; Flicker requires erasing all secrets before session teardown \
@@ -164,6 +176,7 @@ let tcb_budget_rule =
               rule = "tcb-budget";
               severity = Error;
               subject = ctx.target.pal.Pal.name;
+              location = "";
               message =
                 Printf.sprintf
                   "TCB is %d LOC against a declared budget of %d; drop a module or \
@@ -189,6 +202,7 @@ let slb_region_rule =
               rule = "slb-region";
               severity = Error;
               subject = ctx.target.pal.Pal.name;
+              location = "";
               message =
                 Printf.sprintf
                   "linked code is %d bytes but only %d fit in the SLB's PAL region \
@@ -202,6 +216,7 @@ let slb_region_rule =
               rule = "slb-region";
               severity = Warning;
               subject = ctx.target.pal.Pal.name;
+              location = "";
               message =
                 Printf.sprintf "linked code is %d of %d bytes (over 90%% of the PAL region)"
                   size limit;
@@ -228,6 +243,7 @@ let unnecessary_module_rule =
                   rule = "unnecessary-module";
                   severity = Warning;
                   subject = module_name m;
+                  location = "";
                   message =
                     Printf.sprintf
                       "module %s (%d LOC) is linked but nothing in the slice needs it: \
@@ -254,6 +270,7 @@ let missing_module_rule =
                   rule = "missing-module";
                   severity = Error;
                   subject = module_name m;
+                  location = "";
                   message =
                     Printf.sprintf
                       "the slice calls into %s but the PAL does not link it; the call \
@@ -275,7 +292,7 @@ let forbidden_call_rule =
             match advice with
             | Extract.Forbidden why ->
                 Some
-                  { rule = "forbidden-call"; severity = Error; subject = name; message = why }
+                  { rule = "forbidden-call"; severity = Error; subject = name; location = ""; message = why }
             | _ -> None)
           ctx.extraction.Extract.stdlib_calls);
   }
@@ -296,6 +313,7 @@ let eliminate_call_rule =
                     rule = "eliminate-call";
                     severity = Warning;
                     subject = name;
+                    location = "";
                     message =
                       name ^ " makes no sense inside a PAL; eliminate the call \
                               (Section 5.2)";
@@ -317,6 +335,7 @@ let unresolved_callee_rule =
               rule = "unresolved-callee";
               severity = Warning;
               subject = name;
+              location = "";
               message =
                 name
                 ^ " is called but neither defined nor a recognized library function; \
@@ -338,6 +357,7 @@ let dead_function_rule =
               rule = "dead-function";
               severity = Info;
               subject = name;
+              location = "";
               message =
                 name
                 ^ " is defined in the program but unreachable from the entry; it \
@@ -346,10 +366,158 @@ let dead_function_rule =
           (Callgraph.unreachable ctx.graph ~root:ctx.target.entry));
   }
 
+(* ---- abstract-interpretation-backed rules (Absint clients) ---- *)
+
+let stack_bound_rule =
+  {
+    id = "stack-bound";
+    title = "proved worst-case stack exceeds the 4 KB PAL stack";
+    severity = Error;
+    check =
+      (fun ctx ->
+        let r = Lazy.force ctx.absint in
+        match r.Absint.stack with
+        | Absint.Unbounded -> [] (* the recursion rule already fired *)
+        | Absint.Bounded bytes when bytes > Layout.stack_size ->
+            let chain = String.concat " -> " r.Absint.worst_chain in
+            [
+              {
+                rule = "stack-bound";
+                severity = Error;
+                subject = ctx.target.entry;
+                location = chain;
+                message =
+                  Printf.sprintf
+                    "proved worst-case stack is %d bytes but the PAL stack is a fixed \
+                     %d; deepest chain: %s"
+                    bytes Layout.stack_size chain;
+              };
+            ]
+        | Absint.Bounded _ -> []);
+  }
+
+let buffer_bounds_rule =
+  {
+    id = "buffer-bounds";
+    title = "buffer access can go out of bounds";
+    severity = Error;
+    check =
+      (fun ctx ->
+        let r = Lazy.force ctx.absint in
+        List.map
+          (fun (v : Absint.bounds_violation) ->
+            {
+              rule = "buffer-bounds";
+              severity = Error;
+              subject = v.Absint.in_function;
+              location =
+                Printf.sprintf "%s%s" v.Absint.buffer
+                  (Domains.Interval.to_string v.Absint.index);
+              message =
+                Printf.sprintf
+                  "%s of %s (%d elements) in %s with abstract index %s escapes the \
+                   declared bounds"
+                  (if v.Absint.is_write then "write" else "read")
+                  v.Absint.buffer v.Absint.size_elems v.Absint.in_function
+                  (Domains.Interval.to_string v.Absint.index);
+            })
+          r.Absint.bounds);
+  }
+
+let ct_finding (v : Absint.ct_violation) =
+  let rule =
+    match v.Absint.kind with
+    | Absint.Branch | Absint.Loop_bound -> "secret-branch"
+    | Absint.Index -> "secret-index"
+  in
+  {
+    rule;
+    severity = Error;
+    subject = v.Absint.ct_function;
+    location = v.Absint.detail;
+    message =
+      Printf.sprintf
+        "%s depends on a secret from %s: %s in %s executes in secret-dependent time; \
+         make it constant-time or declassify deliberately via an effects override"
+        (Absint.ct_kind_name v.Absint.kind)
+        v.Absint.source v.Absint.detail v.Absint.ct_function;
+  }
+
+let secret_branch_rule =
+  {
+    id = "secret-branch";
+    title = "branch or loop bound influenced by a secret";
+    severity = Error;
+    check =
+      (fun ctx ->
+        let r = Lazy.force ctx.absint in
+        List.filter_map
+          (fun (v : Absint.ct_violation) ->
+            match v.Absint.kind with
+            | Absint.Branch | Absint.Loop_bound -> Some (ct_finding v)
+            | Absint.Index -> None)
+          r.Absint.ct);
+  }
+
+let secret_index_rule =
+  {
+    id = "secret-index";
+    title = "memory access indexed by a secret";
+    severity = Error;
+    check =
+      (fun ctx ->
+        let r = Lazy.force ctx.absint in
+        List.filter_map
+          (fun (v : Absint.ct_violation) ->
+            match v.Absint.kind with
+            | Absint.Index -> Some (ct_finding v)
+            | Absint.Branch | Absint.Loop_bound -> None)
+          r.Absint.ct);
+  }
+
+let duplicate_definition_rule =
+  {
+    id = "duplicate-definition";
+    title = "function defined more than once";
+    severity = Warning;
+    check =
+      (fun ctx ->
+        let seen : (string, int * Extract.func) Hashtbl.t = Hashtbl.create 8 in
+        List.concat
+          (List.mapi
+             (fun i (f : Extract.func) ->
+               match Hashtbl.find_opt seen f.Extract.fname with
+               | None ->
+                   Hashtbl.add seen f.Extract.fname (i, f);
+                   []
+               | Some (j, first) ->
+                   [
+                     {
+                       rule = "duplicate-definition";
+                       severity = Warning;
+                       subject = f.Extract.fname;
+                       location = Printf.sprintf "definitions #%d and #%d" (j + 1) (i + 1);
+                       message =
+                         Printf.sprintf
+                           "%s is defined more than once: the slicer keeps definition \
+                            #%d (%d LOC) and definition #%d (%d LOC) is silently \
+                            shadowed"
+                           f.Extract.fname (j + 1) first.Extract.loc (i + 1)
+                           f.Extract.loc;
+                     };
+                   ])
+             ctx.target.program.Extract.functions));
+  }
+
 let rules =
   [
     recursion_rule;
     stack_depth_rule;
+    stack_bound_rule;
+    buffer_bounds_rule;
+    secret_branch_rule;
+    secret_index_rule;
+    duplicate_definition_rule;
     secret_leak_rule;
     missing_zeroize_rule;
     tcb_budget_rule;
@@ -371,28 +539,42 @@ let make_ctx ?index target =
   match Extract.extract ~index target.program ~target:target.entry with
   | Result.Error msg -> Result.Error msg
   | Result.Ok extraction ->
+      let graph = Callgraph.build target.program in
+      let table = Effects.make target.effects in
       Result.Ok
         {
           target;
-          graph = Callgraph.build target.program;
+          graph;
           extraction;
-          table = Effects.make target.effects;
+          table;
+          absint = lazy (Absint.analyze ~table graph ~entry:target.entry);
         }
+
+(* canonical export order: rule id, then function (subject), then
+   location, then message — the CLI additionally orders PALs by key, so
+   merged text/SARIF output is sorted by (pal, rule, function, location) *)
+let compare_findings (a : finding) (b : finding) =
+  match compare a.rule b.rule with
+  | 0 -> (
+      match compare a.subject b.subject with
+      | 0 -> (
+          match compare a.location b.location with
+          | 0 -> compare a.message b.message
+          | c -> c)
+      | c -> c)
+  | c -> c
 
 let run ?index target =
   match make_ctx ?index target with
   | Result.Error msg -> Result.Error msg
   | Result.Ok ctx ->
       let findings = List.concat_map (fun r -> r.check ctx) rules in
-      (* stable: by severity, then rule id, then subject *)
-      Result.Ok
-        (List.stable_sort
-           (fun (a : finding) (b : finding) ->
-             match compare (severity_rank a.severity) (severity_rank b.severity) with
-             | 0 -> ( match compare a.rule b.rule with 0 -> compare a.subject b.subject | c -> c)
-             | c -> c)
-           findings)
+      Result.Ok (List.stable_sort compare_findings findings)
 
 let count sev findings =
   List.length (List.filter (fun (f : finding) -> f.severity = sev) findings)
 let errors findings = count Error findings
+let warnings findings = count Warning findings
+
+let should_fail ?(strict = false) findings =
+  errors findings > 0 || (strict && warnings findings > 0)

@@ -4,7 +4,8 @@
     extraction-IR program modeling its code, the entry function, a
     declared TCB budget, and per-PAL effects annotations. [run] slices
     the program, builds the call graph, and evaluates every rule,
-    returning findings ordered by severity.
+    returning findings in the canonical export order (rule id, then
+    subject function, then location).
 
     Rule classes (the ISSUE's six, plus supporting ones):
     - [recursion] (error): call cycles on the fixed 4 KB PAL stack
@@ -18,7 +19,18 @@
     - [forbidden-call] (error): needs the OS (sockets, fork, time-of-day)
     - [eliminate-call] (warning): printf-family calls
     - [unresolved-callee] (warning): undefined, unrecognized callees
-    - [dead-function] (info): defined but unreachable from the entry *)
+    - [dead-function] (info): defined but unreachable from the entry
+
+    Abstract-interpretation-backed classes (proofs over {!Absint}):
+    - [stack-bound] (error): proved worst-case stack over the 4 KB PAL
+      stack, with the deepest call chain
+    - [buffer-bounds] (error): abstract buffer index escapes the
+      declared element count
+    - [secret-branch] (error): branch condition or loop bound
+      influenced by an effects source (timing side channel)
+    - [secret-index] (error): memory access indexed by a secret
+    - [duplicate-definition] (warning): a function defined twice, the
+      later definition silently shadowed by the slicer *)
 
 module Pal = Flicker_slb.Pal
 module Extract = Flicker_extract.Extract
@@ -29,7 +41,14 @@ val severity_name : severity -> string
 val severity_rank : severity -> int
 (** 0 = most severe; used for ordering. *)
 
-type finding = { rule : string; severity : severity; subject : string; message : string }
+type finding = {
+  rule : string;
+  severity : severity;
+  subject : string;  (** the offending function, module, or callee *)
+  location : string;  (** site within the subject (chain, expression, or
+                          buffer range); [""] when not applicable *)
+  message : string;
+}
 
 type target = {
   pal : Pal.t;
@@ -44,6 +63,9 @@ type ctx = {
   graph : Callgraph.t;
   extraction : Extract.extraction;
   table : Effects.table;
+  absint : Absint.result Lazy.t;
+      (** shared abstract-interpretation results, forced by the first
+          rule that needs them *)
 }
 
 type rule = { id : string; title : string; severity : severity; check : ctx -> finding list }
@@ -65,5 +87,13 @@ val run : ?index:Extract.index -> target -> (finding list, string) result
     program so the per-run slice reuses the index instead of rebuilding
     it (the CLI's [analyze] and the analysis bench do this). *)
 
+val compare_findings : finding -> finding -> int
+(** The canonical export order: (rule id, subject, location, message). *)
+
 val count : severity -> finding list -> int
 val errors : finding list -> int
+val warnings : finding list -> int
+
+val should_fail : ?strict:bool -> finding list -> bool
+(** Admission/exit-code policy: any error fails; with [strict] warnings
+    fail too. *)

@@ -1,12 +1,60 @@
 module Pal = Flicker_slb.Pal
 
+type binop = Add | Sub | Mul | Div | Mod | Band | Eq | Ne | Lt | Le
+
+type expr =
+  | Num of int
+  | Var of string
+  | Bin of binop * expr * expr
+  | Load of { buf : string; index : expr }
+
+type stmt =
+  | Local of { name : string; elems : int; elem_size : int }
+  | Assign of { dst : string; src : expr }
+  | Store of { buf : string; index : expr; src : expr }
+  | Call of { dst : string option; callee : string; args : expr list }
+  | If of { cond : expr; then_ : stmt list; else_ : stmt list }
+  | For of { var : string; lo : expr; hi : expr; body : stmt list }
+  | Return of expr option
+
 type func = {
   fname : string;
+  params : string list;
   calls : string list;
   uses_types : string list;
+  stmts : stmt list;
   body : string;
   loc : int;
 }
+
+(* pre-order callee linearization: condition first (expressions contain
+   no calls, so a branch's callees are its arms'), then-arm before
+   else-arm, loop bodies once *)
+let calls_of_stmts stmts =
+  let acc = ref [] in
+  let rec walk = function
+    | Local _ | Assign _ | Store _ | Return _ -> ()
+    | Call { callee; _ } -> acc := callee :: !acc
+    | If { then_; else_; _ } ->
+        List.iter walk then_;
+        List.iter walk else_
+    | For { body; _ } -> List.iter walk body
+  in
+  List.iter walk stmts;
+  List.rev !acc
+
+let fn ?(params = []) ?calls ?(uses_types = []) ?(stmts = []) ?body ?(loc = 1) fname =
+  let calls =
+    match calls with
+    | Some cs -> cs
+    | None -> ( match stmts with [] -> [] | _ -> calls_of_stmts stmts)
+  in
+  let body =
+    match body with
+    | Some b -> b
+    | None -> Printf.sprintf "/* %s: %d LOC */" fname loc
+  in
+  { fname; params; calls; uses_types; stmts; body; loc }
 
 type typedef = { tname : string; type_depends : string list; definition : string }
 type program = { functions : func list; types : typedef list }

@@ -10,13 +10,73 @@
     (the simulator has no C parser; CIL's role was exactly to reduce C to
     such a representation). *)
 
+(** {1 Statement/expression mini-language}
+
+    The structured bodies CIL would plausibly emit after its
+    simplification passes: three-address-style expressions over scalar
+    locals and parameters, fixed-size local arrays, guarded branches,
+    and counted [for] loops whose bounds are evaluated once on entry
+    (CIL normalizes loops it can bound into exactly this shape). The
+    abstract-interpretation passes in [lib/analysis] run over these;
+    functions may instead carry an empty [stmts] list and remain
+    "shape-only" (call list + LOC), the pre-mini-IR representation. *)
+
+type binop = Add | Sub | Mul | Div | Mod | Band | Eq | Ne | Lt | Le
+(** [Div]/[Mod] by zero evaluate to 0 (total semantics; CIL would have
+    inserted a guard). Comparisons yield 0/1. [Band] is bitwise AND. *)
+
+type expr =
+  | Num of int
+  | Var of string  (** scalar local or parameter *)
+  | Bin of binop * expr * expr
+  | Load of { buf : string; index : expr }
+      (** typed-buffer read: element [index] of local array [buf] *)
+
+type stmt =
+  | Local of { name : string; elems : int; elem_size : int }
+      (** stack array declaration: [elems] elements of [elem_size]
+          bytes, charged to the function's frame *)
+  | Assign of { dst : string; src : expr }
+  | Store of { buf : string; index : expr; src : expr }
+      (** typed-buffer write: element [index] of local array [buf] *)
+  | Call of { dst : string option; callee : string; args : expr list }
+  | If of { cond : expr; then_ : stmt list; else_ : stmt list }
+  | For of { var : string; lo : expr; hi : expr; body : stmt list }
+      (** counted loop: [var] ranges over [lo, hi) with both bounds
+          evaluated once on entry, so termination is structural; on
+          exit [var] holds [hi] if the loop ran, [lo] otherwise *)
+  | Return of expr option
+
 type func = {
   fname : string;
+  params : string list;  (** scalar parameters, in call order *)
   calls : string list;  (** callees, by name; unknown names are stdlib *)
   uses_types : string list;
+  stmts : stmt list;
+      (** structured body; [[]] means shape-only (calls + LOC only) *)
   body : string;  (** source text, carried into the extraction *)
   loc : int;  (** lines of code *)
 }
+
+val calls_of_stmts : stmt list -> string list
+(** Callee names in pre-order evaluation order (branch arms after the
+    condition, then-arm first; loop bodies once), duplicates preserved —
+    the [calls] list a statement body implies. Keeping [calls] equal to
+    this keeps the slicer, call graph, and order-sensitive taint pass
+    consistent with the structured body. *)
+
+val fn :
+  ?params:string list ->
+  ?calls:string list ->
+  ?uses_types:string list ->
+  ?stmts:stmt list ->
+  ?body:string ->
+  ?loc:int ->
+  string ->
+  func
+(** [fn name] builds a function definition. When [stmts] is given and
+    [calls] is not, [calls] defaults to [calls_of_stmts stmts]; [body]
+    defaults to a comment carrying the name and LOC. *)
 
 type typedef = {
   tname : string;

@@ -71,6 +71,9 @@ type t = {
   (* a front-end (the serving tier's result cache) consulted at arrival:
      [Some output] completes the request without touching a platform *)
   mutable interceptor : (Request.t -> string option) option;
+  (* static-analysis admission gate consulted at submit time: [Some
+     reason] refuses the request before it ever reaches the network *)
+  mutable admission_gate : (Request.t -> string option) option;
   (* observers of platform crashes (cache invalidation hooks) *)
   mutable crash_hooks : (int -> unit) list;
   (* id -> finalized (request, disposition); insertion keyed by id *)
@@ -140,6 +143,7 @@ let create ?(config = default_config) workload =
     submitted = 0;
     submitted_by_tier = Array.make n_tiers 0;
     interceptor = None;
+    admission_gate = None;
     crash_hooks = [];
     finalized = Hashtbl.create 64;
   }
@@ -151,6 +155,7 @@ let verifier_key t = t.ca_key
 let now_ms t = t.now
 let metrics t = t.metrics
 let set_interceptor t f = t.interceptor <- Some f
+let set_admission_gate t f = t.admission_gate <- Some f
 let add_crash_hook t f = t.crash_hooks <- t.crash_hooks @ [ f ]
 let queued_depth (m : pstate) =
   Array.fold_left (fun acc q -> acc + Queue.length q) 0 m.queues
@@ -197,7 +202,14 @@ let submit t ?client ?home ?(tier = Request.Batch) ?deadline_ms ?sent_ms payload
   t.submitted <- t.submitted + 1;
   let ti = tier_index tier in
   t.submitted_by_tier.(ti) <- t.submitted_by_tier.(ti) + 1;
-  Event_queue.push t.events ~at_ms:arrival (Arrival req);
+  (match t.admission_gate with
+  | Some gate when gate req <> None ->
+      (* the PAL behind this workload failed static analysis: refuse at
+         the front door, before any network or queue resources *)
+      Metrics.incr t.metrics "fleet.analysis_rejected";
+      finalize t req
+        (Request.Rejected { at_ms = sent; platform = -1; queue_depth = 0 })
+  | _ -> Event_queue.push t.events ~at_ms:arrival (Arrival req));
   req.Request.id
 
 let submit_open_loop t ~clients ~per_client ~mean_gap_ms ?tier ?deadline_ms ~payload () =
@@ -567,6 +579,7 @@ type summary = {
   tpm_faults : int;
   dma_storms : int;
   cache_served : int;  (* completions answered by the front-end cache *)
+  analysis_rejected : int;  (* refused by the static-analysis gate *)
   by_tier : tier_summary list;  (* in [Request.all_tiers] order *)
 }
 
@@ -675,6 +688,7 @@ let summary t =
     tpm_faults = machine_counter "fault.tpm.busy" + machine_counter "fault.tpm.slow";
     dma_storms = machine_counter "fault.dma_storms";
     cache_served = Metrics.counter t.metrics "fleet.cache_served";
+    analysis_rejected = Metrics.counter t.metrics "fleet.analysis_rejected";
     by_tier = List.map tier_summary Request.all_tiers;
   }
 
@@ -697,6 +711,8 @@ let pp_summary fmt s =
        (Array.to_list (Array.map string_of_int s.per_platform)));
   if s.cache_served > 0 then
     Format.fprintf fmt "@,cache-served completions: %d" s.cache_served;
+  if s.analysis_rejected > 0 then
+    Format.fprintf fmt "@,rejected by analysis gate: %d" s.analysis_rejected;
   List.iter
     (fun ts ->
       if ts.t_submitted > 0 then

@@ -136,6 +136,15 @@ val set_interceptor : t -> (Request.t -> string option) -> unit
     falls through to normal dispatch. The serving tier's result cache
     ({!Flicker_serve}) is the intended interceptor. *)
 
+val set_admission_gate : t -> (Request.t -> string option) -> unit
+(** Install a static-analysis admission gate consulted once per
+    {!submit}, before the request enters the network. Returning
+    [Some reason] refuses the request outright: it is finalized as
+    {!Request.Rejected} (platform [-1]), the [fleet.analysis_rejected]
+    counter is bumped, and no arrival event is scheduled. Returning
+    [None] admits it normally. {!Flicker_analysis}'s [Admission.install]
+    wires a PAL's analysis verdict into this hook. *)
+
 val add_crash_hook : t -> (int -> unit) -> unit
 (** Register an observer called with the platform index on every crash
     (injected, drawn, or manual), after the platform's
@@ -201,6 +210,9 @@ type summary = {
   cache_served : int;
       (** completions answered by the interceptor (result cache) without
           a platform session *)
+  analysis_rejected : int;
+      (** submissions refused by the static-analysis admission gate
+          (counted inside [rejected] as well) *)
   by_tier : tier_summary list;  (** in {!Request.all_tiers} order *)
 }
 

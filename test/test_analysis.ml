@@ -1,14 +1,20 @@
 (* The PAL verifier: call-graph layer, effects/taint pass, TCB-budget
-   rules, golden reports for the five shipped PALs, and property tests
-   tying the analysis back to the extraction slicer. *)
+   rules, the abstract-interpretation engine (stack bounds, buffer
+   bounds, constant-time lint) with its planted-defect PALs and a
+   concrete-vs-abstract soundness property, analysis-gated fleet
+   admission, golden reports for the shipped and planted PALs, and
+   property tests tying the analysis back to the extraction slicer. *)
 
 open Flicker_analysis
 module Extract = Flicker_extract.Extract
 module Pal = Flicker_slb.Pal
 module Layout = Flicker_slb.Layout
+module Fleet = Flicker_service.Fleet
+module Dispatch = Flicker_service.Dispatch
+module Workload = Flicker_service.Workload
+module Interval = Domains.Interval
 
-let f fname calls loc =
-  { Extract.fname; calls; uses_types = []; body = "/* " ^ fname ^ " */"; loc }
+let f fname calls loc = Extract.fn fname ~calls ~loc
 
 let program functions = { Extract.functions; types = [] }
 
@@ -201,6 +207,360 @@ let test_unknown_entry () =
   Alcotest.(check bool) "driver refuses" true
     (Result.is_error (Rules.run (target ~entry:"nope" [ f "m" [] 1 ])))
 
+let test_rule_duplicate_definition () =
+  let fs =
+    run_ok (target ~entry:"m" [ f "m" [ "helper" ] 2; f "helper" [] 3; f "helper" [] 7 ])
+  in
+  let dups = List.filter (fun fi -> fi.Rules.rule = "duplicate-definition") fs in
+  Alcotest.(check int) "one warning" 1 (List.length dups);
+  let fi = List.hd dups in
+  Alcotest.(check bool) "warning severity" true (fi.Rules.severity = Rules.Warning);
+  Alcotest.(check string) "subject" "helper" fi.Rules.subject;
+  Alcotest.(check string) "names both sites" "definitions #2 and #3" fi.Rules.location;
+  Alcotest.(check string) "message names kept and shadowed"
+    "helper is defined more than once: the slicer keeps definition #2 (3 LOC) and \
+     definition #3 (7 LOC) is silently shadowed"
+    fi.Rules.message;
+  (* unique definitions stay silent *)
+  let fs = run_ok (target ~entry:"m" [ f "m" [ "helper" ] 2; f "helper" [] 3 ]) in
+  Alcotest.(check bool) "no false positive" false (fired "duplicate-definition" fs)
+
+let test_strict_should_fail () =
+  (* a duplicate definition is warning-only: passes by default, blocks
+     under --strict *)
+  let fs =
+    run_ok (target ~entry:"m" [ f "m" [ "helper" ] 2; f "helper" [] 3; f "helper" [] 7 ])
+  in
+  Alcotest.(check int) "no errors" 0 (Rules.errors fs);
+  Alcotest.(check int) "one warning" 1 (Rules.warnings fs);
+  Alcotest.(check bool) "default passes" false (Rules.should_fail fs);
+  Alcotest.(check bool) "strict fails on warnings" true (Rules.should_fail ~strict:true fs);
+  Alcotest.(check bool) "strict on clean passes" false (Rules.should_fail ~strict:true []);
+  let err =
+    [ { Rules.rule = "x"; severity = Rules.Error; subject = "s"; location = ""; message = "" } ]
+  in
+  Alcotest.(check bool) "errors always fail" true (Rules.should_fail err)
+
+let test_finding_order () =
+  let mk rule subject location =
+    { Rules.rule; severity = Rules.Info; subject; location; message = "" }
+  in
+  Alcotest.(check bool) "rule id dominates" true
+    (Rules.compare_findings (mk "a-rule" "z" "z") (mk "b-rule" "a" "a") < 0);
+  Alcotest.(check bool) "subject next" true
+    (Rules.compare_findings (mk "r" "a" "z") (mk "r" "b" "a") < 0);
+  Alcotest.(check bool) "location next" true
+    (Rules.compare_findings (mk "r" "s" "a") (mk "r" "s" "b") < 0);
+  (* Rules.run emits in the canonical order *)
+  let fs = run_ok (Models.secret_branch ()) in
+  Alcotest.(check bool) "run output sorted" true (List.sort Rules.compare_findings fs = fs)
+
+(* --- abstract interpretation: frames, stack bounds, buffer bounds --- *)
+
+let absint_of ?(effects = []) functions ~entry =
+  Absint.analyze ~table:(Effects.make effects)
+    (Callgraph.build (program functions))
+    ~entry
+
+let absint_target (t : Rules.target) =
+  Absint.analyze
+    ~table:(Effects.make t.Rules.effects)
+    (Callgraph.build t.Rules.program)
+    ~entry:t.Rules.entry
+
+let test_frame_bytes () =
+  Alcotest.(check int) "shape-only is opaque" Absint.opaque_frame_bytes
+    (Absint.frame_bytes (f "s" [ "x" ] 1));
+  let with_body =
+    Extract.fn ~params:[ "a"; "b" ]
+      ~stmts:
+        [
+          Extract.Local { name = "buf"; elems = 16; elem_size = 4 };
+          Extract.Assign { dst = "x"; src = Extract.Num 1 };
+          Extract.For
+            {
+              var = "i";
+              lo = Extract.Num 0;
+              hi = Extract.Num 4;
+              body = [ Extract.Store { buf = "buf"; index = Extract.Var "i"; src = Extract.Var "x" } ];
+            };
+          Extract.Return (Some (Extract.Var "x"));
+        ]
+      "m"
+  in
+  (* 32 base + 64 for buf + 8 words x {a, b, x, i} *)
+  Alcotest.(check int) "declared frame" (32 + 64 + 32) (Absint.frame_bytes with_body)
+
+let test_stack_composition () =
+  let leaf name elems =
+    Extract.fn
+      ~stmts:[ Extract.Local { name = "b"; elems; elem_size = 1 }; Extract.Return None ]
+      name
+  in
+  let fns =
+    [
+      Extract.fn
+        ~stmts:
+          [
+            Extract.Call { dst = None; callee = "big"; args = [] };
+            Extract.Call { dst = None; callee = "small"; args = [] };
+            Extract.Call { dst = None; callee = "memcpy"; args = [] };
+          ]
+        "m";
+      leaf "big" 512;
+      leaf "small" 8;
+    ]
+  in
+  let r = absint_of fns ~entry:"m" in
+  (* m is 32, big 544, small 40, the external memcpy a conservative 128;
+     worst chain is through big *)
+  (match r.Absint.stack with
+  | Absint.Bounded b -> Alcotest.(check int) "bound" (32 + 544) b
+  | Absint.Unbounded -> Alcotest.fail "expected a bounded stack");
+  Alcotest.(check (list string)) "worst chain" [ "m"; "big" ] r.Absint.worst_chain;
+  (match (absint_of [ f "m" [ "r" ] 1; f "r" [ "r" ] 1 ] ~entry:"m").Absint.stack with
+  | Absint.Unbounded -> ()
+  | Absint.Bounded _ -> Alcotest.fail "recursion must be unbounded");
+  (* an external leaf can carry the worst chain *)
+  let ext = absint_of [ Extract.fn ~stmts:[ Extract.Call { dst = None; callee = "memcpy"; args = [] } ] "m" ] ~entry:"m" in
+  Alcotest.(check (list string)) "external worst leaf" [ "m"; "memcpy" ] ext.Absint.worst_chain
+
+let test_interval_bounds () =
+  let oob =
+    [
+      Extract.fn
+        ~stmts:
+          [
+            Extract.Local { name = "b"; elems = 4; elem_size = 1 };
+            Extract.For
+              {
+                var = "i";
+                lo = Extract.Num 0;
+                hi = Extract.Num 6;
+                body = [ Extract.Store { buf = "b"; index = Extract.Var "i"; src = Extract.Num 1 } ];
+              };
+          ]
+        "m";
+    ]
+  in
+  let r = absint_of oob ~entry:"m" in
+  Alcotest.(check int) "one violation" 1 (List.length r.Absint.bounds);
+  let v = List.hd r.Absint.bounds in
+  Alcotest.(check string) "function" "m" v.Absint.in_function;
+  Alcotest.(check string) "buffer" "b" v.Absint.buffer;
+  Alcotest.(check int) "declared elems" 4 v.Absint.size_elems;
+  Alcotest.(check bool) "is a write" true v.Absint.is_write;
+  Alcotest.(check bool) "rules layer surfaces it" true
+    (fired "buffer-bounds" (run_ok (target ~entry:"m" oob)));
+  (* masking the index proves it in bounds even when the value is Top *)
+  let masked =
+    [
+      Extract.fn
+        ~stmts:
+          [
+            Extract.Local { name = "b"; elems = 4; elem_size = 1 };
+            Extract.Store
+              {
+                buf = "b";
+                index = Extract.Bin (Extract.Band, Extract.Var "x", Extract.Num 3);
+                src = Extract.Num 1;
+              };
+          ]
+        "m";
+    ]
+  in
+  Alcotest.(check int) "mask proves in-bounds" 0
+    (List.length (absint_of masked ~entry:"m").Absint.bounds)
+
+(* --- constant-time lint --- *)
+
+let unseal dst = Extract.Call { dst = Some dst; callee = "TPM_Unseal"; args = [] }
+let seal v = Extract.Call { dst = None; callee = "TPM_Seal"; args = [ Extract.Var v ] }
+
+let test_ct_branch_and_override () =
+  let body guard =
+    [
+      unseal "s";
+      Extract.Call { dst = Some "ok"; callee = guard; args = [ Extract.Var "s" ] };
+      Extract.If
+        {
+          cond = Extract.Bin (Extract.Eq, Extract.Var "ok", Extract.Num 0);
+          then_ = [ Extract.Assign { dst = "y"; src = Extract.Num 1 } ];
+          else_ = [];
+        };
+      seal "s";
+      Extract.Return None;
+    ]
+  in
+  (* an opaque guard propagates the secret into the branch condition *)
+  let r = absint_of [ Extract.fn ~stmts:(body "opaque_check") "m" ] ~entry:"m" in
+  (match r.Absint.ct with
+  | [ v ] ->
+      Alcotest.(check string) "in m" "m" v.Absint.ct_function;
+      Alcotest.(check bool) "branch kind" true (v.Absint.kind = Absint.Branch);
+      Alcotest.(check string) "source" "TPM_Unseal" v.Absint.source
+  | vs -> Alcotest.fail (Printf.sprintf "expected one ct violation, got %d" (List.length vs)));
+  (* the per-PAL Sanitizer override declassifies the comparison result *)
+  let clean =
+    absint_of
+      ~effects:[ ("opaque_check", Effects.Sanitizer) ]
+      [ Extract.fn ~stmts:(body "opaque_check") "m" ]
+      ~entry:"m"
+  in
+  Alcotest.(check int) "override declassifies" 0 (List.length clean.Absint.ct)
+
+let test_ct_loop_bound () =
+  let fns =
+    [
+      Extract.fn
+        ~stmts:
+          [
+            unseal "s";
+            Extract.For
+              {
+                var = "i";
+                lo = Extract.Num 0;
+                hi = Extract.Var "s";
+                body = [ Extract.Assign { dst = "x"; src = Extract.Var "i" } ];
+              };
+            seal "s";
+          ]
+        "m";
+    ]
+  in
+  let r = absint_of fns ~entry:"m" in
+  Alcotest.(check bool) "secret loop bound flagged" true
+    (List.exists (fun v -> v.Absint.kind = Absint.Loop_bound) r.Absint.ct)
+
+let test_ct_interprocedural () =
+  (* the secret crosses a call boundary as an argument; the branch is in
+     the callee *)
+  let fns =
+    [
+      Extract.fn
+        ~stmts:
+          [
+            unseal "s";
+            Extract.Call { dst = Some "r"; callee = "helper"; args = [ Extract.Var "s" ] };
+            seal "s";
+          ]
+        "m";
+      Extract.fn ~params:[ "p" ]
+        ~stmts:
+          [
+            Extract.If
+              {
+                cond = Extract.Bin (Extract.Eq, Extract.Var "p", Extract.Num 0);
+                then_ = [ Extract.Return (Some (Extract.Num 1)) ];
+                else_ = [];
+              };
+            Extract.Return (Some (Extract.Num 0));
+          ]
+        "helper";
+    ]
+  in
+  let r = absint_of fns ~entry:"m" in
+  (match r.Absint.ct with
+  | [ v ] ->
+      Alcotest.(check string) "flagged in the callee" "helper" v.Absint.ct_function;
+      Alcotest.(check bool) "branch kind" true (v.Absint.kind = Absint.Branch);
+      Alcotest.(check string) "source survives the call" "TPM_Unseal" v.Absint.source
+  | vs -> Alcotest.fail (Printf.sprintf "expected one ct violation, got %d" (List.length vs)))
+
+(* --- planted-defect PALs --- *)
+
+let test_planted_stack_hog () =
+  let t = Models.stack_hog () in
+  let fs = run_ok t in
+  Alcotest.(check (list string)) "only stack-bound fires" [ "stack-bound" ] (rules_fired fs);
+  Alcotest.(check int) "one error" 1 (Rules.errors fs);
+  let fi = List.hd fs in
+  Alcotest.(check string) "names the entry" "pal_main" fi.Rules.subject;
+  Alcotest.(check string) "names the overflowing chain"
+    "pal_main -> compress_block -> huffman_emit" fi.Rules.location;
+  match (absint_target t).Absint.stack with
+  | Absint.Bounded b ->
+      Alcotest.(check int) "proved bound" 4424 b;
+      Alcotest.(check bool) "over the 4 KB stack" true (b > Layout.stack_size)
+  | Absint.Unbounded -> Alcotest.fail "stack-hog is loop-free, bound must be finite"
+
+let test_planted_secret_branch () =
+  let t = Models.secret_branch () in
+  let fs = run_ok t in
+  Alcotest.(check (list string)) "both ct rules fire"
+    [ "secret-branch"; "secret-index" ] (rules_fired fs);
+  Alcotest.(check int) "two errors" 2 (Rules.errors fs);
+  let subjects rule =
+    List.map (fun fi -> fi.Rules.subject) (List.filter (fun fi -> fi.Rules.rule = rule) fs)
+  in
+  Alcotest.(check (list string)) "branch in auth_main" [ "auth_main" ] (subjects "secret-branch");
+  Alcotest.(check (list string)) "index in pin_compare" [ "pin_compare" ]
+    (subjects "secret-index");
+  let r = absint_target t in
+  Alcotest.(check bool) "every violation traces to TPM_Unseal" true
+    (r.Absint.ct <> [] && List.for_all (fun v -> v.Absint.source = "TPM_Unseal") r.Absint.ct);
+  (* its stack is fine — only the constant-time lint complains *)
+  match r.Absint.stack with
+  | Absint.Bounded b -> Alcotest.(check bool) "stack fits" true (b <= Layout.stack_size)
+  | Absint.Unbounded -> Alcotest.fail "secret-branch must have a bounded stack"
+
+(* --- analysis-gated fleet admission --- *)
+
+let gate_config seed =
+  {
+    Fleet.default_config with
+    platforms = 1;
+    queue_depth = 4;
+    batch_size = 1;
+    policy = Dispatch.Round_robin;
+    seed;
+  }
+
+let test_admission_gate () =
+  let bad = Admission.evaluate ~key:"stack-hog" (Models.stack_hog ()) in
+  Alcotest.(check bool) "stack-hog verdict fails" false bad.Admission.passing;
+  Alcotest.(check int) "one blocking error" 1 bad.Admission.errors;
+  (match bad.Admission.stack_bytes with
+  | Some b -> Alcotest.(check bool) "verdict carries the bound" true (b > Layout.stack_size)
+  | None -> Alcotest.fail "expected a bounded stack in the verdict");
+  Alcotest.(check bool) "reason names the rule" true
+    (List.exists
+       (fun r -> String.length r >= 11 && String.sub r 0 11 = "stack-bound")
+       bad.Admission.reasons);
+  let fleet = Fleet.create ~config:(gate_config "gate-bad") (Workload.echo ~work_ms:10.0 ()) in
+  Admission.install fleet bad;
+  for i = 1 to 5 do
+    ignore (Fleet.submit fleet (Printf.sprintf "r%d" i))
+  done;
+  Fleet.run fleet;
+  let s = Fleet.summary fleet in
+  Alcotest.(check int) "all five rejected by analysis" 5 s.Fleet.analysis_rejected;
+  Alcotest.(check int) "nothing completes" 0 s.Fleet.completed;
+  Alcotest.(check int) "rejections visible in the totals" 5 s.Fleet.rejected;
+  Alcotest.(check bool) "every disposition is Rejected" true
+    (List.for_all
+       (fun (_, d) -> match d with Flicker_service.Request.Rejected _ -> true | _ -> false)
+       (Fleet.dispositions fleet));
+  let rendered = Format.asprintf "%a" Fleet.pp_summary s in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "summary prints the gate line" true
+    (contains rendered "rejected by analysis gate: 5");
+  (* a passing verdict admits everything *)
+  let ok = Admission.evaluate ~key:"hello" (Models.hello ()) in
+  Alcotest.(check bool) "hello verdict passes" true ok.Admission.passing;
+  Alcotest.(check (list string)) "no reasons" [] ok.Admission.reasons;
+  let fleet = Fleet.create ~config:(gate_config "gate-ok") (Workload.echo ~work_ms:10.0 ()) in
+  Admission.install fleet ok;
+  ignore (Fleet.submit fleet "r1");
+  Fleet.run fleet;
+  let s = Fleet.summary fleet in
+  Alcotest.(check int) "nothing gated" 0 s.Fleet.analysis_rejected;
+  Alcotest.(check int) "request served" 1 s.Fleet.completed
+
 (* --- the five shipped PALs are clean --- *)
 
 let test_shipped_pals_clean () =
@@ -309,6 +669,151 @@ let prop_taint_monotone =
       in
       count (add_sanitizers p) <= count p)
 
+(* random statement-ful programs for the abstract-interpretation
+   soundness property: n functions g0..g(n-1) where gi only calls gj
+   with j > i (never recursive), each declaring one buffer and mixing
+   counted loops, branches, masked indices, and deliberately wild
+   indices — so both the in-bounds and out-of-bounds paths of the
+   interval pass get exercised against the concrete interpreter *)
+let gen_stmt_program =
+  QCheck.Gen.(
+    let gname i = Printf.sprintf "g%d" i in
+    (* arithmetic over the parameter, the running scalar, and small
+       constants; depth-bounded so terms stay readable *)
+    let gen_expr =
+      let leaf =
+        oneof
+          [
+            map (fun k -> Extract.Num k) (int_range (-3) 9);
+            oneofl [ Extract.Var "a"; Extract.Var "x" ];
+          ]
+      in
+      let op =
+        oneofl
+          Extract.[ Add; Sub; Mul; Div; Mod; Band; Eq; Ne; Lt; Le ]
+      in
+      let node l r o = Extract.Bin (o, l, r) in
+      oneof [ leaf; map3 node leaf leaf op; map3 node (map3 node leaf leaf op) leaf op ]
+    in
+    let gen_index =
+      oneof
+        [
+          return (Extract.Var "i");
+          map (fun m -> Extract.Bin (Extract.Band, Extract.Var "x", Extract.Num m)) (int_range 0 7);
+          map (fun c -> Extract.Num c) (int_range (-2) 9);
+          gen_expr;
+        ]
+    in
+    let gen_body i n =
+      int_range 1 8 >>= fun elems ->
+      gen_expr >>= fun e0 ->
+      gen_index >>= fun widx ->
+      gen_index >>= fun ridx ->
+      gen_expr >>= fun src ->
+      int_range 0 5 >>= fun iters ->
+      bool >>= fun branchy ->
+      (if i + 1 >= n then return []
+       else
+         bool >>= fun does_call ->
+         if not does_call then return []
+         else
+           map
+             (fun j ->
+               [ Extract.Call { dst = Some "r"; callee = gname j; args = [ Extract.Var "x" ] } ])
+             (int_range (i + 1) (n - 1)))
+      >>= fun call_tail ->
+      return
+        ([
+           Extract.Local { name = "buf"; elems; elem_size = 1 };
+           Extract.Assign { dst = "x"; src = e0 };
+           Extract.For
+             {
+               var = "i";
+               lo = Extract.Num 0;
+               hi = Extract.Num iters;
+               body =
+                 [
+                   Extract.Store { buf = "buf"; index = widx; src };
+                   Extract.Assign { dst = "x"; src = Extract.Load { buf = "buf"; index = ridx } };
+                 ];
+             };
+         ]
+        @ (if branchy then
+             [
+               Extract.If
+                 {
+                   cond = Extract.Bin (Extract.Lt, Extract.Var "x", Extract.Num 3);
+                   then_ =
+                     [
+                       Extract.Store
+                         {
+                           buf = "buf";
+                           index = Extract.Bin (Extract.Band, Extract.Var "x", Extract.Num 3);
+                           src = Extract.Num 1;
+                         };
+                     ];
+                   else_ = [];
+                 };
+             ]
+           else [])
+        @ call_tail
+        @ [ Extract.Return (Some (Extract.Var "x")) ])
+    in
+    int_range 1 4 >>= fun n ->
+    let rec bodies i =
+      if i >= n then return []
+      else
+        gen_body i n >>= fun b ->
+        bodies (i + 1) >>= fun rest -> return (b :: rest)
+    in
+    map
+      (fun bs ->
+        {
+          Extract.functions =
+            List.mapi (fun i stmts -> Extract.fn ~params:[ "a" ] ~stmts ~loc:10 (gname i)) bs;
+          types = [];
+        })
+      (bodies 0))
+
+let print_stmt_program p =
+  String.concat "; "
+    (List.map
+       (fun fn ->
+         Printf.sprintf "%s(%s)->[%s] %d stmts" fn.Extract.fname
+           (String.concat "," fn.Extract.params)
+           (String.concat "," fn.Extract.calls)
+           (List.length fn.Extract.stmts))
+       p.Extract.functions)
+
+let prop_absint_soundness =
+  QCheck.Test.make ~name:"concrete runs stay inside the abstract envelope" ~count:200
+    (QCheck.make ~print:print_stmt_program gen_stmt_program)
+    (fun p ->
+      let g = Callgraph.build p in
+      let r = Absint.analyze ~table:(Effects.make []) g ~entry:"g0" in
+      let obs = Absint.Concrete.run g ~entry:"g0" in
+      let stack_ok =
+        match r.Absint.stack with
+        | Absint.Bounded b -> obs.Absint.Concrete.max_stack_bytes <= b
+        | Absint.Unbounded -> true
+      in
+      let access_ok (a : Absint.Concrete.access) =
+        let { Absint.Concrete.in_function; buffer; index; within } = a in
+        if within then
+          (* every in-bounds concrete index lies in the reported hull *)
+          match List.assoc_opt (in_function, buffer) r.Absint.index_hulls with
+          | Some hull -> Interval.contains hull index
+          | None -> false
+        else
+          (* every out-of-bounds concrete access was reported abstractly *)
+          List.exists
+            (fun (v : Absint.bounds_violation) ->
+              v.Absint.in_function = in_function && v.Absint.buffer = buffer)
+            r.Absint.bounds
+      in
+      stack_ok && (not obs.Absint.Concrete.out_of_fuel)
+      && List.for_all access_ok obs.Absint.Concrete.accesses)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -341,14 +846,32 @@ let () =
           Alcotest.test_case "dead function" `Quick test_rule_dead_function;
           Alcotest.test_case "unresolved callee" `Quick test_rule_unresolved;
           Alcotest.test_case "unknown entry" `Quick test_unknown_entry;
+          Alcotest.test_case "duplicate definition" `Quick test_rule_duplicate_definition;
+          Alcotest.test_case "strict should_fail" `Quick test_strict_should_fail;
+          Alcotest.test_case "finding order" `Quick test_finding_order;
         ] );
+      ( "absint",
+        [
+          Alcotest.test_case "frame bytes" `Quick test_frame_bytes;
+          Alcotest.test_case "stack composition" `Quick test_stack_composition;
+          Alcotest.test_case "interval bounds" `Quick test_interval_bounds;
+          Alcotest.test_case "ct branch + override" `Quick test_ct_branch_and_override;
+          Alcotest.test_case "ct loop bound" `Quick test_ct_loop_bound;
+          Alcotest.test_case "ct interprocedural" `Quick test_ct_interprocedural;
+        ] );
+      ( "planted PALs",
+        [
+          Alcotest.test_case "stack-hog caught" `Quick test_planted_stack_hog;
+          Alcotest.test_case "secret-branch caught" `Quick test_planted_secret_branch;
+        ] );
+      ("admission", [ Alcotest.test_case "fleet gate" `Quick test_admission_gate ]);
       ( "shipped PALs",
         Alcotest.test_case "all five clean" `Quick test_shipped_pals_clean
         :: List.map
              (fun key -> Alcotest.test_case ("golden " ^ key) `Quick (test_golden key))
-             (Models.keys ()) );
+             (Models.keys () @ Models.planted_keys ()) );
       ("export", [ Alcotest.test_case "sarif" `Quick test_sarif_roundtrip ]);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_slice_equals_reachable; prop_taint_monotone ] );
+          [ prop_slice_equals_reachable; prop_taint_monotone; prop_absint_soundness ] );
     ]

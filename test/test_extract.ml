@@ -10,84 +10,31 @@ let sshd =
   {
     Extract.functions =
       [
-        {
-          Extract.fname = "main";
-          calls = [ "socket"; "accept_loop" ];
-          uses_types = [ "server_config" ];
-          body = "int main(void) { ... }";
-          loc = 30;
-        };
-        {
-          Extract.fname = "accept_loop";
-          calls = [ "recv"; "handle_auth"; "printf" ];
-          uses_types = [ "connection" ];
-          body = "static void accept_loop(void) { ... }";
-          loc = 60;
-        };
-        {
-          Extract.fname = "handle_auth";
-          calls = [ "check_password"; "log_attempt" ];
-          uses_types = [ "connection"; "auth_ctxt" ];
-          body = "static int handle_auth(connection *c) { ... }";
-          loc = 40;
-        };
-        {
-          Extract.fname = "check_password";
-          calls = [ "md5crypt"; "constant_time_eq"; "malloc" ];
-          uses_types = [ "auth_ctxt"; "passwd_entry" ];
-          body = "int check_password(auth_ctxt *a, const char *pw) { ... }";
-          loc = 25;
-        };
-        {
-          Extract.fname = "md5crypt";
-          calls = [ "md5_init"; "md5_update"; "memcpy" ];
-          uses_types = [ "md5_ctx" ];
-          body = "char *md5crypt(const char *salt, const char *pw) { ... }";
-          loc = 120;
-        };
-        {
-          Extract.fname = "md5_init";
-          calls = [];
-          uses_types = [ "md5_ctx" ];
-          body = "void md5_init(md5_ctx *c) { ... }";
-          loc = 10;
-        };
-        {
-          Extract.fname = "md5_update";
-          calls = [ "memcpy" ];
-          uses_types = [ "md5_ctx" ];
-          body = "void md5_update(md5_ctx *c, ...) { ... }";
-          loc = 35;
-        };
-        {
-          Extract.fname = "constant_time_eq";
-          calls = [];
-          uses_types = [];
-          body = "int constant_time_eq(const char *a, const char *b) { ... }";
-          loc = 8;
-        };
-        {
-          Extract.fname = "log_attempt";
-          calls = [ "fprintf" ];
-          uses_types = [];
-          body = "static void log_attempt(...) { ... }";
-          loc = 12;
-        };
+        Extract.fn "main" ~calls:[ "socket"; "accept_loop" ]
+          ~uses_types:[ "server_config" ] ~body:"int main(void) { ... }" ~loc:30;
+        Extract.fn "accept_loop" ~calls:[ "recv"; "handle_auth"; "printf" ]
+          ~uses_types:[ "connection" ]
+          ~body:"static void accept_loop(void) { ... }" ~loc:60;
+        Extract.fn "handle_auth" ~calls:[ "check_password"; "log_attempt" ]
+          ~uses_types:[ "connection"; "auth_ctxt" ]
+          ~body:"static int handle_auth(connection *c) { ... }" ~loc:40;
+        Extract.fn "check_password" ~calls:[ "md5crypt"; "constant_time_eq"; "malloc" ]
+          ~uses_types:[ "auth_ctxt"; "passwd_entry" ]
+          ~body:"int check_password(auth_ctxt *a, const char *pw) { ... }" ~loc:25;
+        Extract.fn "md5crypt" ~calls:[ "md5_init"; "md5_update"; "memcpy" ]
+          ~uses_types:[ "md5_ctx" ]
+          ~body:"char *md5crypt(const char *salt, const char *pw) { ... }" ~loc:120;
+        Extract.fn "md5_init" ~uses_types:[ "md5_ctx" ]
+          ~body:"void md5_init(md5_ctx *c) { ... }" ~loc:10;
+        Extract.fn "md5_update" ~calls:[ "memcpy" ] ~uses_types:[ "md5_ctx" ]
+          ~body:"void md5_update(md5_ctx *c, ...) { ... }" ~loc:35;
+        Extract.fn "constant_time_eq"
+          ~body:"int constant_time_eq(const char *a, const char *b) { ... }" ~loc:8;
+        Extract.fn "log_attempt" ~calls:[ "fprintf" ]
+          ~body:"static void log_attempt(...) { ... }" ~loc:12;
         (* mutual recursion, to exercise cycle handling *)
-        {
-          Extract.fname = "even";
-          calls = [ "odd" ];
-          uses_types = [];
-          body = "int even(int n) { ... }";
-          loc = 3;
-        };
-        {
-          Extract.fname = "odd";
-          calls = [ "even" ];
-          uses_types = [];
-          body = "int odd(int n) { ... }";
-          loc = 3;
-        };
+        Extract.fn "even" ~calls:[ "odd" ] ~body:"int even(int n) { ... }" ~loc:3;
+        Extract.fn "odd" ~calls:[ "even" ] ~body:"int odd(int n) { ... }" ~loc:3;
       ];
     types =
       [
@@ -210,15 +157,7 @@ let test_unresolved_reported () =
   let prog =
     {
       Extract.functions =
-        [
-          {
-            Extract.fname = "f";
-            calls = [ "mystery_helper" ];
-            uses_types = [];
-            body = "void f(void) {}";
-            loc = 2;
-          };
-        ];
+        [ Extract.fn "f" ~calls:[ "mystery_helper" ] ~body:"void f(void) {}" ~loc:2 ];
       types = [];
     }
   in
