@@ -40,6 +40,59 @@ let run_config ~platforms ~rate =
   Fleet.run fleet;
   Fleet.summary fleet
 
+(* One sharded cell: the fault machinery (injected crashes, re-dispatch,
+   breakers) running across shard boundaries, on however many domains
+   the harness was given — the emitted fields are all simulated, so the
+   row is byte-identical at any domain count. *)
+let run_sharded () =
+  let platforms = 64 and shards = 8 and rate = 0.2 in
+  let config =
+    {
+      Fleet.default_config with
+      platforms;
+      shards;
+      domains = !Opts.domains;
+      batch_size = 2;
+      queue_depth = 32;
+      policy = Dispatch.Least_loaded;
+      seed = Printf.sprintf "chaos-bench-sharded-p%d-r%.2f" platforms rate;
+      faults = Some (Injector.scaled rate);
+      retry_budget = 2;
+      breaker_failures = 3;
+    }
+  in
+  let fleet = Fleet.create ~config (Workload.echo ~work_ms:60.0 ()) in
+  Fleet.submit_open_loop fleet ~clients:16 ~per_client:4 ~mean_gap_ms:10.0
+    ~payload:(fun ~client ~seq -> Printf.sprintf "chaos-s-%d-%d" client seq)
+    ();
+  Fleet.run fleet;
+  let s = Fleet.summary fleet in
+  Printf.printf "%-10s %6.2f %10d %7d %8d %8d %8d %6d %10.2f %10.1f\n"
+    (Printf.sprintf "%dx%ds" platforms shards)
+    rate s.Fleet.completed s.failed s.crashes s.redispatched s.tpm_faults
+    s.dma_storms s.throughput_rps s.latency_p95_ms;
+  Paper.emit ~artifact:"chaos"
+    ~label:(Printf.sprintf "p%d s%d r%.2f" platforms shards rate)
+    [
+      ("platforms", J.Int platforms);
+      ("shards", J.Int shards);
+      ("fault_rate", J.Float rate);
+      ("submitted", J.Int s.Fleet.submitted);
+      ("completed", J.Int s.completed);
+      ("failed", J.Int s.failed);
+      ("rejected", J.Int s.rejected);
+      ("expired", J.Int s.expired);
+      ("crashes", J.Int s.crashes);
+      ("redispatched", J.Int s.redispatched);
+      ("forwarded", J.Int s.forwarded);
+      ("breaker_opens", J.Int s.breaker_opens);
+      ("tpm_faults", J.Int s.tpm_faults);
+      ("dma_storms", J.Int s.dma_storms);
+      ("goodput_rps", J.Float s.throughput_rps);
+      ("p95_ms", J.Float s.latency_p95_ms);
+      ("makespan_ms", J.Float s.makespan_ms);
+    ]
+
 let run () =
   Printf.printf "\n=== Chaos: fleet degradation vs fault rate ===\n";
   Printf.printf
@@ -76,4 +129,5 @@ let run () =
               ("makespan_ms", J.Float s.makespan_ms);
             ])
         fault_rates)
-    platform_counts
+    platform_counts;
+  run_sharded ()

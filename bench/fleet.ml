@@ -61,6 +61,90 @@ let run_config ~platforms ~batch =
   Fleet.run fleet;
   Fleet.summary fleet
 
+(* Sharded sweep: one fleet large enough that a single timeline is the
+   bottleneck, split across shards and run twice — serially on one
+   domain, then on [!Opts.domains] — to (a) cross-check that the domain
+   count is invisible in the simulated results and (b) record the
+   wall-clock cost of both placements. Echo keeps the session cost flat
+   so the measured wall is dominated by the event loops themselves. *)
+let sharded_platforms = 64
+let sharded_shards = 8
+let sharded_clients = 32
+let sharded_per_client = 8
+
+let run_sharded ~domains =
+  let config =
+    {
+      Fleet.default_config with
+      platforms = sharded_platforms;
+      shards = sharded_shards;
+      domains;
+      batch_size = 8;
+      queue_depth = 64;
+      policy = Dispatch.Least_loaded;
+      seed = "fleet-bench-sharded-64";
+    }
+  in
+  let fleet = Fleet.create ~config (Workload.echo ~work_ms:25.0 ()) in
+  Fleet.submit_open_loop fleet ~clients:sharded_clients
+    ~per_client:sharded_per_client ~mean_gap_ms:5.0
+    ~payload:(fun ~client ~seq -> Printf.sprintf "shard-%d-%d" client seq)
+    ();
+  let t0 = Unix.gettimeofday () in
+  Fleet.run fleet;
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  (Fleet.summary fleet, Fleet.dispositions fleet, wall_ms)
+
+let run_sharded_sweep () =
+  Printf.printf "\n=== Fleet: sharded, %d platforms x %d shards ===\n"
+    sharded_platforms sharded_shards;
+  Printf.printf "(%d clients x %d echo requests; domain count must not change the simulation)\n"
+    sharded_clients sharded_per_client;
+  let s1, d1, wall_serial = run_sharded ~domains:1 in
+  let sn, dn, wall_parallel = run_sharded ~domains:!Opts.domains in
+  if d1 <> dn || s1 <> sn then (
+    Printf.eprintf
+      "fleet bench: sharded sweep diverged between 1 and %d domains\n"
+      !Opts.domains;
+    exit 1);
+  let speedup = if wall_parallel > 0.0 then wall_serial /. wall_parallel else 0.0 in
+  Printf.printf "%-10s %7s %10s %9s %10s %12s %10s %10s\n" "platforms"
+    "shards" "completed" "sessions" "forwarded" "thruput r/s" "p50 ms"
+    "p95 ms";
+  Printf.printf "%-10d %7d %10d %9d %10d %12.2f %10.1f %10.1f\n"
+    sharded_platforms sharded_shards sn.Fleet.completed sn.sessions
+    sn.forwarded sn.throughput_rps sn.latency_p50_ms sn.latency_p95_ms;
+  Printf.printf
+    "wall: %.1f ms on 1 domain, %.1f ms on %d domains (%.2fx)\n" wall_serial
+    wall_parallel !Opts.domains speedup;
+  Paper.emit ~artifact:"fleet"
+    ~label:(Printf.sprintf "p%d s%d" sharded_platforms sharded_shards)
+    [
+      ("platforms", J.Int sharded_platforms);
+      ("shards", J.Int sharded_shards);
+      ("submitted", J.Int sn.Fleet.submitted);
+      ("completed", J.Int sn.completed);
+      ("rejected", J.Int sn.rejected);
+      ("expired", J.Int sn.expired);
+      ("sessions", J.Int sn.sessions);
+      ("forwarded", J.Int sn.forwarded);
+      ("throughput_rps", J.Float sn.throughput_rps);
+      ("p50_ms", J.Float sn.latency_p50_ms);
+      ("p95_ms", J.Float sn.latency_p95_ms);
+      ("mean_ms", J.Float sn.latency_mean_ms);
+      ("makespan_ms", J.Float sn.makespan_ms);
+    ];
+  Paper.emit ~artifact:"fleet"
+    ~label:(Printf.sprintf "p%d s%d walls" sharded_platforms sharded_shards)
+    [
+      ("platforms", J.Int sharded_platforms);
+      ("shards", J.Int sharded_shards);
+      ("wall_domains", J.Int (if !Opts.no_wall then 0 else !Opts.domains));
+      ("wall_ms_serial", J.Float (Opts.wall wall_serial));
+      ("wall_ms_parallel", J.Float (Opts.wall wall_parallel));
+      ("wall_speedup", J.Float (Opts.wall speedup));
+    ]
+
 let run () =
   Printf.printf "\n=== Fleet: CA throughput vs fleet size and batch size ===\n";
   Printf.printf "(%d clients x %d CSRs each, open-loop, least-loaded routing)\n"
@@ -92,4 +176,5 @@ let run () =
               ("makespan_ms", J.Float s.makespan_ms);
             ])
         batch_sizes)
-    platform_counts
+    platform_counts;
+  run_sharded_sweep ()

@@ -73,11 +73,33 @@ let rec extract_json = function
       let path, targets = extract_json rest in
       (path, arg :: targets)
 
+(* harness-wide flags, peeled off before target dispatch: `--domains N`
+   sets how many domains the sharded fleet sweeps run on (simulated
+   output is invariant to it), `--no-wall` zeroes wall-clock fields so
+   two runs can be compared with a plain cmp *)
+let rec extract_flags = function
+  | [] -> []
+  | "--domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some d when d >= 1 -> Opts.domains := d
+      | _ ->
+          prerr_endline "--domains requires a positive integer";
+          exit 1);
+      extract_flags rest
+  | [ "--domains" ] ->
+      prerr_endline "--domains requires a positive integer";
+      exit 1
+  | "--no-wall" :: rest ->
+      Opts.no_wall := true;
+      extract_flags rest
+  | arg :: rest -> arg :: extract_flags rest
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (match args with
   | "diff" :: rest -> exit (Diff.main rest)
   | _ -> ());
+  let args = extract_flags args in
   let json_path, targets = extract_json args in
   let targets = if targets = [] then all_in_order else targets in
   let targets =

@@ -1,0 +1,14 @@
+(* Harness-wide knobs set by bench/main.exe's flag parsing.
+
+   [domains] is how many OCaml 5 domains the sharded sweeps hand to the
+   fleet (`--domains N`); the simulated metrics are domain-count
+   invariant by construction, so CI cross-checks `--domains 1` against
+   `--domains 4` byte-for-byte. [no_wall] (`--no-wall`) zeroes every
+   wall-clock field in the emitted JSON so that comparison can be a
+   plain `cmp` even though the two runs execute on different numbers of
+   cores. *)
+
+let domains = ref 4
+let no_wall = ref false
+
+let wall x = if !no_wall then 0.0 else x

@@ -9,7 +9,8 @@
      flicker check [WORKLOAD..] [--mc]  temporal protocol verification
      flicker trace WORKLOAD [-o FILE]   Chrome trace JSON of a workload
      flicker stats WORKLOAD [--json]    counters + latency histograms
-     flicker fleet [--platforms N]      multi-machine fleet serving PAL requests
+     flicker fleet [--platforms N] [--shards S] [--domains D]
+                                        multi-machine fleet serving PAL requests
      flicker chaos [--rate R]           fleet under seeded fault injection
      flicker info                       platform + timing-profile summary *)
 
@@ -800,7 +801,7 @@ let stats_cmd =
 (* --- fleet --- *)
 
 let fleet_run seed tpm platforms batch queue_depth policy workload clients
-    per_client mean_gap deadline verbose =
+    per_client mean_gap deadline shards domains verbose =
   setup_logging verbose;
   let module Fleet = Flicker_service.Fleet in
   let module Workload = Flicker_service.Workload in
@@ -814,6 +815,8 @@ let fleet_run seed tpm platforms batch queue_depth policy workload clients
       policy;
       seed;
       timing = Timing.with_tpm tpm Timing.default;
+      shards;
+      domains;
     }
   in
   let is_ca = workload = `Ca in
@@ -907,19 +910,34 @@ let deadline_arg =
        & info [ "deadline" ] ~docv:"MS"
            ~doc:"Per-request deadline relative to its send time (simulated ms).")
 
+let shards_arg =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"S"
+           ~doc:"Contiguous platform windows the fleet is split into. Sharding \
+                 changes the simulation (routing, epoch barriers, cross-shard \
+                 forwarding) but deterministically: same seed, same results.")
+
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"OCaml 5 domains that execute the shards (clamped to the shard \
+                 count). Pure execution placement: any value yields identical \
+                 simulated results.")
+
 let fleet_cmd =
   Cmd.v
     (Cmd.info "fleet"
        ~doc:"Serve many clients' PAL requests from a multi-machine Flicker fleet")
     Term.(const fleet_run $ seed_arg $ tpm_arg $ platforms_arg $ batch_arg
           $ queue_depth_arg $ policy_arg $ fleet_workload_arg $ clients_arg
-          $ per_client_arg $ mean_gap_arg $ deadline_arg $ verbose_arg)
+          $ per_client_arg $ mean_gap_arg $ deadline_arg $ shards_arg
+          $ domains_arg $ verbose_arg)
 
 (* --- chaos --- *)
 
 let chaos_run seed tpm platforms batch queue_depth policy workload clients
     per_client mean_gap deadline rate retry_budget breaker_failures
-    breaker_cooldown verbose =
+    breaker_cooldown shards domains verbose =
   setup_logging verbose;
   let module Fleet = Flicker_service.Fleet in
   let module Workload = Flicker_service.Workload in
@@ -942,6 +960,8 @@ let chaos_run seed tpm platforms batch queue_depth policy workload clients
       retry_budget;
       breaker_failures;
       breaker_cooldown_ms = breaker_cooldown;
+      shards;
+      domains;
     }
   in
   let is_ca = workload = `Ca in
@@ -1010,7 +1030,7 @@ let chaos_cmd =
           $ queue_depth_arg $ policy_arg $ chaos_workload_arg $ clients_arg
           $ per_client_arg $ mean_gap_arg $ deadline_arg $ rate_arg
           $ retry_budget_arg $ breaker_failures_arg $ breaker_cooldown_arg
-          $ verbose_arg)
+          $ shards_arg $ domains_arg $ verbose_arg)
 
 (* --- serve --- *)
 

@@ -29,33 +29,72 @@ type entry = {
   mutable e_window : digest option; (* H(full window), on first demand *)
 }
 
-(* Bounded by wholesale reset: the working set is a handful of PALs x
-   flavors, so 64 entries (~4 MB of retained windows) is generous and a
-   rare flush only costs one extra patch+hash per live key. *)
+(* Bounded by single-victim FIFO eviction: the working set is a handful
+   of PALs x flavors, so 64 entries (~4 MB of retained windows) is
+   generous. Evicting one oldest key at capacity keeps a 65-entry
+   working set warm (one extra patch+hash per wrap) where the previous
+   wholesale [Hashtbl.reset] thrashed it to a 0% hit rate. *)
 let cache_limit = 64
 
-let cache : (string * int, entry) Hashtbl.t = Hashtbl.create 16
-let window_digests : (string, digest) Hashtbl.t = Hashtbl.create 16
-let hits = ref 0
-let misses = ref 0
+(* Everything mutable lives in domain-local storage: under OCaml 5
+   Domains each shard hashes on its own domain, and a shared Hashtbl
+   would tear under concurrent insertion. Because every cache is keyed
+   by content, a per-domain split is identity-preserving — a domain that
+   misses where another would have hit only re-derives the same bytes —
+   so the memo stays transparent at any domain count. *)
+type state = {
+  s_cache : (string * int, entry) Hashtbl.t;
+  s_cache_order : (string * int) Queue.t; (* insertion order, oldest first *)
+  s_windows : (string, digest) Hashtbl.t;
+  s_windows_order : string Queue.t;
+  mutable s_hits : int;
+  mutable s_misses : int;
+}
 
-let cache_stats () = (!hits, !misses)
+let state_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        s_cache = Hashtbl.create 16;
+        s_cache_order = Queue.create ();
+        s_windows = Hashtbl.create 16;
+        s_windows_order = Queue.create ();
+        s_hits = 0;
+        s_misses = 0;
+      })
+
+let state () = Domain.DLS.get state_key
+
+let cache_stats () =
+  let st = state () in
+  (st.s_hits, st.s_misses)
 
 let clear_cache () =
-  Hashtbl.reset cache;
-  Hashtbl.reset window_digests;
-  hits := 0;
-  misses := 0
+  let st = state () in
+  Hashtbl.reset st.s_cache;
+  Queue.clear st.s_cache_order;
+  Hashtbl.reset st.s_windows;
+  Queue.clear st.s_windows_order;
+  st.s_hits <- 0;
+  st.s_misses <- 0
+
+(* The order queue may hold keys that were already evicted (a key
+   re-inserted after eviction appears twice); skip those. *)
+let rec evict_one tbl order =
+  match Queue.take_opt order with
+  | None -> ()
+  | Some k -> if Hashtbl.mem tbl k then Hashtbl.remove tbl k else evict_one tbl order
 
 let lookup image ~slb_base =
+  let st = state () in
   let key = (image.Builder.bytes, slb_base) in
-  match Hashtbl.find_opt cache key with
+  match Hashtbl.find_opt st.s_cache key with
   | Some e ->
-      incr hits;
+      st.s_hits <- st.s_hits + 1;
       e
   | None ->
-      incr misses;
-      if Hashtbl.length cache >= cache_limit then Hashtbl.reset cache;
+      st.s_misses <- st.s_misses + 1;
+      if Hashtbl.length st.s_cache >= cache_limit then
+        evict_one st.s_cache st.s_cache_order;
       let bytes = Builder.initialize image ~slb_base in
       let e =
         {
@@ -64,7 +103,8 @@ let lookup image ~slb_base =
           e_window = None;
         }
       in
-      Hashtbl.replace cache key e;
+      Hashtbl.replace st.s_cache key e;
+      Queue.add key st.s_cache_order;
       e
 
 let entry_window_digest e =
@@ -76,16 +116,18 @@ let entry_window_digest e =
       d
 
 let window_digest window =
-  match Hashtbl.find_opt window_digests window with
+  let st = state () in
+  match Hashtbl.find_opt st.s_windows window with
   | Some d ->
-      incr hits;
+      st.s_hits <- st.s_hits + 1;
       d
   | None ->
-      incr misses;
-      if Hashtbl.length window_digests >= cache_limit then
-        Hashtbl.reset window_digests;
+      st.s_misses <- st.s_misses + 1;
+      if Hashtbl.length st.s_windows >= cache_limit then
+        evict_one st.s_windows st.s_windows_order;
       let d = Sha1.digest window in
-      Hashtbl.replace window_digests window d;
+      Hashtbl.replace st.s_windows window d;
+      Queue.add window st.s_windows_order;
       d
 
 let initialized image ~slb_base = (lookup image ~slb_base).e_initialized

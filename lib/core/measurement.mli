@@ -37,13 +37,21 @@ val window_digest : string -> digest
     (and therefore misses and re-hashes). *)
 
 val cache_stats : unit -> int * int
-(** (hits, misses) of the measurement caches since the last
-    {!clear_cache} — instrumentation for [bench micro]. *)
+(** (hits, misses) of the calling domain's measurement caches since its
+    last {!clear_cache} — instrumentation for [bench micro]. The caches
+    live in [Domain.DLS], one instance per domain: a sharded fleet
+    hashes on several domains without sharing (or tearing) a table, and
+    because every cache is content-keyed the split is
+    identity-preserving — only the hit/miss counts depend on the domain
+    layout, never a digest. *)
 
 val clear_cache : unit -> unit
-(** Drop every memoized measurement (and zero {!cache_stats}). Results
-    are unaffected: the caches are keyed by content, so this only costs
-    re-derivation. *)
+(** Drop every measurement memoized on the calling domain (and zero its
+    {!cache_stats}). Results are unaffected: the caches are keyed by
+    content, so this only costs re-derivation. At capacity the caches
+    evict a single oldest entry instead of flushing wholesale, so a
+    working set one larger than the bound degrades by one re-derivation
+    per wrap rather than to a 0% hit rate. *)
 
 val after_launch : ?acm:string -> Flicker_slb.Builder.image -> slb_base:int -> digest
 (** PCR 17 immediately after a late launch (including the stub's extend

@@ -17,9 +17,11 @@ type ctx = {
 (* Host-side instrumentation: message bytes fed through [update] since
    process start (padding excluded). The measurement-memoization bench
    reads the delta around a session to prove the cache cut real hashing
-   work without touching any simulated metric. *)
-let bytes_hashed_total = ref 0
-let bytes_hashed () = !bytes_hashed_total
+   work without touching any simulated metric. Atomic, because sharded
+   fleets hash from several domains at once and a plain [ref] would
+   drop increments under contention. *)
+let bytes_hashed_total = Atomic.make 0
+let bytes_hashed () = Atomic.get bytes_hashed_total
 
 let init () =
   {
@@ -112,7 +114,7 @@ let absorb ctx s =
 
 let update ctx s =
   if ctx.finalized then invalid_arg "Sha1.update: context already finalized";
-  bytes_hashed_total := !bytes_hashed_total + String.length s;
+  ignore (Atomic.fetch_and_add bytes_hashed_total (String.length s));
   absorb ctx s
 
 let finalize ctx =
@@ -139,13 +141,17 @@ let finalize ctx =
     [ ctx.h0; ctx.h1; ctx.h2; ctx.h3; ctx.h4 ];
   Bytes.unsafe_to_string out
 
-(* One process-wide scratch context for one-shot digests: [digest] runs
-   to completion before returning and the simulator is single-domain, so
-   reusing it is safe and saves a 64-byte buffer + 80-word schedule
-   allocation per call on the measurement hot path. *)
-let scratch = init ()
+(* One scratch context per domain for one-shot digests: [digest] runs to
+   completion before returning and never re-enters itself, so reusing a
+   domain-local context is safe — including under the sharded fleet,
+   where several domains digest concurrently — and saves a 64-byte
+   buffer + 80-word schedule allocation per call on the measurement hot
+   path. A single shared context here was the PR-6 latent bug: two
+   domains interleaving [reset]/[update]/[finalize] would mix messages. *)
+let scratch_key = Domain.DLS.new_key init
 
 let digest s =
+  let scratch = Domain.DLS.get scratch_key in
   reset scratch;
   update scratch s;
   finalize scratch

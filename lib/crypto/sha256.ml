@@ -146,11 +146,13 @@ let finalize ctx =
     ctx.h;
   Bytes.unsafe_to_string out
 
-(* Shared one-shot scratch context; see Sha1.scratch for the rationale
-   (single-domain simulator, [digest] never re-enters itself). *)
-let scratch = init ()
+(* Domain-local one-shot scratch context; see Sha1.scratch_key for the
+   rationale ([digest] never re-enters itself, and each domain owns its
+   own context so concurrent domains cannot interleave absorptions). *)
+let scratch_key = Domain.DLS.new_key init
 
 let digest s =
+  let scratch = Domain.DLS.get scratch_key in
   reset scratch;
   update scratch s;
   finalize scratch

@@ -121,3 +121,38 @@ let histograms t =
 let reset t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.histos
+
+(* Order-independent by construction: counters add, histograms add
+   count/sum/dropped and buckets element-wise and take min/max of the
+   extrema. Merging shard registries in any order therefore yields the
+   same registry — the property the sharded fleet's byte-identical
+   summaries lean on (percentiles come from the merged buckets, not from
+   a sample order). *)
+let merge_into src ~into =
+  Hashtbl.iter (fun name r -> incr into ~by:!r name) src.counters;
+  Hashtbl.iter
+    (fun name (h : histo) ->
+      let d =
+        match Hashtbl.find_opt into.histos name with
+        | Some d -> d
+        | None ->
+            let d =
+              {
+                count = 0;
+                sum = 0.0;
+                vmin = infinity;
+                vmax = neg_infinity;
+                dropped = 0;
+                buckets = Array.make bucket_count 0;
+              }
+            in
+            Hashtbl.replace into.histos name d;
+            d
+      in
+      d.count <- d.count + h.count;
+      d.sum <- d.sum +. h.sum;
+      if h.vmin < d.vmin then d.vmin <- h.vmin;
+      if h.vmax > d.vmax then d.vmax <- h.vmax;
+      d.dropped <- d.dropped + h.dropped;
+      Array.iteri (fun i n -> d.buckets.(i) <- d.buckets.(i) + n) h.buckets)
+    src.histos

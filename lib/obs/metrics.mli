@@ -46,3 +46,12 @@ val histograms : t -> histogram_summary list
 (** All histogram summaries, sorted by name. *)
 
 val reset : t -> unit
+
+val merge_into : t -> into:t -> unit
+(** Fold [src]'s series into [into]: counters add; histograms add their
+    counts, sums, dropped counts, and buckets element-wise and keep the
+    combined extrema. Commutative and associative, so merging per-shard
+    registries in canonical shard order gives a registry independent of
+    which domain ran which shard — bucket-estimated percentiles over the
+    merged histogram are exactly those of the union of samples. [src] is
+    left untouched. *)

@@ -48,18 +48,31 @@ let least_loaded loads =
     loads;
   if !best < 0 then None else Some !best
 
-let select policy ~cursor ~request loads =
+let affinity_target ~client ~total =
+  if total < 1 then invalid_arg "Dispatch.affinity_target: empty fleet";
+  fnv1a client mod total
+
+let select ?(gstart = 0) ?gtotal policy ~cursor ~request loads =
   let n = Array.length loads in
   if n = 0 then invalid_arg "Dispatch.select: empty fleet";
+  (* [loads] may be one shard's window [gstart, gstart + n) into a
+     larger fleet of [gtotal] platforms. Placement that must be stable
+     fleet-wide (homes, the affinity hash) is computed over global
+     indices and translated; the defaults make a whole-fleet call behave
+     exactly as before. The returned index is always local to [loads]. *)
+  let gtotal = match gtotal with Some g -> g | None -> gstart + n in
   match request.Request.home with
   | Some h ->
-      if h < 0 || h >= n then
+      if h < 0 || h >= gtotal then
         invalid_arg
-          (Printf.sprintf "Dispatch.select: home platform %d outside fleet of %d" h n);
+          (Printf.sprintf "Dispatch.select: home platform %d outside fleet of %d" h
+             gtotal);
+      let l = h - gstart in
       (* a home is a hard constraint: when it is unavailable the request
          must fail explicitly, never silently reroute — its sealed state
-         exists nowhere else *)
-      if loads.(h).available then Some h else None
+         exists nowhere else. A home outside this shard's window is a
+         routing bug upstream; treat it as unavailable here. *)
+      if l >= 0 && l < n && loads.(l).available then Some l else None
   | None -> (
       match policy with
       | Round_robin ->
@@ -78,8 +91,10 @@ let select policy ~cursor ~request loads =
       | Sealed_affinity -> (
           match request.Request.client with
           | Some c ->
-              let i = fnv1a c mod n in
-              (* affinity is soft: a down affinity target falls back to
-                 least-loaded (fresh sealed state will grow there) *)
-              if loads.(i).available then Some i else least_loaded loads
+              let l = (fnv1a c mod gtotal) - gstart in
+              (* affinity is soft: a down (or off-shard) affinity target
+                 falls back to least-loaded (fresh sealed state will grow
+                 there) *)
+              if l >= 0 && l < n && loads.(l).available then Some l
+              else least_loaded loads
           | None -> least_loaded loads))

@@ -28,11 +28,36 @@ type load = {
           its circuit breaker is shedding load *)
 }
 
-val select : policy -> cursor:int ref -> request:Request.t -> load array -> int option
+val affinity_target : client:string -> total:int -> int
+(** The global platform index {!Sealed_affinity} pins [client] to in a
+    fleet of [total] platforms — the same FNV-1a hash [select] uses, so
+    a sharded fleet can route a request to the shard owning its affinity
+    target before shard-local dispatch re-derives it.
+    @raise Invalid_argument when [total < 1]. *)
+
+val select :
+  ?gstart:int ->
+  ?gtotal:int ->
+  policy ->
+  cursor:int ref ->
+  request:Request.t ->
+  load array ->
+  int option
 (** Chosen platform index among the available members; [None] when no
     available platform may take the request. A [home]d request only ever
     returns its home — [None] when the home is down (the caller must fail
     it explicitly rather than reroute, since its sealed state lives
     nowhere else). [cursor] is the round-robin rotation state, advanced
     only when that policy actually picks a platform.
-    @raise Invalid_argument on an empty fleet or a [home] out of range. *)
+
+    [loads] may be a shard's contiguous window into a larger fleet:
+    [gstart] (default 0) is the global index of [loads.(0)] and [gtotal]
+    (default [gstart + length loads]) the fleet-wide platform count.
+    Homes and the affinity hash are interpreted as global indices — a
+    home or affinity target outside the window behaves as unavailable
+    (the shard forwards or falls back) — while the returned index, the
+    round-robin rotation, and least-loaded comparisons are local to
+    [loads]. With the defaults the behavior over a whole-fleet array is
+    unchanged.
+    @raise Invalid_argument on an empty [loads] or a [home] outside
+    [gtotal]. *)

@@ -1,0 +1,106 @@
+(* A tiny fork-join pool over OCaml 5 Domains.
+
+   The fleet's epoch loop needs the same fan-out every few hundred
+   microseconds of host time, and [Domain.spawn] per epoch would dwarf
+   the work, so the pool keeps [size - 1] worker domains parked on a
+   condition variable and reuses them; the caller's own domain doubles
+   as worker 0. [run] is a full barrier: every worker has finished its
+   slice before it returns, which is exactly the epoch-barrier semantics
+   the deterministic merge protocol needs. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable generation : int;  (* bumped once per [run]; wakes workers *)
+  mutable remaining : int;  (* workers still inside the current job *)
+  mutable stop : bool;
+  (* first failure of the generation, re-raised at the coordinator *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable workers : unit Domain.t list;
+}
+
+let record_failure t e bt =
+  Mutex.lock t.mutex;
+  if t.failure = None then t.failure <- Some (e, bt);
+  Mutex.unlock t.mutex
+
+let worker t w =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = !seen do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      seen := t.generation;
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      (try job w
+       with e -> record_failure t e (Printexc.get_raw_backtrace ()));
+      Mutex.lock t.mutex;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create size =
+  if size < 1 then invalid_arg "Domain_pool.create: need at least one worker";
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      remaining = 0;
+      stop = false;
+      failure = None;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+let size t = t.size
+
+let run t job =
+  if t.size = 1 then job 0
+  else begin
+    Mutex.lock t.mutex;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    t.remaining <- t.size - 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    (* even if worker 0's slice fails, the barrier must complete before
+       re-raising — the other workers are still touching their shards *)
+    (try job 0 with e -> record_failure t e (Printexc.get_raw_backtrace ()));
+    Mutex.lock t.mutex;
+    while t.remaining > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.job <- None;
+    let failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match failure with
+    | None -> ()
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []

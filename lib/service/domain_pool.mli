@@ -1,0 +1,25 @@
+(** A reusable fork-join pool of OCaml 5 Domains.
+
+    [create n] parks [n - 1] worker domains; the calling domain is
+    worker 0, so [create 1] spawns nothing and [run] degenerates to a
+    plain call — the single-domain fleet pays no synchronization at all.
+    [run pool f] invokes [f w] once per worker [w] in [0 .. n - 1],
+    concurrently, and returns only when all have finished (a full
+    barrier). The first exception any worker raises is captured and
+    re-raised at the caller after the barrier completes, so no worker is
+    ever abandoned mid-slice. *)
+
+type t
+
+val create : int -> t
+(** @raise Invalid_argument when [size < 1]. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** Fork-join one job across every worker. Not reentrant: one [run] at
+    a time per pool. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. The pool is unusable afterwards.
+    Idempotent. *)

@@ -1,6 +1,5 @@
 module Platform = Flicker_core.Platform
 module Timing = Flicker_hw.Timing
-module Clock = Flicker_hw.Clock
 module Machine = Flicker_hw.Machine
 module Injector = Flicker_fault.Injector
 module Privacy_ca = Flicker_tpm.Privacy_ca
@@ -19,6 +18,9 @@ type config = {
   retry_budget : int;
   breaker_failures : int;
   breaker_cooldown_ms : float;
+  shards : int;
+  domains : int;
+  epoch_ms : float;
 }
 
 let default_config =
@@ -34,63 +36,77 @@ let default_config =
     retry_budget = 0;
     breaker_failures = 0;
     breaker_cooldown_ms = 2000.0;
+    shards = 1;
+    domains = 1;
+    epoch_ms = 250.0;
   }
 
-(* one bounded admission queue per tier; the shared [queue_depth] bound
-   applies to their sum, and dispatch drains Interactive before Batch *)
-let tier_index = function Request.Interactive -> 0 | Request.Batch -> 1
-let n_tiers = List.length Request.all_tiers
-
-type pstate = {
-  platform : Platform.t;
-  index : int;
-  queues : Request.t Queue.t array;  (* indexed by [tier_index] *)
-  mutable busy : bool;
-  mutable completed : int;
-  mutable up : bool;  (* false while crashed and rebooting *)
-  mutable down_until : float;
-  mutable breaker_until : float;  (* shedding load until this instant *)
-  mutable consecutive_failures : int;  (* all-failed batches in a row *)
-}
-
-type event = Arrival of Request.t | Wake of int | Recover of int
+let tier_index = Shard.tier_index
+let n_tiers = Shard.n_tiers
 
 type t = {
   cfg : config;
   workload : Workload.t;
-  members : pstate array;
-  events : event Event_queue.t;
-  metrics : Metrics.t;
+  shards : Shard.t array;
   arrival_rng : Prng.t;
   ca_key : Flicker_crypto.Rsa.public;
-  rr_cursor : int ref;
+  (* shared with every shard: [set_interceptor]/[add_crash_hook] after
+     creation must be visible inside [Shard.drain] *)
+  interceptor : (Request.t -> string option) option ref;
+  crash_hooks : (int -> unit) list ref;
+  (* which shard takes the next unconstrained request; untouched in a
+     single-shard fleet so the legacy path is byte-identical *)
+  route_cursor : int ref;
   mutable now : float;
   mutable next_id : int;
   mutable submitted : int;
   submitted_by_tier : int array;  (* indexed by [tier_index] *)
-  (* a front-end (the serving tier's result cache) consulted at arrival:
-     [Some output] completes the request without touching a platform *)
-  mutable interceptor : (Request.t -> string option) option;
   (* static-analysis admission gate consulted at submit time: [Some
      reason] refuses the request before it ever reaches the network *)
   mutable admission_gate : (Request.t -> string option) option;
-  (* observers of platform crashes (cache invalidation hooks) *)
-  mutable crash_hooks : (int -> unit) list;
-  (* id -> finalized (request, disposition); insertion keyed by id *)
-  finalized : (int, Request.t * Request.disposition) Hashtbl.t;
+  (* fleet-level series (today: [fleet.analysis_rejected]); everything
+     on the serving path lives in the shard registries *)
+  metrics0 : Metrics.t;
+  (* requests finalized before reaching any shard (gate refusals) *)
+  finalized0 : (int, Request.t * Request.disposition) Hashtbl.t;
 }
+
+(* Platforms are split into [shards] contiguous windows, as balanced as
+   they come: the first [platforms mod shards] windows get one extra.
+   The split depends only on the two counts — never on [domains] — so
+   the shard structure, and with it the whole simulation, is a pure
+   function of the config. *)
+let shard_bounds ~platforms ~shards s =
+  let base = platforms / shards and extra = platforms mod shards in
+  let gstart = (s * base) + min s extra in
+  let count = base + if s < extra then 1 else 0 in
+  (gstart, count)
+
+let shard_of_platform ~platforms ~shards g =
+  let base = platforms / shards and extra = platforms mod shards in
+  let boundary = extra * (base + 1) in
+  if g < boundary then g / (base + 1) else extra + ((g - boundary) / base)
 
 let create ?(config = default_config) workload =
   if config.platforms < 1 then invalid_arg "Fleet.create: need at least one platform";
   if config.queue_depth < 1 then invalid_arg "Fleet.create: queue_depth must be >= 1";
   if config.batch_size < 1 then invalid_arg "Fleet.create: batch_size must be >= 1";
   if config.retry_budget < 0 then invalid_arg "Fleet.create: negative retry budget";
+  if config.shards < 1 || config.shards > config.platforms then
+    invalid_arg "Fleet.create: shards must be within [1, platforms]";
+  if config.domains < 1 then invalid_arg "Fleet.create: need at least one domain";
+  if not (config.epoch_ms > 0.0) then
+    invalid_arg "Fleet.create: epoch_ms must be positive";
   let privacy_ca =
     Privacy_ca.create
       (Prng.create ~seed:(config.seed ^ "/privacy-ca"))
       ~name:"FleetPrivacyCA" ~key_bits:config.key_bits
   in
-  let members =
+  (* platforms are built and prepared in global order, on one domain,
+     regardless of the shard/domain split — construction is provisioning,
+     and keeping it sequential keeps every seed derivation identical to
+     the unsharded fleet's *)
+  let platforms =
     Array.init config.platforms (fun i ->
         let platform =
           Platform.create
@@ -98,17 +114,7 @@ let create ?(config = default_config) workload =
             ~timing:config.timing ~key_bits:config.key_bits ~ca:privacy_ca ()
         in
         workload.Workload.prepare platform i;
-        {
-          platform;
-          index = i;
-          queues = Array.init n_tiers (fun _ -> Queue.create ());
-          busy = false;
-          completed = 0;
-          up = true;
-          down_until = 0.0;
-          breaker_until = 0.0;
-          consecutive_failures = 0;
-        })
+        platform)
   in
   (* fault injectors go in only after [prepare]: setup work (CA keygen
      sessions, ...) is provisioning, not the serving path under test *)
@@ -116,62 +122,123 @@ let create ?(config = default_config) workload =
   | None -> ()
   | Some fcfg ->
       Array.iteri
-        (fun i (m : pstate) ->
-          Machine.set_injector m.platform.Platform.machine
+        (fun i p ->
+          Machine.set_injector p.Platform.machine
             (Injector.create ~config:fcfg
                ~seed:(Printf.sprintf "%s/fault-%d" config.seed i)
                ()))
-        members);
+        platforms);
   (* the platforms' prepare work (CA keygen sessions, ...) consumed
      different amounts of virtual time on each clock; global time starts
-     at the latest of them so no platform starts in the coordinator's
-     past *)
+     at the latest of them so no platform starts in any shard's past *)
   let now =
-    Array.fold_left (fun acc m -> max acc (Platform.now_ms m.platform)) 0.0 members
+    Array.fold_left (fun acc p -> max acc (Platform.now_ms p)) 0.0 platforms
+  in
+  let interceptor = ref None in
+  let crash_hooks = ref [] in
+  let params =
+    {
+      Shard.queue_depth = config.queue_depth;
+      batch_size = config.batch_size;
+      policy = config.policy;
+      timing = config.timing;
+      retry_budget = config.retry_budget;
+      breaker_failures = config.breaker_failures;
+      breaker_cooldown_ms = config.breaker_cooldown_ms;
+      gtotal = config.platforms;
+      n_shards = config.shards;
+    }
+  in
+  let shards =
+    Array.init config.shards (fun s ->
+        let gstart, count =
+          shard_bounds ~platforms:config.platforms ~shards:config.shards s
+        in
+        Shard.create ~params ~sid:s ~gstart ~workload ~interceptor ~crash_hooks
+          ~defer_effects:(config.shards > 1) ~now
+          (Array.sub platforms gstart count))
   in
   {
     cfg = config;
     workload;
-    members;
-    events = Event_queue.create ();
-    metrics = Metrics.create ();
+    shards;
     arrival_rng = Prng.create ~seed:(config.seed ^ "/arrivals");
     ca_key = Privacy_ca.public_key privacy_ca;
-    rr_cursor = ref 0;
+    interceptor;
+    crash_hooks;
+    route_cursor = ref 0;
     now;
     next_id = 1;
     submitted = 0;
     submitted_by_tier = Array.make n_tiers 0;
-    interceptor = None;
     admission_gate = None;
-    crash_hooks = [];
-    finalized = Hashtbl.create 64;
+    metrics0 = Metrics.create ();
+    finalized0 = Hashtbl.create 16;
   }
 
 let config t = t.cfg
 let workload_name t = t.workload.Workload.name
-let platform t i = t.members.(i).platform
 let verifier_key t = t.ca_key
-let now_ms t = t.now
-let metrics t = t.metrics
-let set_interceptor t f = t.interceptor <- Some f
+
+(* Live even mid-run: an interceptor's TTL check during a drain must see
+   the advancing virtual clock (with one shard, exactly the legacy
+   event-loop [now]). [t.now] is only the creation-time floor. *)
+let now_ms t =
+  Array.fold_left (fun acc s -> max acc (Shard.now s)) t.now t.shards
+let set_interceptor t f = t.interceptor := Some f
 let set_admission_gate t f = t.admission_gate <- Some f
-let add_crash_hook t f = t.crash_hooks <- t.crash_hooks @ [ f ]
-let queued_depth (m : pstate) =
-  Array.fold_left (fun acc q -> acc + Queue.length q) 0 m.queues
+let add_crash_hook t f = t.crash_hooks := !(t.crash_hooks) @ [ f ]
 
-let finalize t req disposition =
-  Hashtbl.replace t.finalized req.Request.id (req, disposition)
+let owning_shard t g =
+  t.shards.(shard_of_platform ~platforms:t.cfg.platforms ~shards:t.cfg.shards g)
 
+let check_platform_index t ~who g =
+  if g < 0 || g >= t.cfg.platforms then
+    invalid_arg (Printf.sprintf "Fleet.%s: platform index outside fleet" who)
+
+let platform t g =
+  check_platform_index t ~who:"platform" g;
+  Shard.platform (owning_shard t g) g
+
+let platform_up t g =
+  check_platform_index t ~who:"platform_up" g;
+  Shard.platform_up (owning_shard t g) g
+
+let past_deadline = Shard.past_deadline
 let transit_ms t ~bytes = Timing.network_ms t.cfg.timing ~bytes
 
-(* One boundary convention for every deadline comparison, queued or
-   completed: an instant exactly at the deadline is still on time. *)
-let past_deadline ~deadline_ms ~at_ms =
-  match deadline_ms with Some d -> at_ms > d | None -> false
+(* merged view over the fleet-level registry plus every shard's, in
+   shard order — a snapshot (Metrics.merge_into is order-independent,
+   so the result does not depend on which domain ran which shard) *)
+let metrics t =
+  let m = Metrics.create () in
+  Metrics.merge_into t.metrics0 ~into:m;
+  Array.iter (fun s -> Metrics.merge_into (Shard.metrics s) ~into:m) t.shards;
+  m
 
-let is_available t (m : pstate) = m.up && m.breaker_until <= t.now
-let platform_up t i = is_available t t.members.(i)
+(* Which shard receives an arriving request. Placement that must be
+   fleet-global happens here, before any shard sees the request: homes
+   go to their owner, sealed-affinity targets to the shard owning the
+   hash, and the unconstrained rest rotates round-robin over shards.
+   With one shard this always answers 0 without touching the cursor. *)
+let route t (req : Request.t) =
+  let ns = Array.length t.shards in
+  if ns = 1 then 0
+  else
+    match req.Request.home with
+    | Some h -> shard_of_platform ~platforms:t.cfg.platforms ~shards:t.cfg.shards h
+    | None -> (
+        match (t.cfg.policy, req.Request.client) with
+        | Dispatch.Sealed_affinity, Some c ->
+            shard_of_platform ~platforms:t.cfg.platforms ~shards:t.cfg.shards
+              (Dispatch.affinity_target ~client:c ~total:t.cfg.platforms)
+        | _ ->
+            let s = !(t.route_cursor) in
+            t.route_cursor := (s + 1) mod ns;
+            s)
+
+let finalize0 t req disposition =
+  Hashtbl.replace t.finalized0 req.Request.id (req, disposition)
 
 let submit t ?client ?home ?(tier = Request.Batch) ?deadline_ms ?sent_ms payload =
   (match home with
@@ -183,7 +250,8 @@ let submit t ?client ?home ?(tier = Request.Batch) ?deadline_ms ?sent_ms payload
   (match deadline_ms with
   | Some d when d <= 0.0 -> invalid_arg "Fleet.submit: deadline must be positive"
   | _ -> ());
-  let sent = max t.now (Option.value sent_ms ~default:t.now) in
+  let now = now_ms t in
+  let sent = max now (Option.value sent_ms ~default:now) in
   let arrival = sent +. transit_ms t ~bytes:(String.length payload) in
   let req =
     {
@@ -196,6 +264,7 @@ let submit t ?client ?home ?(tier = Request.Batch) ?deadline_ms ?sent_ms payload
       arrival_ms = arrival;
       deadline_ms = Option.map (fun d -> sent +. d) deadline_ms;
       attempts = 0;
+      forwards = 0;
     }
   in
   t.next_id <- t.next_id + 1;
@@ -206,10 +275,10 @@ let submit t ?client ?home ?(tier = Request.Batch) ?deadline_ms ?sent_ms payload
   | Some gate when gate req <> None ->
       (* the PAL behind this workload failed static analysis: refuse at
          the front door, before any network or queue resources *)
-      Metrics.incr t.metrics "fleet.analysis_rejected";
-      finalize t req
+      Metrics.incr t.metrics0 "fleet.analysis_rejected";
+      finalize0 t req
         (Request.Rejected { at_ms = sent; platform = -1; queue_depth = 0 })
-  | _ -> Event_queue.push t.events ~at_ms:arrival (Arrival req));
+  | _ -> Shard.push_arrival t.shards.(route t req) ~at_ms:arrival req);
   req.Request.id
 
 let submit_open_loop t ~clients ~per_client ~mean_gap_ms ?tier ?deadline_ms ~payload () =
@@ -221,8 +290,9 @@ let submit_open_loop t ~clients ~per_client ~mean_gap_ms ?tier ?deadline_ms ~pay
     let u = float_of_int (1 + Prng.int_below t.arrival_rng 1_000_000) /. 1_000_001. in
     -.mean_gap_ms *. log u
   in
+  let now = now_ms t in
   for c = 0 to clients - 1 do
-    let at = ref t.now in
+    let at = ref now in
     for seq = 0 to per_client - 1 do
       at := !at +. exponential ();
       ignore
@@ -233,317 +303,112 @@ let submit_open_loop t ~clients ~per_client ~mean_gap_ms ?tier ?deadline_ms ~pay
     done
   done
 
-let loads t =
-  Array.map
-    (fun m ->
-      {
-        Dispatch.queued = queued_depth m;
-        busy = m.busy;
-        available = is_available t m;
-      })
-    t.members
-
-(* crash estimate: how long the dying batch would have run, so the crash
-   point lands mid-session rather than at a phase boundary *)
-let service_estimate t =
-  match Metrics.histogram t.metrics "fleet.service_ms" with
-  | Some h when h.Metrics.count > 0 -> h.Metrics.mean
-  | _ -> 200.0
-
-(* dispatch up to a batch on platform [i] if it is up, idle, and has
-   work; [admit]/[requeue] and [pump] are mutually recursive because a
-   crash inside a dispatch re-admits the victims elsewhere *)
-let rec pump t i =
-  let m = t.members.(i) in
-  if is_available t m && not m.busy then begin
-    (* requests whose deadline passed while queued never reach a session *)
-    let rec drop_expired q =
-      match Queue.peek_opt q with
-      | Some r
-        when past_deadline ~deadline_ms:r.Request.deadline_ms ~at_ms:t.now ->
-          ignore (Queue.pop q);
-          Metrics.incr t.metrics "fleet.expired";
-          finalize t r (Request.Expired { at_ms = t.now });
-          drop_expired q
-      | _ -> ()
-    in
-    Array.iter drop_expired m.queues;
-    (* tiers drain strictly in priority order — Interactive ahead of any
-       queued Batch work — but may share one session batch *)
-    let rec take qi n acc =
-      if n = 0 || qi >= n_tiers then List.rev acc
-      else
-        match Queue.take_opt m.queues.(qi) with
-        | None -> take (qi + 1) n acc
-        | Some r -> take qi (n - 1) (r :: acc)
-    in
-    match take 0 t.cfg.batch_size [] with
-    | [] -> ()
-    | batch -> (
-        let k = List.length batch in
-        (* clock coherence: bring this platform's idle clock up to the
-           global virtual time before it serves anything *)
-        let pnow = Platform.now_ms m.platform in
-        if pnow < t.now then
-          Clock.advance m.platform.Platform.machine.Machine.clock (t.now -. pnow);
-        let crash_now =
-          match Machine.injector m.platform.Platform.machine with
-          | None -> None
-          | Some inj -> Injector.session_crash inj ~now_ms:t.now
-        in
-        match crash_now with
-        | Some frac ->
-            (* the machine dies mid-session: the partially served batch
-               is lost in flight, volatile state with it *)
-            Machine.charge m.platform.Platform.machine
-              (frac *. service_estimate t);
-            crash t i ~victims:batch
-        | None ->
-            let dispatched = Platform.now_ms m.platform in
-            m.busy <- true;
-            Metrics.incr t.metrics "fleet.batches";
-            Metrics.observe t.metrics "fleet.batch_fill" (float_of_int k);
-            let results = t.workload.Workload.run_batch m.platform batch in
-            let finished = Platform.now_ms m.platform in
-            Metrics.observe t.metrics "fleet.service_ms" (finished -. dispatched);
-            let results =
-              if List.length results = k then results
-              else
-                List.map
-                  (fun _ -> Error "workload returned wrong number of results")
-                  batch
-            in
-            List.iter2
-              (fun r result ->
-                match result with
-                | Ok output ->
-                    let delivered =
-                      finished +. transit_ms t ~bytes:(String.length output)
-                    in
-                    let latency = delivered -. r.Request.sent_ms in
-                    (* the client's deadline is about when the response
-                       reaches it, so the return transit counts *)
-                    let missed =
-                      past_deadline ~deadline_ms:r.Request.deadline_ms
-                        ~at_ms:delivered
-                    in
-                    Metrics.incr t.metrics "fleet.completed";
-                    if missed then Metrics.incr t.metrics "fleet.deadline_misses";
-                    Metrics.observe t.metrics "fleet.latency_ms" latency;
-                    m.completed <- m.completed + 1;
-                    finalize t r
-                      (Request.Completed
-                         {
-                           output;
-                           platform = i;
-                           batch = k;
-                           dispatched_ms = dispatched;
-                           finished_ms = finished;
-                           latency_ms = latency;
-                           missed_deadline = missed;
-                         })
-                | Error reason ->
-                    Metrics.incr t.metrics "fleet.failed_executions";
-                    requeue t r ~at_ms:finished ~reason)
-              batch results;
-            (* circuit breaker: a run of batches where nothing succeeded
-               marks the member sick; shed its load instead of queueing
-               more onto it *)
-            if t.cfg.breaker_failures > 0 then begin
-              let all_failed =
-                List.for_all (fun r -> Result.is_error r) results
-              in
-              if not all_failed then m.consecutive_failures <- 0
-              else begin
-                m.consecutive_failures <- m.consecutive_failures + 1;
-                if m.consecutive_failures >= t.cfg.breaker_failures then begin
-                  m.consecutive_failures <- 0;
-                  m.breaker_until <- finished +. t.cfg.breaker_cooldown_ms;
-                  Metrics.incr t.metrics "fleet.breaker_opens";
-                  Machine.fault_event m.platform.Platform.machine
-                    "fleet.breaker_open"
-                    ~args:[ ("platform", Flicker_obs.Tracer.Count i) ];
-                  Event_queue.push t.events ~at_ms:m.breaker_until (Recover i);
-                  shed_queue t i ~reason:"circuit breaker open"
-                end
-              end
-            end;
-            (* the machine is monopolized until [finished]; the Wake
-               frees it and pulls the next batch *)
-            Event_queue.push t.events ~at_ms:finished (Wake i))
-  end
-
-(* a request bounced off platform [i] (crash, shed, or failed execution):
-   send it back through the dispatcher if its budget allows, else fail it
-   explicitly *)
-and requeue t r ~at_ms ~reason =
-  if r.Request.attempts >= t.cfg.retry_budget then begin
-    Metrics.incr t.metrics "fleet.failed";
-    finalize t r (Request.Failed { at_ms; reason })
-  end
-  else begin
-    Metrics.incr t.metrics "fleet.redispatched";
-    admit t { r with Request.attempts = r.Request.attempts + 1 }
-  end
-
-(* re-dispatch everything queued on [i]: crash victims and breaker sheds
-   both land here. Requests homed to [i] go back through [admit], which
-   fails them explicitly while the member is unavailable. *)
-and shed_queue t i ~reason =
-  let m = t.members.(i) in
-  let queued =
-    List.concat_map
-      (fun q ->
-        let rs = List.of_seq (Queue.to_seq q) in
-        Queue.clear q;
-        rs)
-      (Array.to_list m.queues)
+(* Run any crash hooks the shards logged, in canonical (crash time,
+   platform) order — one domain, outside any drain. Inline-mode shards
+   (single-shard fleets) never log, so this is a no-op there. *)
+let flush_crash_logs t =
+  let logged =
+    Array.fold_left (fun acc s -> acc @ Shard.take_crash_log s) [] t.shards
   in
+  let logged = List.sort compare logged in
   List.iter
-    (fun r -> requeue t r ~at_ms:t.now ~reason:(Printf.sprintf "platform %d: %s" i reason))
-    queued
+    (fun (_, g) -> List.iter (fun hook -> hook g) !(t.crash_hooks))
+    logged
 
-and crash t i ~victims =
-  let m = t.members.(i) in
-  let reboot_ms =
-    match Machine.injector m.platform.Platform.machine with
-    | Some inj -> (Injector.config inj).Injector.reboot_ms
-    | None -> Injector.disabled.Injector.reboot_ms
-  in
-  Metrics.incr t.metrics "fleet.crashes";
-  Machine.fault_event m.platform.Platform.machine "fleet.crash"
-    ~args:[ ("platform", Flicker_obs.Tracer.Count i) ];
-  (* volatile state is gone; TPM NV/keys survive (Platform.power_cycle) *)
-  Platform.power_cycle m.platform;
-  (* crash observers run before victims re-enter [admit], so a result
-     cache invalidates this platform's entries ahead of any re-dispatch *)
-  List.iter (fun hook -> hook i) t.crash_hooks;
-  m.up <- false;
-  m.busy <- false;
-  m.down_until <- t.now +. reboot_ms;
-  m.consecutive_failures <- 0;
-  Event_queue.push t.events ~at_ms:m.down_until (Recover i);
-  List.iter
-    (fun r ->
-      requeue t r ~at_ms:t.now
-        ~reason:(Printf.sprintf "platform %d crashed mid-session" i))
-    victims;
-  shed_queue t i ~reason:"crashed mid-session"
+let crash_platform t g =
+  check_platform_index t ~who:"crash_platform" g;
+  Shard.crash_platform (owning_shard t g) g;
+  (* a manual crash happens from coordinator context (between runs or
+     epochs), so deferred hooks can run immediately *)
+  flush_crash_logs t
 
-and admit t req =
-  let cached =
-    match t.interceptor with None -> None | Some f -> f req
-  in
-  match cached with
-  | Some output ->
-      (* served from the front end: the client still pays the return
-         transit, but no platform queue or session is involved *)
-      let delivered = t.now +. transit_ms t ~bytes:(String.length output) in
-      let latency = delivered -. req.Request.sent_ms in
-      let missed =
-        past_deadline ~deadline_ms:req.Request.deadline_ms ~at_ms:delivered
-      in
-      Metrics.incr t.metrics "fleet.completed";
-      Metrics.incr t.metrics "fleet.cache_served";
-      if missed then Metrics.incr t.metrics "fleet.deadline_misses";
-      Metrics.observe t.metrics "fleet.latency_ms" latency;
-      finalize t req
-        (Request.Completed
-           {
-             output;
-             platform = -1;
-             batch = 0;
-             dispatched_ms = t.now;
-             finished_ms = t.now;
-             latency_ms = latency;
-             missed_deadline = missed;
-           })
-  | None -> dispatch t req
+let sync_now t =
+  t.now <-
+    Array.fold_left (fun acc s -> max acc (Shard.now s)) t.now t.shards
 
-and dispatch t req =
-  match Dispatch.select t.cfg.policy ~cursor:t.rr_cursor ~request:req (loads t) with
-  | None -> (
-      (* no available platform can take it; a homed request must fail
-         loudly — rerouting it would silently serve without its sealed
-         state *)
-      match req.Request.home with
-      | Some h ->
-          Metrics.incr t.metrics "fleet.home_unavailable";
-          finalize t req
-            (Request.Failed
-               {
-                 at_ms = t.now;
-                 reason =
-                   Printf.sprintf
-                     "home platform %d unavailable: sealed state cannot be \
-                      served elsewhere"
-                     h;
-               })
-      | None ->
-          Metrics.incr t.metrics "fleet.rejected";
-          finalize t req
-            (Request.Rejected { at_ms = t.now; platform = -1; queue_depth = 0 }))
-  | Some target ->
-      let m = t.members.(target) in
-      let depth = queued_depth m in
-      if depth >= t.cfg.queue_depth then begin
-        Metrics.incr t.metrics "fleet.rejected";
-        finalize t req
-          (Request.Rejected { at_ms = t.now; platform = target; queue_depth = depth })
-      end
-      else begin
-        Metrics.incr t.metrics "fleet.admitted";
-        Queue.add req m.queues.(tier_index req.Request.tier);
-        Metrics.observe t.metrics "fleet.queue_depth" (float_of_int (depth + 1));
-        pump t target
-      end
+(* The epoch loop. Each round picks the earliest pending event time
+   fleet-wide, lets every shard drain independently up to [tmin +
+   epoch_ms) (a window no cross-shard message can cut into: barrier
+   deliveries always land exactly at the window's end), then merges the
+   shards' externalized effects in canonical order:
 
-let crash_platform t i =
-  if i < 0 || i >= Array.length t.members then
-    invalid_arg "Fleet.crash_platform: platform index outside fleet";
-  let m = t.members.(i) in
-  if m.up then crash t i ~victims:[]
+   1. deferred crash hooks, sorted by (crash time, platform) — cache
+      invalidation before any re-dispatched request can be served;
+   2. forwarded requests, sorted by (emission time, request id), each
+      delivered to the ring successor of its emitting shard at exactly
+      the window end.
 
-let run ?until_ms t =
-  let within at =
-    match until_ms with None -> true | Some limit -> at <= limit
+   Both merges are pure functions of shard-local histories, and each
+   shard's history is a pure function of its inputs, so the whole run is
+   a pure function of the config — the domain count only decides which
+   OS thread executes which shard. *)
+let run_epochs ?until_ms t =
+  let ns = Array.length t.shards in
+  let pool = Domain_pool.create (max 1 (min t.cfg.domains ns)) in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  let nd = Domain_pool.size pool in
+  let next_event () =
+    Array.fold_left
+      (fun acc s ->
+        match Shard.next_event_ms s with None -> acc | Some a -> min acc a)
+      infinity t.shards
   in
   let rec loop () =
-    match Event_queue.peek_ms t.events with
-    | None -> ()
-    | Some at when not (within at) -> ()
-    | Some _ ->
-        (match Event_queue.pop t.events with
-        | None -> ()
-        | Some (at, ev) -> (
-            t.now <- max t.now at;
-            match ev with
-            | Arrival req -> admit t req
-            | Wake i ->
-                t.members.(i).busy <- false;
-                pump t i
-            | Recover i ->
-                let m = t.members.(i) in
-                if (not m.up) && m.down_until <= t.now then begin
-                  m.up <- true;
-                  m.consecutive_failures <- 0;
-                  Machine.fault_event m.platform.Platform.machine "fleet.recover"
-                    ~args:[ ("platform", Flicker_obs.Tracer.Count i) ]
-                end;
-                (* breaker cooldowns also land here: pumping is harmless
-                   when the member is still unavailable *)
-                pump t i));
-        loop ()
+    let tmin = next_event () in
+    let beyond =
+      match until_ms with Some limit -> tmin > limit | None -> tmin = infinity
+    in
+    if not beyond then begin
+      let stop = tmin +. t.cfg.epoch_ms in
+      Domain_pool.run pool (fun w ->
+          Array.iteri
+            (fun i s -> if i mod nd = w then Shard.drain ?until_ms ~stop_before:stop s)
+            t.shards);
+      flush_crash_logs t;
+      let forwarded =
+        Array.to_list t.shards
+        |> List.concat_map (fun s ->
+               List.map (fun (at, req) -> (at, req, Shard.sid s)) (Shard.take_outbox s))
+        |> List.sort (fun (a, (ra : Request.t), _) (b, (rb : Request.t), _) ->
+               compare (a, ra.Request.id) (b, rb.Request.id))
+      in
+      List.iter
+        (fun (_, req, src) ->
+          Shard.push_arrival t.shards.((src + 1) mod ns) ~at_ms:stop req)
+        forwarded;
+      loop ()
+    end
   in
   loop ()
 
+let run ?until_ms t =
+  if Array.length t.shards = 1 then
+    (* the unsharded fast path: one timeline drained to exhaustion on
+       the calling domain, byte-identical to the pre-shard fleet *)
+    Shard.drain ?until_ms ~stop_before:infinity t.shards.(0)
+  else run_epochs ?until_ms t;
+  sync_now t
+
 let dispositions t =
-  Hashtbl.fold (fun id entry acc -> (id, entry) :: acc) t.finalized []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
-  |> List.map snd
+  let acc = Hashtbl.fold (fun id e acc -> (id, e) :: acc) t.finalized0 [] in
+  let acc =
+    Array.fold_left
+      (fun acc s ->
+        Hashtbl.fold (fun id e acc -> (id, e) :: acc) (Shard.finalized s) acc)
+      acc t.shards
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) acc |> List.map snd
 
 let disposition_of t id =
-  Option.map snd (Hashtbl.find_opt t.finalized id)
+  match Hashtbl.find_opt t.finalized0 id with
+  | Some (_, d) -> Some d
+  | None ->
+      Array.fold_left
+        (fun acc s ->
+          match acc with
+          | Some _ -> acc
+          | None -> Option.map snd (Hashtbl.find_opt (Shard.finalized s) id))
+        None t.shards
 
 type tier_summary = {
   tier : Request.tier;
@@ -575,6 +440,7 @@ type summary = {
   per_platform : int array;
   crashes : int;
   redispatched : int;
+  forwarded : int;
   breaker_opens : int;
   tpm_faults : int;
   dma_storms : int;
@@ -600,6 +466,7 @@ let percentile sorted p =
 
 let summary t =
   let all = dispositions t in
+  let m = metrics t in
   let completions =
     List.filter_map
       (fun (_, d) -> match d with Request.Completed c -> Some c | _ -> None)
@@ -624,10 +491,7 @@ let summary t =
   let n_completed = List.length completions in
   let sum = Array.fold_left ( +. ) 0.0 latencies in
   let machine_counter name =
-    Array.fold_left
-      (fun acc m ->
-        acc + Metrics.counter m.platform.Platform.machine.Machine.metrics name)
-      0 t.members
+    Array.fold_left (fun acc s -> acc + Shard.machine_counter s name) 0 t.shards
   in
   let tier_summary tier =
     let of_tier =
@@ -676,19 +540,18 @@ let summary t =
     latency_p50_ms = percentile latencies 50.0;
     latency_p95_ms = percentile latencies 95.0;
     latency_max_ms = (if n_completed = 0 then 0.0 else latencies.(n_completed - 1));
-    sessions =
-      Array.fold_left
-        (fun acc m -> acc + m.platform.Platform.sessions_run)
-        0 t.members;
+    sessions = Array.fold_left (fun acc s -> acc + Shard.sessions s) 0 t.shards;
     busy_retries = machine_counter "session.busy_retries";
-    per_platform = Array.map (fun (m : pstate) -> m.completed) t.members;
-    crashes = Metrics.counter t.metrics "fleet.crashes";
-    redispatched = Metrics.counter t.metrics "fleet.redispatched";
-    breaker_opens = Metrics.counter t.metrics "fleet.breaker_opens";
+    per_platform =
+      Array.concat (Array.to_list (Array.map Shard.completed_counts t.shards));
+    crashes = Metrics.counter m "fleet.crashes";
+    redispatched = Metrics.counter m "fleet.redispatched";
+    forwarded = Metrics.counter m "fleet.forwarded";
+    breaker_opens = Metrics.counter m "fleet.breaker_opens";
     tpm_faults = machine_counter "fault.tpm.busy" + machine_counter "fault.tpm.slow";
     dma_storms = machine_counter "fault.dma_storms";
-    cache_served = Metrics.counter t.metrics "fleet.cache_served";
-    analysis_rejected = Metrics.counter t.metrics "fleet.analysis_rejected";
+    cache_served = Metrics.counter m "fleet.cache_served";
+    analysis_rejected = Metrics.counter m "fleet.analysis_rejected";
     by_tier = List.map tier_summary Request.all_tiers;
   }
 
@@ -709,6 +572,8 @@ let pp_summary fmt s =
     s.breaker_opens s.tpm_faults s.dma_storms
     (String.concat " "
        (Array.to_list (Array.map string_of_int s.per_platform)));
+  if s.forwarded > 0 then
+    Format.fprintf fmt "@,cross-shard forwards: %d" s.forwarded;
   if s.cache_served > 0 then
     Format.fprintf fmt "@,cache-served completions: %d" s.cache_served;
   if s.analysis_rejected > 0 then

@@ -20,7 +20,26 @@
     (enforced at dispatch: an expired request never wastes a session),
     and are served in batches of up to [batch_size] so the per-session
     SKINIT + TPM overhead is amortized. Everything is exported through a
-    {!Flicker_obs.Metrics} registry and an exact {!summary}. *)
+    {!Flicker_obs.Metrics} registry and an exact {!summary}.
+
+    {2 Sharding and domains}
+
+    The fleet scales across cores by splitting its platforms into
+    [shards] contiguous windows, each owned by a {!Shard} with its own
+    event queue, metrics registry, and round-robin cursor. Shards
+    synchronize only at virtual-time {e epoch barriers}: each drains its
+    own timeline up to the epoch boundary, then the coordinator replays
+    deferred crash hooks in (time, platform) order and delivers
+    cross-shard forwarded requests in (emission time, id) order to the
+    next shard around the ring, landing exactly at the boundary.
+
+    The shard structure — and therefore the entire simulation — is a
+    pure function of the config. [domains] only chooses how many OCaml 5
+    [Domain]s execute the fixed set of shards, so the same seed yields
+    byte-identical results (dispositions, metrics, summaries) at any
+    domain count. With [shards = 1] (the default) the fleet takes the
+    original single-timeline path unchanged: no epochs, no forwarding,
+    crash hooks inline. *)
 
 type config = {
   platforms : int;
@@ -46,12 +65,26 @@ type config = {
   breaker_cooldown_ms : float;
       (** how long an open breaker sheds load before the member is
           eligible again *)
+  shards : int;
+      (** how many contiguous platform windows the fleet is split into
+          (within [1, platforms]). Determines the simulation: routing at
+          submit, epoch barriers, cross-shard forwarding. 1 — the
+          default — is the original single-timeline fleet. *)
+  domains : int;
+      (** how many OCaml 5 domains execute the shards (clamped to
+          [shards] at run time). Pure execution placement: any value
+          produces byte-identical simulated results. *)
+  epoch_ms : float;
+      (** virtual-time width of a drain window between barriers in a
+          multi-shard fleet: longer epochs mean fewer synchronizations
+          but later cross-shard forwarding. Ignored when [shards = 1]. *)
 }
 
 val default_config : config
 (** 2 platforms, queue depth 32, batch size 4, least-loaded routing,
     seed ["fleet"], 512-bit keys, the paper's Broadcom timing profile; no
-    fault injection, no retries, breaker disabled. *)
+    fault injection, no retries, breaker disabled; 1 shard on 1 domain
+    (epoch 250 ms). *)
 
 type t
 
@@ -134,7 +167,10 @@ val set_interceptor : t -> (Request.t -> string option) -> unit
     [batch = 0], and the [fleet.cache_served] counter is bumped —
     without touching any platform queue or session. Returning [None]
     falls through to normal dispatch. The serving tier's result cache
-    ({!Flicker_serve}) is the intended interceptor. *)
+    ({!Flicker_serve}) is the intended interceptor. In a fleet running
+    on [domains > 1], the closure is called concurrently from several
+    domains and must be safe for that — the serving tier keeps its
+    fleets on one shard. *)
 
 val set_admission_gate : t -> (Request.t -> string option) -> unit
 (** Install a static-analysis admission gate consulted once per
@@ -151,12 +187,18 @@ val add_crash_hook : t -> (int -> unit) -> unit
     {!Flicker_core.Platform.power_cycle} but before its queued victims
     re-enter admission — so a result cache can invalidate the crashed
     platform's entries ahead of any re-dispatch. Hooks run in
-    registration order. *)
+    registration order. In a multi-shard fleet, hooks are deferred to
+    the next epoch barrier and replayed from one domain in (crash time,
+    platform) order — after the victims' re-dispatch within their own
+    shard, but before any cross-shard delivery. *)
 
 val run : ?until_ms:float -> t -> unit
-(** Drive the event loop until the queue is drained (or past
+(** Drive the event loop until every queue is drained (or past
     [until_ms]). Re-entrant: more work can be submitted and run again,
-    virtual time keeps accumulating. *)
+    virtual time keeps accumulating. A multi-shard fleet runs the epoch
+    loop on up to [config.domains] domains (spun up per call, joined
+    before returning); a single-shard fleet drains its one timeline on
+    the calling domain. *)
 
 val dispositions : t -> (Request.t * Request.disposition) list
 (** Every finalized request, in id order. Requests still queued or in
@@ -164,12 +206,15 @@ val dispositions : t -> (Request.t * Request.disposition) list
 
 val disposition_of : t -> int -> Request.disposition option
 val metrics : t -> Flicker_obs.Metrics.t
-(** The fleet-level registry: [fleet.admitted], [fleet.rejected],
+(** Snapshot of the fleet-level series merged with every shard's
+    registry, in shard order: [fleet.admitted], [fleet.rejected],
     [fleet.expired], [fleet.completed], [fleet.failed],
-    [fleet.deadline_misses], [fleet.batches] counters; [fleet.latency_ms],
-    [fleet.service_ms], [fleet.batch_fill], [fleet.queue_depth]
-    histograms. Per-machine series (TPM commands, sessions, busy
-    retries) live on each platform's own registry. *)
+    [fleet.deadline_misses], [fleet.batches], [fleet.forwarded] counters;
+    [fleet.latency_ms], [fleet.service_ms], [fleet.batch_fill],
+    [fleet.queue_depth] histograms. The merge is order-independent
+    ({!Flicker_obs.Metrics.merge_into}), so the snapshot does not depend
+    on the domain count. Per-machine series (TPM commands, sessions,
+    busy retries) live on each platform's own registry. *)
 
 type tier_summary = {
   tier : Request.tier;
@@ -204,6 +249,10 @@ type summary = {
   per_platform : int array;  (** requests completed by each platform *)
   crashes : int;  (** injected + manual platform crashes *)
   redispatched : int;  (** requests re-admitted after a bounce *)
+  forwarded : int;
+      (** cross-shard hops: requests a shard could not place locally and
+          handed to the next shard at an epoch barrier (always 0 with
+          one shard) *)
   breaker_opens : int;
   tpm_faults : int;  (** injected TPM transient errors + latency spikes *)
   dma_storms : int;  (** injected DMA storm bursts *)

@@ -13,6 +13,7 @@ type t = {
   arrival_ms : float;
   deadline_ms : float option;
   attempts : int;
+  forwards : int;
 }
 
 type completion = {

@@ -35,6 +35,12 @@ type t = {
           each time a platform crash, breaker shed, or failed execution
           sends the request back through the dispatcher. The fleet's
           [retry_budget] bounds it. *)
+  forwards : int;
+      (** cross-shard hops consumed so far: 0 until the owning shard
+          finds no local platform available and hands the request to the
+          next shard at an epoch barrier. Bounded by [shards - 1] — a
+          request that has visited every shard is rejected, matching the
+          single-shard behavior. Never incremented in a 1-shard fleet. *)
 }
 
 type completion = {
